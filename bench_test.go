@@ -1,0 +1,204 @@
+package omnireduce
+
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation, each regenerating the corresponding rows via the
+// internal/exp runners, plus wall-clock benchmarks of the real library on
+// the in-process fabric. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Individual figures: go test -bench=BenchmarkFig04
+// The regenerated tables are printed once per benchmark (use -v).
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"omnireduce/internal/exp"
+	"omnireduce/internal/metrics"
+)
+
+// benchOpts uses a coarser scale than the CLI default so the full bench
+// suite stays fast; cmd/omnibench regenerates at higher fidelity.
+func benchOpts() exp.Options { return exp.Options{Scale: 64, Seed: 42} }
+
+var printTables = os.Getenv("OMNIBENCH_PRINT") != ""
+
+func runFigure(b *testing.B, f func(exp.Options) *metrics.Table) {
+	b.Helper()
+	var t *metrics.Table
+	for i := 0; i < b.N; i++ {
+		t = f(benchOpts())
+	}
+	if t != nil && printTables {
+		t.Render(os.Stdout)
+	}
+	if t == nil || t.Rows() == 0 {
+		b.Fatal("empty table")
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { runFigure(b, exp.Table1) }
+func BenchmarkTable2(b *testing.B) { runFigure(b, exp.Table2) }
+func BenchmarkFig01(b *testing.B)  { runFigure(b, exp.Fig1) }
+func BenchmarkFig04(b *testing.B)  { runFigure(b, exp.Fig4) }
+func BenchmarkFig05(b *testing.B)  { runFigure(b, exp.Fig5) }
+func BenchmarkFig06(b *testing.B)  { runFigure(b, exp.Fig6) }
+func BenchmarkFig07(b *testing.B)  { runFigure(b, exp.Fig7) }
+func BenchmarkFig08(b *testing.B)  { runFigure(b, exp.Fig8) }
+func BenchmarkFig09(b *testing.B)  { runFigure(b, exp.Fig9) }
+func BenchmarkFig10(b *testing.B)  { runFigure(b, exp.Fig10) }
+func BenchmarkFig11(b *testing.B)  { runFigure(b, exp.Fig11) }
+func BenchmarkFig12(b *testing.B)  { runFigure(b, exp.Fig12) }
+func BenchmarkFig13(b *testing.B)  { runFigure(b, exp.Fig13) }
+func BenchmarkFig14(b *testing.B)  { runFigure(b, exp.Fig14) }
+func BenchmarkFig15(b *testing.B)  { runFigure(b, exp.Fig15) }
+func BenchmarkFig16(b *testing.B)  { runFigure(b, exp.Fig16) }
+func BenchmarkFig17(b *testing.B)  { runFigure(b, exp.Fig17) }
+func BenchmarkFig18(b *testing.B)  { runFigure(b, exp.Fig18) }
+func BenchmarkFig20(b *testing.B)  { runFigure(b, exp.Fig20) }
+func BenchmarkFig21(b *testing.B)  { runFigure(b, exp.Fig21) }
+
+func BenchmarkAblationStreams(b *testing.B)     { runFigure(b, exp.AblationStreams) }
+func BenchmarkAblationFusionWidth(b *testing.B) { runFigure(b, exp.AblationFusionWidth) }
+func BenchmarkAblationAggregators(b *testing.B) { runFigure(b, exp.AblationAggregators) }
+func BenchmarkAblationColocation(b *testing.B)  { runFigure(b, exp.AblationColocation) }
+
+func BenchmarkPerfModel(b *testing.B) {
+	var t *metrics.Table
+	for i := 0; i < b.N; i++ {
+		t = exp.PerfModelTable()
+	}
+	if printTables {
+		t.Render(os.Stdout)
+	}
+}
+
+// Wall-clock benchmarks of the real library on the in-process fabric:
+// AllReduce throughput as sparsity and worker count vary.
+
+func benchCluster(b *testing.B, workers int) *LocalCluster {
+	b.Helper()
+	c, err := NewLocalCluster(Options{Workers: workers, Streams: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	return c
+}
+
+func benchInputs(workers, n int, sparsity float64, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float32, workers)
+	for w := range out {
+		out[w] = make([]float32, n)
+		for i := range out[w] {
+			if rng.Float64() >= sparsity {
+				out[w][i] = float32(rng.NormFloat64())
+			}
+		}
+	}
+	return out
+}
+
+func BenchmarkAllReduceLive(b *testing.B) {
+	for _, workers := range []int{2, 4, 8} {
+		for _, s := range []float64{0, 0.9, 0.99} {
+			name := fmt.Sprintf("workers=%d/sparsity=%v", workers, s)
+			b.Run(name, func(b *testing.B) {
+				c := benchCluster(b, workers)
+				const n = 1 << 20
+				inputs := benchInputs(workers, n, s, 7)
+				b.SetBytes(int64(4 * n))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					for w := 0; w < workers; w++ {
+						wg.Add(1)
+						go func(w int) {
+							defer wg.Done()
+							if err := c.Worker(w).AllReduce(inputs[w]); err != nil {
+								b.Error(err)
+							}
+						}(w)
+					}
+					wg.Wait()
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkAllReduceSparseLive(b *testing.B) {
+	c := benchCluster(b, 4)
+	rng := rand.New(rand.NewSource(3))
+	ins := make([]*SparseTensor, 4)
+	for w := range ins {
+		dense := make([]float32, 1<<18)
+		for i := range dense {
+			if rng.Float64() < 0.01 {
+				dense[i] = float32(rng.NormFloat64())
+			}
+		}
+		ins[w] = FromDense(dense)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if _, err := c.Worker(w).AllReduceSparse(ins[w]); err != nil {
+					b.Error(err)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkAllReduceTCPLive measures the real protocol over loopback TCP
+// sockets (the cross-process reliable fabric).
+func BenchmarkAllReduceTCPLive(b *testing.B) {
+	const workers = 2
+	opts := Options{Workers: workers, Streams: 4}
+	addrs := map[int]string{}
+	agg, err := NewTCPAggregator(workers, map[int]string{workers: "127.0.0.1:0"}, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { agg.Close() })
+	go agg.Run()
+	// The aggregator bound an ephemeral port; rebuild the address book.
+	addrs[workers] = agg.Addr()
+	ws := make([]*Worker, workers)
+	for i := 0; i < workers; i++ {
+		w, err := NewTCPWorker(i, map[int]string{i: "127.0.0.1:0", workers: addrs[workers]}, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { w.Close() })
+		ws[i] = w
+	}
+	const n = 1 << 18
+	inputs := benchInputs(workers, n, 0.9, 11)
+	b.SetBytes(int64(4 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if err := ws[w].AllReduce(inputs[w]); err != nil {
+					b.Error(err)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+}

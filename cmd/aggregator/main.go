@@ -1,0 +1,80 @@
+// Command aggregator runs a standalone OmniReduce aggregator node for
+// cross-process or cross-host deployments.
+//
+// The address book lists every node as id=host:port, workers first
+// (0..workers-1), aggregators after. The aggregator replies to workers
+// over their inbound connections, so with the TCP transport only the
+// aggregator addresses must be reachable; worker entries may be omitted.
+// Example (1 aggregator, 2 workers):
+//
+//	aggregator -id 2 -workers 2 -aggregators 1 \
+//	    -nodes 0=10.0.0.1:7000,1=10.0.0.2:7000,2=10.0.0.3:7000 \
+//	    -transport tcp
+//
+// The matching workers are started with cmd/worker (or any program using
+// the omnireduce package with the same Options and address book).
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"omnireduce"
+	"omnireduce/internal/cli"
+)
+
+func main() {
+	id := flag.Int("id", -1, "this aggregator's node id (>= workers)")
+	workers := flag.Int("workers", 0, "number of workers in the job")
+	aggregators := flag.Int("aggregators", 1, "number of aggregator shards")
+	nodes := flag.String("nodes", "", "comma-separated id=host:port address book")
+	transportName := flag.String("transport", "tcp", "tcp (reliable) or udp (loss recovery)")
+	blockSize := flag.Int("block-size", 256, "elements per block")
+	fusion := flag.Int("fusion", 8, "blocks fused per packet")
+	streams := flag.Int("streams", 4, "parallel aggregation streams")
+	flag.Parse()
+
+	addrs, err := cli.ParseNodes(*nodes)
+	if err != nil {
+		log.Fatalf("aggregator: %v", err)
+	}
+	if *id < *workers || *workers <= 0 {
+		log.Fatalf("aggregator: -id must be >= -workers (worker ids come first)")
+	}
+	opts := omnireduce.Options{
+		Workers:     *workers,
+		Aggregators: *aggregators,
+		BlockSize:   *blockSize,
+		FusionWidth: *fusion,
+		Streams:     *streams,
+	}
+
+	var agg *omnireduce.Aggregator
+	switch *transportName {
+	case "tcp":
+		agg, err = omnireduce.NewTCPAggregator(*id, addrs, opts)
+	case "udp":
+		agg, err = omnireduce.NewUDPAggregator(*id, addrs, opts)
+	default:
+		log.Fatalf("aggregator: unknown transport %q", *transportName)
+	}
+	if err != nil {
+		log.Fatalf("aggregator: %v", err)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("aggregator: shutting down")
+		agg.Close()
+	}()
+
+	log.Printf("aggregator %d serving %d workers over %s", *id, *workers, *transportName)
+	if err := agg.Run(); err != nil {
+		log.Fatalf("aggregator: %v", err)
+	}
+}

@@ -1,0 +1,109 @@
+// Command omnibench regenerates the paper's microbenchmark tables and
+// figures (§6.1, §6.3, §6.4, Appendices B.1 and D) on the virtual-time
+// simulator and the real bitmap implementation.
+//
+// Usage:
+//
+//	omnibench -fig 4          # one figure (4,5,6,7,8,13,15,16,17,18,20,21)
+//	omnibench -table 1        # one table (1 or 2)
+//	omnibench -model          # the §3.4 analytic speedup table
+//	omnibench -all            # everything
+//	omnibench -ablation       # design-choice sweeps
+//	omnibench -live           # wall-clock run of the real implementations
+//	omnibench -fig 4 -csv     # CSV instead of aligned text
+//	omnibench -scale 8        # higher fidelity (slower); default 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"omnireduce/internal/exp"
+	"omnireduce/internal/metrics"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate")
+	table := flag.Int("table", 0, "table number to regenerate")
+	model := flag.Bool("model", false, "print the §3.4 analytic model table")
+	ablation := flag.Bool("ablation", false, "run the design-choice ablations (streams, fusion width, shards, colocation)")
+	live := flag.Bool("live", false, "wall-clock comparison of the real implementations (in-process fabric)")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
+	scale := flag.Int("scale", 16, "traffic scale divisor (lower = higher fidelity)")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	o := exp.Options{Scale: *scale, Seed: *seed}
+	figs := map[int]func(exp.Options) *metrics.Table{
+		4: exp.Fig4, 5: exp.Fig5, 6: exp.Fig6, 7: exp.Fig7, 8: exp.Fig8,
+		13: exp.Fig13, 15: exp.Fig15, 16: exp.Fig16, 17: exp.Fig17,
+		18: exp.Fig18, 20: exp.Fig20, 21: exp.Fig21,
+	}
+	tables := map[int]func(exp.Options) *metrics.Table{
+		1: exp.Table1, 2: exp.Table2,
+	}
+
+	emit := func(t *metrics.Table) {
+		if *csv {
+			t.RenderCSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+	ablations := func() {
+		emit(exp.AblationStreams(o))
+		emit(exp.AblationFusionWidth(o))
+		emit(exp.AblationAggregators(o))
+		emit(exp.AblationColocation(o))
+	}
+
+	ran := false
+	if *all {
+		for _, id := range []int{1, 2} {
+			emit(tables[id](o))
+		}
+		for _, id := range []int{4, 5, 6, 7, 8, 13, 15, 16, 17, 18, 20, 21} {
+			emit(figs[id](o))
+		}
+		emit(exp.PerfModelTable())
+		ablations()
+		return
+	}
+	if *fig != 0 {
+		f, ok := figs[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "omnibench: no such figure %d (training figures live in trainsim)\n", *fig)
+			os.Exit(2)
+		}
+		emit(f(o))
+		ran = true
+	}
+	if *table != 0 {
+		f, ok := tables[*table]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "omnibench: no such table %d\n", *table)
+			os.Exit(2)
+		}
+		emit(f(o))
+		ran = true
+	}
+	if *model {
+		emit(exp.PerfModelTable())
+		ran = true
+	}
+	if *ablation {
+		ablations()
+		ran = true
+	}
+	if *live {
+		emit(exp.LiveComparison(o))
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

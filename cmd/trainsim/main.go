@@ -1,0 +1,55 @@
+// Command trainsim regenerates the paper's end-to-end training
+// experiments (§6.2): scaling factors, training speedups, and the
+// block-compression accuracy/convergence studies.
+//
+// Usage:
+//
+//	trainsim -fig 1           # one of 1, 9, 10, 11, 12, 14
+//	trainsim -all
+//	trainsim -fig 9 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"omnireduce/internal/exp"
+	"omnireduce/internal/metrics"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number (1, 9, 10, 11, 12, 14)")
+	all := flag.Bool("all", false, "run every training experiment")
+	csv := flag.Bool("csv", false, "emit CSV")
+	scale := flag.Int("scale", 16, "traffic scale divisor")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	o := exp.Options{Scale: *scale, Seed: *seed}
+	figs := map[int]func(exp.Options) *metrics.Table{
+		1: exp.Fig1, 9: exp.Fig9, 10: exp.Fig10,
+		11: exp.Fig11, 12: exp.Fig12, 14: exp.Fig14,
+	}
+	emit := func(t *metrics.Table) {
+		if *csv {
+			t.RenderCSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+	if *all {
+		for _, id := range []int{1, 9, 10, 11, 12, 14} {
+			emit(figs[id](o))
+		}
+		return
+	}
+	f, ok := figs[*fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "trainsim: no such training figure %d\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+	emit(f(o))
+}

@@ -1,0 +1,133 @@
+// Lossynet: OmniReduce over real UDP sockets with injected packet loss.
+//
+// The paper's DPDK data path runs over unreliable datagrams; Algorithm 2
+// (Appendix A) recovers from loss with versioned slots, acks, and worker
+// retransmission timers. This example runs a 3-worker AllReduce over
+// loopback UDP with 2% of all messages dropped, and shows the reduction
+// still completes exactly.
+//
+//	go run ./examples/lossynet
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"omnireduce/internal/core"
+	"omnireduce/internal/transport"
+)
+
+func main() {
+	const (
+		workers  = 3
+		elements = 200_000
+		lossRate = 0.02
+	)
+	cfg := core.Config{
+		Workers:           workers,
+		Aggregators:       []int{workers},
+		Reliable:          false, // Algorithm 2 active
+		RetransmitTimeout: 20 * time.Millisecond,
+		BlockSize:         128,
+		FusionWidth:       8,
+		Streams:           4,
+	}
+
+	// Bind every node on an ephemeral UDP port, then exchange addresses.
+	eps := make([]*transport.UDP, workers+1)
+	for i := range eps {
+		u, err := transport.NewUDP(i, map[int]string{i: "127.0.0.1:0"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer u.Close()
+		eps[i] = u
+	}
+	for i, u := range eps {
+		for j, v := range eps {
+			if i != j {
+				if err := u.RegisterPeer(j, v.Addr()); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+
+	// Wrap every endpoint in a deterministic loss injector.
+	lossy := make([]*transport.Lossy, workers+1)
+	for i, u := range eps {
+		lossy[i] = transport.NewLossy(u, lossRate, 0, int64(i)+100)
+	}
+
+	agg, err := core.NewAggregator(lossy[workers], cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go agg.Run()
+
+	// Random sparse inputs and the reference sum.
+	rng := rand.New(rand.NewSource(9))
+	inputs := make([][]float32, workers)
+	expected := make([]float32, elements)
+	for w := range inputs {
+		inputs[w] = make([]float32, elements)
+		for i := range inputs[w] {
+			if rng.Float64() < 0.05 {
+				v := float32(rng.NormFloat64())
+				inputs[w][i] = v
+				expected[i] += v
+			}
+		}
+	}
+
+	ws := make([]*core.Worker, workers)
+	for i := range ws {
+		w, err := core.NewWorker(lossy[i], cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ws[i] = w
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range ws {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := ws[i].AllReduce(inputs[i]); err != nil {
+				log.Fatalf("worker %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var maxErr float64
+	for w := range inputs {
+		for i := range expected {
+			d := float64(inputs[w][i]) - float64(expected[i])
+			if d < 0 {
+				d = -d
+			}
+			if d > maxErr {
+				maxErr = d
+			}
+		}
+	}
+	var dropped, retrans int64
+	for i := range lossy {
+		d, _ := lossy[i].Stats()
+		dropped += int64(d)
+	}
+	for _, w := range ws {
+		retrans += w.Stats.Retransmits
+	}
+	fmt.Printf("UDP AllReduce over %d workers, %d elements, %.0f%% message loss\n",
+		workers, elements, lossRate*100)
+	fmt.Printf("completed in %v; max |error| = %.2g\n", elapsed.Round(time.Millisecond), maxErr)
+	fmt.Printf("messages dropped by injector: %d; worker retransmissions: %d\n", dropped, retrans)
+}

@@ -1,0 +1,118 @@
+// Recommender: DeepLight/NCF-style embedding-gradient aggregation.
+//
+// Recommendation models keep most of their weights in huge embedding
+// tables; each mini-batch touches only a few rows, so the gradient is
+// extremely sparse and block-structured (Table 1 of the paper: DeepLight
+// gradients are 99.73% sparse). This example trains a real logistic model
+// with an embedding table across four workers, aggregating gradients with
+// OmniReduce, and reports how little data actually moved.
+//
+//	go run ./examples/recommender
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"omnireduce"
+	"omnireduce/internal/ddl"
+)
+
+// omniReducer adapts an OmniReduce cluster to the trainer's Reducer
+// interface, splitting each gradient into buckets and keeping them all in
+// flight at once with AllReduceAsync — the DDP bucket-pipelining pattern
+// the paper's PyTorch integration uses.
+type omniReducer struct {
+	cluster *omnireduce.LocalCluster
+	buckets int
+}
+
+func (r *omniReducer) Reduce(grads [][]float32) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(grads))
+	for w := range grads {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := len(grads[w])
+			pendings := make([]*omnireduce.Pending, 0, r.buckets)
+			for b := 0; b < r.buckets; b++ {
+				lo := b * n / r.buckets
+				hi := (b + 1) * n / r.buckets
+				p, err := r.cluster.Worker(w).AllReduceAsync(grads[w][lo:hi])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				pendings = append(pendings, p)
+			}
+			for _, p := range pendings {
+				if err := p.Wait(); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	const workers = 4
+
+	cluster, err := omnireduce.NewLocalCluster(omnireduce.Options{
+		Workers: workers,
+		Streams: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// A click-through-rate-style task: 64 dense features plus a 20k-row
+	// embedding table of width 16 (327k parameters total). Each example
+	// activates a handful of rows, so gradients are sparse.
+	task := ddl.NewTask(64, 20_000, 16, 7)
+	fmt.Printf("training CTR model: %d parameters (%d embedding rows x %d)\n",
+		task.Dim(), 20_000, 16)
+
+	res, err := task.Train(ddl.TrainConfig{
+		Workers:    workers,
+		Batch:      32,
+		Iterations: 150,
+		LR:         0.5,
+		Seed:       11,
+		Reducer:    &omniReducer{cluster: cluster, buckets: 4},
+		LossEvery:  30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("loss trajectory:", formatLosses(res.Losses))
+	fmt.Printf("final held-out accuracy: %.1f%%\n", res.Accuracy*100)
+	fmt.Printf("observed gradient sparsity on the wire: %.2f%% zeros "+
+		"(%.2f%% of 256-blocks non-zero)\n",
+		res.GradStats.MeanSparsity*100, res.GradStats.MeanBlockDensity*100)
+	st := cluster.Worker(0).Stats()
+	fmt.Printf("worker 0 traffic: %d packets, %d non-zero data blocks\n",
+		st.PacketsSent, st.BlocksSent)
+}
+
+func formatLosses(ls []float64) string {
+	out := ""
+	for i, l := range ls {
+		if i > 0 {
+			out += " -> "
+		}
+		out += fmt.Sprintf("%.3f", l)
+	}
+	return out
+}

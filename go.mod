@@ -1,0 +1,3 @@
+module omnireduce
+
+go 1.23

@@ -1,0 +1,327 @@
+package omnireduce
+
+// Integration tests exercising the public cross-process API over real
+// sockets on loopback: the same code paths cmd/worker and cmd/aggregator
+// run across hosts.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// buildAddrs picks ephemeral loopback ports for every node by binding
+// listeners through the transports themselves; here we pre-assign fixed
+// ports from a base to keep the address book static, retrying the base if
+// occupied.
+func testAddrs(n int, base int) map[int]string {
+	m := make(map[int]string, n)
+	for i := 0; i < n; i++ {
+		m[i] = fmt.Sprintf("127.0.0.1:%d", base+i)
+	}
+	return m
+}
+
+func TestPublicTCPJob(t *testing.T) {
+	const workers = 2
+	opts := Options{Workers: workers, Streams: 2}
+	var agg *Aggregator
+	var err error
+	// Retry a few port bases in case of collisions.
+	var addrs map[int]string
+	for _, base := range []int{38731, 39741, 40751} {
+		addrs = testAddrs(workers+1, base)
+		agg, err = NewTCPAggregator(workers, addrs, opts)
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		t.Fatalf("aggregator: %v", err)
+	}
+	aggDone := make(chan error, 1)
+	go func() { aggDone <- agg.Run() }()
+	defer func() {
+		agg.Close()
+		select {
+		case err := <-aggDone:
+			if err != nil {
+				t.Errorf("aggregator run: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("aggregator did not stop")
+		}
+	}()
+
+	ws := make([]*Worker, workers)
+	for i := 0; i < workers; i++ {
+		w, err := NewTCPWorker(i, addrs, opts)
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		defer w.Close()
+		ws[i] = w
+	}
+
+	rng := rand.New(rand.NewSource(2))
+	const n = 30_000
+	inputs := make([][]float32, workers)
+	want := make([]float32, n)
+	for w := range inputs {
+		inputs[w] = make([]float32, n)
+		for i := range inputs[w] {
+			if rng.Float64() < 0.2 {
+				v := float32(rng.NormFloat64())
+				inputs[w][i] = v
+				want[i] += v
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i := range ws {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = ws[i].AllReduce(inputs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	for w := range inputs {
+		for i := range want {
+			d := float64(inputs[w][i]) - float64(want[i])
+			if d > 1e-4 || d < -1e-4 {
+				t.Fatalf("worker %d elem %d: %v vs %v", w, i, inputs[w][i], want[i])
+			}
+		}
+	}
+}
+
+func TestPublicUDPJob(t *testing.T) {
+	const workers = 2
+	opts := Options{
+		Workers:           workers,
+		Streams:           2,
+		BlockSize:         64,
+		RetransmitTimeout: 20 * time.Millisecond,
+	}
+	var agg *Aggregator
+	var err error
+	var addrs map[int]string
+	for _, base := range []int{41761, 42771, 43781} {
+		addrs = testAddrs(workers+1, base)
+		agg, err = NewUDPAggregator(workers, addrs, opts)
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		t.Fatalf("aggregator: %v", err)
+	}
+	go agg.Run()
+	defer agg.Close()
+
+	ws := make([]*Worker, workers)
+	for i := 0; i < workers; i++ {
+		w, err := NewUDPWorker(i, addrs, opts)
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		defer w.Close()
+		ws[i] = w
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	const n = 20_000
+	inputs := make([][]float32, workers)
+	want := make([]float32, n)
+	for w := range inputs {
+		inputs[w] = make([]float32, n)
+		for i := range inputs[w] {
+			if rng.Float64() < 0.05 {
+				v := float32(rng.NormFloat64())
+				inputs[w][i] = v
+				want[i] += v
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i := range ws {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = ws[i].AllReduce(inputs[i])
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("UDP job timed out")
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	for w := range inputs {
+		for i := range want {
+			d := float64(inputs[w][i]) - float64(want[i])
+			if d > 1e-4 || d < -1e-4 {
+				t.Fatalf("worker %d elem %d: %v vs %v", w, i, inputs[w][i], want[i])
+			}
+		}
+	}
+}
+
+func TestPublicHierarchical(t *testing.T) {
+	c, err := NewLocalCluster(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	locals := [][][]float32{
+		{{1, 2}, {10, 20}},
+		{{100, 200}, {1000, 2000}},
+	}
+	runAll(t, 2, func(w int) error { return c.Worker(w).HierarchicalAllReduce(locals[w]) })
+	for node := range locals {
+		for dev := range locals[node] {
+			if locals[node][dev][0] != 1111 || locals[node][dev][1] != 2222 {
+				t.Fatalf("node %d dev %d: %v", node, dev, locals[node][dev])
+			}
+		}
+	}
+}
+
+func TestPublicAsyncBuckets(t *testing.T) {
+	// Gradient-bucket pipelining: several AllReduce operations in flight
+	// per worker, as a DDP integration would issue them.
+	c, err := NewLocalCluster(Options{Workers: 3, Streams: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const nBuckets = 5
+	rng := rand.New(rand.NewSource(4))
+	buckets := make([][][]float32, nBuckets)
+	wants := make([][]float32, nBuckets)
+	for b := range buckets {
+		n := 1_000 + 333*b
+		buckets[b] = make([][]float32, 3)
+		wants[b] = make([]float32, n)
+		for w := range buckets[b] {
+			buckets[b][w] = make([]float32, n)
+			for i := range buckets[b][w] {
+				if rng.Float64() < 0.3 {
+					v := float32(rng.NormFloat64())
+					buckets[b][w][i] = v
+					wants[b][i] += v
+				}
+			}
+		}
+	}
+	runAll(t, 3, func(w int) error {
+		pendings := make([]*Pending, nBuckets)
+		for b := range buckets {
+			p, err := c.Worker(w).AllReduceAsync(buckets[b][w])
+			if err != nil {
+				return err
+			}
+			pendings[b] = p
+		}
+		for _, p := range pendings {
+			if err := p.Wait(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	for b := range buckets {
+		for w := range buckets[b] {
+			for i := range wants[b] {
+				d := float64(buckets[b][w][i]) - float64(wants[b][i])
+				if d > 1e-4 || d < -1e-4 {
+					t.Fatalf("bucket %d worker %d elem %d: %v vs %v", b, w, i, buckets[b][w][i], wants[b][i])
+				}
+			}
+		}
+	}
+}
+
+// TestCLIBinaries builds the actual cmd/aggregator and cmd/worker
+// binaries and runs a 2-worker TCP job through them, validating the CLI
+// plumbing end to end.
+func TestCLIBinaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	build := func(name string) string {
+		bin := dir + "/" + name
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, out)
+		}
+		return bin
+	}
+	aggBin := build("aggregator")
+	workerBin := build("worker")
+
+	nodes := "0=127.0.0.1:47811,1=127.0.0.1:47812,2=127.0.0.1:47813"
+	agg := exec.Command(aggBin, "-id", "2", "-workers", "2", "-nodes", nodes)
+	aggOut := &strings.Builder{}
+	agg.Stdout, agg.Stderr = aggOut, aggOut
+	if err := agg.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		agg.Process.Signal(os.Interrupt)
+		agg.Wait()
+	}()
+	time.Sleep(200 * time.Millisecond) // let the aggregator bind
+
+	run := func(id int, out *strings.Builder) *exec.Cmd {
+		c := exec.Command(workerBin,
+			"-id", fmt.Sprint(id), "-workers", "2", "-nodes", nodes,
+			"-size", "200000", "-sparsity", "0.9", "-iters", "3", "-warmup", "1")
+		c.Stdout, c.Stderr = out, out
+		if err := c.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	var o0, o1 strings.Builder
+	w0 := run(0, &o0)
+	w1 := run(1, &o1)
+	waitErr := make(chan error, 2)
+	go func() { waitErr <- w0.Wait() }()
+	go func() { waitErr <- w1.Wait() }()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-waitErr:
+			if err != nil {
+				t.Fatalf("worker failed: %v\nworker0: %s\nworker1: %s\nagg: %s",
+					err, o0.String(), o1.String(), aggOut.String())
+			}
+		case <-time.After(90 * time.Second):
+			t.Fatalf("workers timed out\nworker0: %s\nworker1: %s", o0.String(), o1.String())
+		}
+	}
+	if !strings.Contains(o0.String(), "goodput") {
+		t.Fatalf("worker 0 output missing report: %s", o0.String())
+	}
+}

@@ -1,0 +1,35 @@
+// Package cli holds small helpers shared by the command-line binaries.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseNodes parses a comma-separated "id=host:port" address book.
+func ParseNodes(s string) (map[int]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty -nodes address book")
+	}
+	out := make(map[int]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad node entry %q (want id=host:port)", part)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(id))
+		if err != nil {
+			return nil, fmt.Errorf("bad node id in %q: %w", part, err)
+		}
+		if _, dup := out[n]; dup {
+			return nil, fmt.Errorf("duplicate node id %d", n)
+		}
+		out[n] = strings.TrimSpace(addr)
+	}
+	return out, nil
+}

@@ -1,0 +1,38 @@
+package cli
+
+import "testing"
+
+func TestParseNodes(t *testing.T) {
+	m, err := ParseNodes("0=10.0.0.1:7000, 1=10.0.0.2:7000,2=:7002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 || m[0] != "10.0.0.1:7000" || m[2] != ":7002" {
+		t.Fatalf("parsed %v", m)
+	}
+}
+
+func TestParseNodesErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"  ",
+		"0:missing-equals",
+		"x=host:1",
+		"0=a:1,0=b:2", // duplicate
+	}
+	for _, c := range cases {
+		if _, err := ParseNodes(c); err == nil {
+			t.Errorf("ParseNodes(%q) accepted", c)
+		}
+	}
+}
+
+func TestParseNodesTrailingComma(t *testing.T) {
+	m, err := ParseNodes("0=a:1,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 {
+		t.Fatalf("parsed %v", m)
+	}
+}

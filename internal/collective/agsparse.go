@@ -1,0 +1,75 @@
+package collective
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"omnireduce/internal/tensor"
+)
+
+// AGsparse is PyTorch's AllGather-based sparse AllReduce (§2.1): every
+// rank gathers all ranks' key and value lists, then performs a local
+// reduction. It implicitly assumes little index overlap and needs memory
+// proportional to N times the per-rank input.
+
+// encodeCOO serializes a COO tensor: dim uint32, count uint32, keys,
+// values (little-endian).
+func encodeCOO(s *tensor.COO) []byte {
+	buf := make([]byte, 8+8*len(s.Keys))
+	binary.LittleEndian.PutUint32(buf, uint32(s.Dim))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(s.Keys)))
+	off := 8
+	for _, k := range s.Keys {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(k))
+		off += 4
+	}
+	for _, v := range s.Values {
+		binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(v))
+		off += 4
+	}
+	return buf
+}
+
+func decodeCOO(buf []byte) (*tensor.COO, error) {
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("collective: short COO buffer")
+	}
+	dim := int(binary.LittleEndian.Uint32(buf))
+	n := int(binary.LittleEndian.Uint32(buf[4:]))
+	if len(buf) < 8+8*n {
+		return nil, fmt.Errorf("collective: truncated COO buffer (%d entries)", n)
+	}
+	s := &tensor.COO{Dim: dim, Keys: make([]int32, n), Values: make([]float32, n)}
+	off := 8
+	for i := 0; i < n; i++ {
+		s.Keys[i] = int32(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+	}
+	for i := 0; i < n; i++ {
+		s.Values[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+	}
+	return s, nil
+}
+
+// AGsparseAllReduce gathers every rank's sparse tensor and reduces
+// locally, returning the global sparse sum (keys ascending).
+func (c *Comm) AGsparseAllReduce(in *tensor.COO) (*tensor.COO, error) {
+	parts, err := c.RingAllGatherVar(encodeCOO(in))
+	if err != nil {
+		return nil, err
+	}
+	out := in.Clone()
+	for r, buf := range parts {
+		if r == c.rank {
+			continue
+		}
+		other, err := decodeCOO(buf)
+		if err != nil {
+			return nil, err
+		}
+		out = out.AddCOO(other)
+	}
+	return out, nil
+}

@@ -1,0 +1,240 @@
+package collective
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"omnireduce/internal/tensor"
+	"omnireduce/internal/transport"
+)
+
+// Parallax-style parameter server (§2.1): model state is sharded over
+// server nodes; workers push gradients (dense shards or sparse key-value
+// lists), servers reduce, and multicast the reduced shard back once every
+// worker has pushed. Parallax's contribution is the hybrid split: dense
+// tensors go through AllReduce, sparse tensors through the PS; the paper
+// mimics its runtime profiler with an oracle that picks the faster path,
+// which the benchmark harness reproduces.
+
+// PS message types.
+const (
+	psPushDense uint8 = iota + 1
+	psPushSparse
+	psResultDense
+	psResultSparse
+)
+
+// PSServer is one parameter-server shard. Drive with Run; it serves until
+// its connection closes.
+type PSServer struct {
+	conn    transport.Conn
+	workers int
+	dense   map[uint32]*psDenseOp
+	sparse  map[uint32]*psSparseOp
+}
+
+type psDenseOp struct {
+	sum   []float32
+	count int
+}
+
+type psSparseOp struct {
+	sum   *tensor.COO
+	count int
+}
+
+// NewPSServer creates a server expecting pushes from `workers` workers.
+func NewPSServer(conn transport.Conn, workers int) *PSServer {
+	return &PSServer{
+		conn:    conn,
+		workers: workers,
+		dense:   make(map[uint32]*psDenseOp),
+		sparse:  make(map[uint32]*psSparseOp),
+	}
+}
+
+// Run processes pushes until the connection closes.
+func (s *PSServer) Run() error {
+	for {
+		m, err := s.conn.Recv()
+		if err != nil {
+			if err == transport.ErrClosed {
+				return nil
+			}
+			return err
+		}
+		if len(m.Data) < 5 {
+			return fmt.Errorf("collective: short PS message")
+		}
+		typ := m.Data[0]
+		op := binary.LittleEndian.Uint32(m.Data[1:])
+		payload := m.Data[5:]
+		switch typ {
+		case psPushDense:
+			st := s.dense[op]
+			if st == nil {
+				st = &psDenseOp{}
+				s.dense[op] = st
+			}
+			in := bytesF32(payload)
+			if st.sum == nil {
+				st.sum = make([]float32, len(in))
+			}
+			if len(in) != len(st.sum) {
+				return errSize("PS dense push", len(in), len(st.sum))
+			}
+			for i, v := range in {
+				st.sum[i] += v
+			}
+			st.count++
+			if st.count == s.workers {
+				out := append([]byte{psResultDense, 0, 0, 0, 0}, f32Bytes(st.sum)...)
+				binary.LittleEndian.PutUint32(out[1:], op)
+				for w := 0; w < s.workers; w++ {
+					if err := s.conn.Send(w, out); err != nil {
+						return err
+					}
+				}
+				delete(s.dense, op)
+			}
+		case psPushSparse:
+			st := s.sparse[op]
+			if st == nil {
+				st = &psSparseOp{}
+				s.sparse[op] = st
+			}
+			in, err := decodeCOO(payload)
+			if err != nil {
+				return err
+			}
+			if st.sum == nil {
+				st.sum = tensor.NewCOO(in.Dim)
+			}
+			st.sum = st.sum.AddCOO(in)
+			st.count++
+			if st.count == s.workers {
+				out := append([]byte{psResultSparse, 0, 0, 0, 0}, encodeCOO(st.sum)...)
+				binary.LittleEndian.PutUint32(out[1:], op)
+				for w := 0; w < s.workers; w++ {
+					if err := s.conn.Send(w, out); err != nil {
+						return err
+					}
+				}
+				delete(s.sparse, op)
+			}
+		default:
+			return fmt.Errorf("collective: unknown PS message type %d", typ)
+		}
+	}
+}
+
+// PSClient issues reductions against a set of server shards.
+type PSClient struct {
+	comm    *Comm
+	servers []int
+	opSeq   uint32
+}
+
+// NewPSClient wraps a communicator whose transport can also reach the
+// given server node IDs.
+func NewPSClient(comm *Comm, servers []int) *PSClient {
+	return &PSClient{comm: comm, servers: servers}
+}
+
+// shardRange returns server shard s's element range for n elements.
+func (c *PSClient) shardRange(s, n int) (int, int) {
+	return s * n / len(c.servers), (s + 1) * n / len(c.servers)
+}
+
+// ReduceDense sums data across workers via the parameter servers, in place.
+func (c *PSClient) ReduceDense(data []float32) error {
+	c.opSeq++
+	op := c.opSeq
+	hdr := []byte{psPushDense, 0, 0, 0, 0}
+	binary.LittleEndian.PutUint32(hdr[1:], op)
+	for s, srv := range c.servers {
+		lo, hi := c.shardRange(s, len(data))
+		if err := c.comm.conn.Send(srv, append(append([]byte{}, hdr...), f32Bytes(data[lo:hi])...)); err != nil {
+			return err
+		}
+	}
+	for range c.servers {
+		m, err := c.comm.conn.Recv()
+		if err != nil {
+			return err
+		}
+		if len(m.Data) < 5 || m.Data[0] != psResultDense {
+			return fmt.Errorf("collective: unexpected PS reply type")
+		}
+		if binary.LittleEndian.Uint32(m.Data[1:]) != op {
+			return fmt.Errorf("collective: PS reply for wrong op")
+		}
+		sIdx := indexOf(c.servers, m.From)
+		if sIdx < 0 {
+			return fmt.Errorf("collective: PS reply from unknown server %d", m.From)
+		}
+		lo, hi := c.shardRange(sIdx, len(data))
+		vals := bytesF32(m.Data[5:])
+		if len(vals) != hi-lo {
+			return errSize("PS dense reply", len(vals), hi-lo)
+		}
+		copy(data[lo:hi], vals)
+	}
+	return nil
+}
+
+// ReduceSparse sums sparse tensors across workers via the servers and
+// returns the global sum.
+func (c *PSClient) ReduceSparse(in *tensor.COO) (*tensor.COO, error) {
+	c.opSeq++
+	op := c.opSeq
+	hdr := []byte{psPushSparse, 0, 0, 0, 0}
+	binary.LittleEndian.PutUint32(hdr[1:], op)
+	for s, srv := range c.servers {
+		lo, hi := c.shardRange(s, in.Dim)
+		part := sliceCOO(in, int32(lo), int32(hi))
+		if err := c.comm.conn.Send(srv, append(append([]byte{}, hdr...), encodeCOO(part)...)); err != nil {
+			return nil, err
+		}
+	}
+	out := tensor.NewCOO(in.Dim)
+	parts := make([]*tensor.COO, len(c.servers))
+	for range c.servers {
+		m, err := c.comm.conn.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if len(m.Data) < 5 || m.Data[0] != psResultSparse {
+			return nil, fmt.Errorf("collective: unexpected PS reply type")
+		}
+		if binary.LittleEndian.Uint32(m.Data[1:]) != op {
+			return nil, fmt.Errorf("collective: PS reply for wrong op")
+		}
+		sIdx := indexOf(c.servers, m.From)
+		if sIdx < 0 {
+			return nil, fmt.Errorf("collective: PS reply from unknown server %d", m.From)
+		}
+		part, err := decodeCOO(m.Data[5:])
+		if err != nil {
+			return nil, err
+		}
+		parts[sIdx] = part
+	}
+	for s, part := range parts {
+		lo, _ := c.shardRange(s, in.Dim)
+		for i, k := range part.Keys {
+			out.Keys = append(out.Keys, k+int32(lo))
+			out.Values = append(out.Values, part.Values[i])
+		}
+	}
+	return out, nil
+}
+
+func indexOf(s []int, v int) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,88 @@
+package collective
+
+// Recursive-doubling AllReduce: latency-optimal for small messages (log N
+// rounds of full-vector exchange), the algorithm SparCML's cost model
+// selects for the small-data regime (§2.1). Non-power-of-two group sizes
+// use the standard MPICH pre/post phases: the first 2*rem ranks pair up,
+// even ranks fold their vector into their odd neighbour and sit out the
+// doubling phase, then receive the final result back.
+
+// RecursiveDoublingAllReduce sums data element-wise across all ranks in
+// place.
+func (c *Comm) RecursiveDoublingAllReduce(data []float32) error {
+	if c.n == 1 || len(data) == 0 {
+		return nil
+	}
+	op := c.nextOp()
+	pof2 := 1
+	for pof2*2 <= c.n {
+		pof2 *= 2
+	}
+	rem := c.n - pof2
+
+	addFrom := func(tag uint64, from int) error {
+		buf, err := c.recv(from, tag)
+		if err != nil {
+			return err
+		}
+		in := bytesF32(buf)
+		if len(in) != len(data) {
+			return errSize("recursive doubling", len(in), len(data))
+		}
+		for i, v := range in {
+			data[i] += v
+		}
+		return nil
+	}
+
+	newRank := -1
+	switch {
+	case c.rank < 2*rem && c.rank%2 == 0:
+		// Fold into the odd neighbour, then wait for the result.
+		if err := c.send(c.rank+1, op|1, f32Bytes(data)); err != nil {
+			return err
+		}
+	case c.rank < 2*rem:
+		if err := addFrom(op|1, c.rank-1); err != nil {
+			return err
+		}
+		newRank = c.rank / 2
+	default:
+		newRank = c.rank - rem
+	}
+
+	if newRank >= 0 {
+		toRank := func(nr int) int {
+			if nr < rem {
+				return nr*2 + 1
+			}
+			return nr + rem
+		}
+		for mask := 1; mask < pof2; mask <<= 1 {
+			partner := toRank(newRank ^ mask)
+			step := uint64(2 + mask)
+			if err := c.send(partner, op|step, f32Bytes(data)); err != nil {
+				return err
+			}
+			if err := addFrom(op|step, partner); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Post phase: odd ranks return the result to their even neighbour.
+	if c.rank < 2*rem {
+		if c.rank%2 == 0 {
+			buf, err := c.recv(c.rank+1, op|2)
+			if err != nil {
+				return err
+			}
+			copy(data, bytesF32(buf))
+		} else {
+			if err := c.send(c.rank-1, op|2, f32Bytes(data)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package collective
+
+import (
+	"fmt"
+
+	"omnireduce/internal/tensor"
+)
+
+// SparCML's split-allgather methods (§2.1): the input key space is split
+// into N partitions, one per rank. Phase 1 routes each rank's entries to
+// the partition owner, which reduces them; phase 2 is a concatenating
+// AllGather of the reduced partitions.
+//
+// SSAR (static sparse AllReduce) keeps the sparse representation
+// throughout. DSAR (dynamic) switches a partition to the dense
+// representation when its reduced size crosses the paper's threshold
+// rho = n*cv/(ci+cv) (half the partition's dense size for 4-byte keys and
+// values), bounding worst-case blow-up when overlaps densify the result.
+
+// partitionRange returns partition p's key range over dim keys and n ranks.
+func partitionRange(p, n, dim int) (int32, int32) {
+	return int32(p * dim / n), int32((p + 1) * dim / n)
+}
+
+// sliceCOO extracts the entries of s with lo <= key < hi, re-keyed
+// relative to lo, as a COO of dimension hi-lo.
+func sliceCOO(s *tensor.COO, lo, hi int32) *tensor.COO {
+	out := tensor.NewCOO(int(hi - lo))
+	for i, k := range s.Keys {
+		if k >= lo && k < hi {
+			out.Keys = append(out.Keys, k-lo)
+			out.Values = append(out.Values, s.Values[i])
+		}
+	}
+	return out
+}
+
+// SSARSplitAllgather performs SparCML's SSAR_Split_allgather and returns
+// the global sparse sum.
+func (c *Comm) SSARSplitAllgather(in *tensor.COO) (*tensor.COO, error) {
+	reduced, err := c.splitReduce(in)
+	if err != nil {
+		return nil, err
+	}
+	// Phase 2: concatenating AllGather of the sparse partitions.
+	parts, err := c.RingAllGatherVar(encodeCOO(reduced))
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.NewCOO(in.Dim)
+	for p, buf := range parts {
+		lo, _ := partitionRange(p, c.n, in.Dim)
+		var part *tensor.COO
+		if p == c.rank {
+			part = reduced
+		} else {
+			if part, err = decodeCOO(buf); err != nil {
+				return nil, err
+			}
+		}
+		for i, k := range part.Keys {
+			out.Keys = append(out.Keys, k+lo)
+			out.Values = append(out.Values, part.Values[i])
+		}
+	}
+	return out, nil
+}
+
+// splitReduce is phase 1 shared by SSAR and DSAR: deliver each partition's
+// entries to its owner, which merges them sparsely.
+func (c *Comm) splitReduce(in *tensor.COO) (*tensor.COO, error) {
+	op := c.nextOp()
+	// Send each partition slice to its owner.
+	for p := 0; p < c.n; p++ {
+		if p == c.rank {
+			continue
+		}
+		lo, hi := partitionRange(p, c.n, in.Dim)
+		if err := c.send(p, op|uint64(1), encodeCOO(sliceCOO(in, lo, hi))); err != nil {
+			return nil, err
+		}
+	}
+	lo, hi := partitionRange(c.rank, c.n, in.Dim)
+	reduced := sliceCOO(in, lo, hi)
+	for p := 0; p < c.n; p++ {
+		if p == c.rank {
+			continue
+		}
+		buf, err := c.recv(p, op|uint64(1))
+		if err != nil {
+			return nil, err
+		}
+		part, err := decodeCOO(buf)
+		if err != nil {
+			return nil, err
+		}
+		reduced = reduced.AddCOO(part)
+	}
+	return reduced, nil
+}
+
+// DSARSplitAllgather performs SparCML's DSAR_Split_allgather and returns
+// the global sum densely (the dynamic representation's output format once
+// any partition has densified).
+func (c *Comm) DSARSplitAllgather(in *tensor.COO) (*tensor.Dense, error) {
+	reduced, err := c.splitReduce(in)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := partitionRange(c.rank, c.n, in.Dim)
+	partDim := int(hi - lo)
+	// Dynamic switch: above rho = partDim*cv/(ci+cv) = partDim/2 entries,
+	// the dense representation is smaller.
+	var payload []byte
+	if reduced.Len() > partDim/2 {
+		payload = append([]byte{1}, f32Bytes(reduced.ToDense().Data)...)
+	} else {
+		payload = append([]byte{0}, encodeCOO(reduced)...)
+	}
+	parts, err := c.RingAllGatherVar(payload)
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.NewDense(in.Dim)
+	for p, buf := range parts {
+		if len(buf) == 0 {
+			return nil, fmt.Errorf("collective: empty DSAR partition from %d", p)
+		}
+		plo, phi := partitionRange(p, c.n, in.Dim)
+		switch buf[0] {
+		case 1:
+			vals := bytesF32(buf[1:])
+			if len(vals) != int(phi-plo) {
+				return nil, errSize("DSAR dense partition", len(vals), int(phi-plo))
+			}
+			copy(out.Data[plo:phi], vals)
+		case 0:
+			part, err := decodeCOO(buf[1:])
+			if err != nil {
+				return nil, err
+			}
+			for i, k := range part.Keys {
+				out.Data[plo+k] = part.Values[i]
+			}
+		default:
+			return nil, fmt.Errorf("collective: bad DSAR format byte %d", buf[0])
+		}
+	}
+	return out, nil
+}

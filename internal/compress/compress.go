@@ -1,0 +1,326 @@
+// Package compress implements the gradient compression methods of §4:
+// the paper's block-based sparsifiers (Block Random-k, Block Top-k, Block
+// Top-k Ratio, Block Threshold) plus the element-wise baselines they
+// generalize (Random-k, Top-k, Threshold), and the error-feedback memory
+// that makes δ-compressors converge (Karimireddy et al., referenced as
+// [30] in the paper; Appendix C proves Block Random-k and Block Top-k are
+// δ-compressors with δ = k/b).
+//
+// A Compressor maps a gradient to a sparsified gradient of the same shape
+// (zeros outside the selected support), which is exactly the input format
+// OmniReduce's block-skipping AllReduce accelerates.
+package compress
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"omnireduce/internal/tensor"
+)
+
+// Compressor sparsifies a gradient in place of a dense tensor: the result
+// has the same length with non-selected elements zeroed.
+type Compressor interface {
+	// Compress writes the sparsified gradient into dst (same length as
+	// src). dst and src may alias.
+	Compress(dst, src []float32)
+	// Name identifies the method in reports.
+	Name() string
+}
+
+// blockIndexRange returns block b's element range.
+func blockIndexRange(b, bs, n int) (int, int) {
+	lo := b * bs
+	hi := lo + bs
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+func numBlocks(n, bs int) int { return (n + bs - 1) / bs }
+
+// keepBlocks zeroes everything outside the selected blocks.
+func keepBlocks(dst, src []float32, bs int, selected map[int]bool) {
+	for b := 0; b < numBlocks(len(src), bs); b++ {
+		lo, hi := blockIndexRange(b, bs, len(src))
+		if selected[b] {
+			copy(dst[lo:hi], src[lo:hi])
+		} else {
+			clear(dst[lo:hi])
+		}
+	}
+}
+
+// BlockRandomK selects K random blocks of size BS (§4: "Block Random-k").
+type BlockRandomK struct {
+	BS  int
+	K   int
+	Rng *rand.Rand
+}
+
+// Name implements Compressor.
+func (c *BlockRandomK) Name() string { return fmt.Sprintf("block-random-%d", c.K) }
+
+// Compress implements Compressor.
+func (c *BlockRandomK) Compress(dst, src []float32) {
+	nb := numBlocks(len(src), c.BS)
+	k := c.K
+	if k > nb {
+		k = nb
+	}
+	sel := make(map[int]bool, k)
+	for _, b := range c.Rng.Perm(nb)[:k] {
+		sel[b] = true
+	}
+	keepBlocks(dst, src, c.BS, sel)
+}
+
+// blockScoreTopK selects the K blocks maximizing score(b).
+func blockScoreTopK(n, bs, k int, score func(lo, hi int) float64) map[int]bool {
+	nb := numBlocks(n, bs)
+	if k > nb {
+		k = nb
+	}
+	type bscore struct {
+		b int
+		s float64
+	}
+	scores := make([]bscore, nb)
+	for b := 0; b < nb; b++ {
+		lo, hi := blockIndexRange(b, bs, n)
+		scores[b] = bscore{b, score(lo, hi)}
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i].s > scores[j].s })
+	sel := make(map[int]bool, k)
+	for _, s := range scores[:k] {
+		sel[s.b] = true
+	}
+	return sel
+}
+
+// BlockTopK selects the K blocks with the largest l2 norm (§4: "Block
+// Top-k").
+type BlockTopK struct {
+	BS int
+	K  int
+}
+
+// Name implements Compressor.
+func (c *BlockTopK) Name() string { return fmt.Sprintf("block-top-%d", c.K) }
+
+// Compress implements Compressor.
+func (c *BlockTopK) Compress(dst, src []float32) {
+	sel := blockScoreTopK(len(src), c.BS, c.K, func(lo, hi int) float64 {
+		var s float64
+		for _, v := range src[lo:hi] {
+			s += float64(v) * float64(v)
+		}
+		return s
+	})
+	keepBlocks(dst, src, c.BS, sel)
+}
+
+// BlockTopKRatio selects the K blocks with the largest update-ratio norm,
+// where the update ratio of a parameter is gradient/parameter (§4: "Block
+// Top-k Ratio"). Params supplies the current parameter values.
+type BlockTopKRatio struct {
+	BS     int
+	K      int
+	Params []float32
+	// Eps regularizes the ratio for near-zero parameters.
+	Eps float64
+}
+
+// Name implements Compressor.
+func (c *BlockTopKRatio) Name() string { return fmt.Sprintf("block-topratio-%d", c.K) }
+
+// Compress implements Compressor.
+func (c *BlockTopKRatio) Compress(dst, src []float32) {
+	eps := c.Eps
+	if eps == 0 {
+		eps = 1e-8
+	}
+	sel := blockScoreTopK(len(src), c.BS, c.K, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			p := math.Abs(float64(c.Params[i])) + eps
+			r := float64(src[i]) / p
+			s += r * r
+		}
+		return s
+	})
+	keepBlocks(dst, src, c.BS, sel)
+}
+
+// BlockThreshold selects blocks whose l2 norm exceeds a fixed threshold
+// (§4: "Block threshold"; the paper uses 0.1664 for BERT).
+type BlockThreshold struct {
+	BS        int
+	Threshold float64
+}
+
+// Name implements Compressor.
+func (c *BlockThreshold) Name() string { return fmt.Sprintf("block-threshold-%g", c.Threshold) }
+
+// Compress implements Compressor.
+func (c *BlockThreshold) Compress(dst, src []float32) {
+	sel := make(map[int]bool)
+	for b := 0; b < numBlocks(len(src), c.BS); b++ {
+		lo, hi := blockIndexRange(b, c.BS, len(src))
+		var s float64
+		for _, v := range src[lo:hi] {
+			s += float64(v) * float64(v)
+		}
+		if math.Sqrt(s) > c.Threshold {
+			sel[b] = true
+		}
+	}
+	keepBlocks(dst, src, c.BS, sel)
+}
+
+// TopK is the element-wise Top-k baseline.
+type TopK struct{ K int }
+
+// Name implements Compressor.
+func (c *TopK) Name() string { return fmt.Sprintf("top-%d", c.K) }
+
+// Compress implements Compressor.
+func (c *TopK) Compress(dst, src []float32) {
+	k := c.K
+	if k > len(src) {
+		k = len(src)
+	}
+	idx := make([]int, len(src))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return math.Abs(float64(src[idx[a]])) > math.Abs(float64(src[idx[b]]))
+	})
+	keep := make(map[int]bool, k)
+	for _, i := range idx[:k] {
+		keep[i] = true
+	}
+	for i := range src {
+		if keep[i] {
+			dst[i] = src[i]
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// RandomK is the element-wise Random-k baseline.
+type RandomK struct {
+	K   int
+	Rng *rand.Rand
+}
+
+// Name implements Compressor.
+func (c *RandomK) Name() string { return fmt.Sprintf("random-%d", c.K) }
+
+// Compress implements Compressor.
+func (c *RandomK) Compress(dst, src []float32) {
+	k := c.K
+	if k > len(src) {
+		k = len(src)
+	}
+	keep := make(map[int]bool, k)
+	for _, i := range c.Rng.Perm(len(src))[:k] {
+		keep[i] = true
+	}
+	for i := range src {
+		if keep[i] {
+			dst[i] = src[i]
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// Threshold is the element-wise hard-threshold baseline.
+type Threshold struct{ T float64 }
+
+// Name implements Compressor.
+func (c *Threshold) Name() string { return fmt.Sprintf("threshold-%g", c.T) }
+
+// Compress implements Compressor.
+func (c *Threshold) Compress(dst, src []float32) {
+	for i, v := range src {
+		if math.Abs(float64(v)) > c.T {
+			dst[i] = v
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// None is the identity compressor.
+type None struct{}
+
+// Name implements Compressor.
+func (None) Name() string { return "none" }
+
+// Compress implements Compressor.
+func (None) Compress(dst, src []float32) { copy(dst, src) }
+
+// ErrorFeedback wraps a compressor with the EF-SGD memory: the residual of
+// each compression is added back to the next gradient before compressing,
+// so the bias of a δ-compressor vanishes over time (the convergence
+// mechanism of Appendix C / [71]).
+type ErrorFeedback struct {
+	C      Compressor
+	memory []float32
+}
+
+// NewErrorFeedback wraps c.
+func NewErrorFeedback(c Compressor) *ErrorFeedback { return &ErrorFeedback{C: c} }
+
+// Name implements Compressor.
+func (e *ErrorFeedback) Name() string { return e.C.Name() + "+ef" }
+
+// Compress applies memory correction, compresses, and stores the residual.
+func (e *ErrorFeedback) Compress(dst, src []float32) {
+	if e.memory == nil {
+		e.memory = make([]float32, len(src))
+	}
+	if len(e.memory) != len(src) {
+		panic("compress: error feedback length changed")
+	}
+	corrected := make([]float32, len(src))
+	for i, v := range src {
+		corrected[i] = v + e.memory[i]
+	}
+	e.C.Compress(dst, corrected)
+	for i := range e.memory {
+		e.memory[i] = corrected[i] - dst[i]
+	}
+}
+
+// Delta measures the empirical compression quality delta_hat =
+// 1 - ||x - C(x)||^2 / ||x||^2. For a δ-compressor, E[delta_hat] >= δ.
+func Delta(c Compressor, x []float32) float64 {
+	out := make([]float32, len(x))
+	c.Compress(out, x)
+	var errN, xN float64
+	for i, v := range x {
+		d := float64(v) - float64(out[i])
+		errN += d * d
+		xN += float64(v) * float64(v)
+	}
+	if xN == 0 {
+		return 1
+	}
+	return 1 - errN/xN
+}
+
+// CompressionRatio returns the fraction of non-zero elements after
+// compressing x with c.
+func CompressionRatio(c Compressor, x []float32) float64 {
+	out := make([]float32, len(x))
+	c.Compress(out, x)
+	return 1 - tensor.FromSlice(out).Sparsity()
+}

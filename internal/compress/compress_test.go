@@ -1,0 +1,315 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(n int, rng *rand.Rand) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+func nnz(v []float32) int {
+	n := 0
+	for _, x := range v {
+		if x != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func TestBlockRandomKSelectsKBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := &BlockRandomK{BS: 10, K: 3, Rng: rng}
+	src := randVec(100, rng)
+	dst := make([]float32, 100)
+	c.Compress(dst, src)
+	if got := nnz(dst); got > 30 || got < 25 {
+		t.Fatalf("nnz = %d, want ~30", got)
+	}
+	// Selected blocks must be copied verbatim.
+	for i := range dst {
+		if dst[i] != 0 && dst[i] != src[i] {
+			t.Fatalf("element %d altered", i)
+		}
+	}
+}
+
+func TestBlockTopKSelectsLargestNorm(t *testing.T) {
+	src := make([]float32, 40) // 4 blocks of 10
+	src[5] = 1                 // block 0 norm 1
+	src[15] = 10               // block 1 norm 10
+	src[25] = 5                // block 2 norm 5
+	src[35] = 0.1              // block 3 norm 0.1
+	dst := make([]float32, 40)
+	(&BlockTopK{BS: 10, K: 2}).Compress(dst, src)
+	if dst[15] != 10 || dst[25] != 5 {
+		t.Fatal("top blocks not kept")
+	}
+	if dst[5] != 0 || dst[35] != 0 {
+		t.Fatal("non-top blocks not zeroed")
+	}
+}
+
+func TestBlockTopKRatio(t *testing.T) {
+	src := []float32{1, 0, 0, 1} // two blocks of 2, equal gradient norms
+	params := []float32{100, 1, 1, 0.01}
+	dst := make([]float32, 4)
+	(&BlockTopKRatio{BS: 2, K: 1, Params: params}).Compress(dst, src)
+	// Block 1 has a far larger update ratio (1/0.01).
+	if dst[3] != 1 || dst[0] != 0 {
+		t.Fatalf("ratio selection wrong: %v", dst)
+	}
+}
+
+func TestBlockThreshold(t *testing.T) {
+	src := make([]float32, 20)
+	src[3] = 5   // block 0 norm 5
+	src[15] = .1 // block 1 norm 0.1
+	dst := make([]float32, 20)
+	(&BlockThreshold{BS: 10, Threshold: 1}).Compress(dst, src)
+	if dst[3] != 5 || dst[15] != 0 {
+		t.Fatalf("threshold selection wrong: %v", dst)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	src := []float32{0.1, -5, 2, 0.3}
+	dst := make([]float32, 4)
+	(&TopK{K: 2}).Compress(dst, src)
+	if dst[1] != -5 || dst[2] != 2 || dst[0] != 0 || dst[3] != 0 {
+		t.Fatalf("TopK wrong: %v", dst)
+	}
+}
+
+func TestRandomK(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := randVec(50, rng)
+	dst := make([]float32, 50)
+	(&RandomK{K: 10, Rng: rng}).Compress(dst, src)
+	if got := nnz(dst); got > 10 {
+		t.Fatalf("nnz = %d > k", got)
+	}
+}
+
+func TestThresholdElementwise(t *testing.T) {
+	src := []float32{0.5, -2, 0.1}
+	dst := make([]float32, 3)
+	(&Threshold{T: 0.4}).Compress(dst, src)
+	if dst[0] != 0.5 || dst[1] != -2 || dst[2] != 0 {
+		t.Fatalf("wrong: %v", dst)
+	}
+}
+
+func TestNone(t *testing.T) {
+	src := []float32{1, 2}
+	dst := make([]float32, 2)
+	(None{}).Compress(dst, src)
+	if dst[0] != 1 || dst[1] != 2 {
+		t.Fatal("identity failed")
+	}
+}
+
+// Property (Appendix C): Block Random-k is a δ-compressor with δ = k/b in
+// expectation: E||x - C(x)||² = (1 - k/b)||x||².
+func TestBlockRandomKDeltaProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const bs, k, blocks = 16, 4, 32
+	src := randVec(bs*blocks, rng)
+	var acc float64
+	const trials = 400
+	c := &BlockRandomK{BS: bs, K: k, Rng: rng}
+	for i := 0; i < trials; i++ {
+		acc += Delta(c, src)
+	}
+	mean := acc / trials
+	want := float64(k) / float64(blocks)
+	if math.Abs(mean-want) > 0.03 {
+		t.Fatalf("E[delta] = %v, want %v (δ=k/b)", mean, want)
+	}
+}
+
+// Property (Appendix C): Block Top-k satisfies the deterministic bound
+// ||x - C(x)||² <= (1 - k/b)||x||² for every input.
+func TestBlockTopKDeltaBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bs := 1 + rng.Intn(32)
+		blocks := 1 + rng.Intn(32)
+		k := 1 + rng.Intn(blocks)
+		src := randVec(bs*blocks, rng)
+		d := Delta(&BlockTopK{BS: bs, K: k}, src)
+		return d >= float64(k)/float64(blocks)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Block Top-k dominates Block Random-k for any fixed input.
+func TestBlockTopKDominatesRandomK(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src := randVec(640, rng)
+	top := Delta(&BlockTopK{BS: 16, K: 10}, src)
+	var randAcc float64
+	c := &BlockRandomK{BS: 16, K: 10, Rng: rng}
+	for i := 0; i < 100; i++ {
+		randAcc += Delta(c, src)
+	}
+	if top < randAcc/100-1e-9 {
+		t.Fatalf("top-k delta %v below random-k mean %v", top, randAcc/100)
+	}
+}
+
+func TestErrorFeedbackResidual(t *testing.T) {
+	// With error feedback, what is dropped now must reappear later:
+	// compressing a constant gradient twice with k=1 of 2 blocks must emit
+	// the dropped block's (doubled) content in the second round.
+	ef := NewErrorFeedback(&BlockTopK{BS: 2, K: 1})
+	src := []float32{1, 1, 2, 2} // block 1 wins
+	dst := make([]float32, 4)
+	ef.Compress(dst, src)
+	if dst[2] != 2 || dst[0] != 0 {
+		t.Fatalf("first round wrong: %v", dst)
+	}
+	// Second round: memory holds {1,1,0,0}; corrected = {2,2,2,2}:
+	// either block may win, but the emitted magnitude reflects the
+	// accumulated residual.
+	ef.Compress(dst, src)
+	if nnz(dst) != 2 {
+		t.Fatalf("second round nnz: %v", dst)
+	}
+	var total float64
+	for _, v := range dst {
+		total += float64(v)
+	}
+	if total < 3.9 {
+		t.Fatalf("residual not re-emitted: %v", dst)
+	}
+}
+
+// Property: error-feedback memory conserves mass — the sum of all emitted
+// gradients plus the residual equals the sum of all inputs.
+func TestErrorFeedbackConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 * (1 + rng.Intn(16))
+		ef := NewErrorFeedback(&BlockTopK{BS: 8, K: 1})
+		var inSum, outSum float64
+		dst := make([]float32, n)
+		for round := 0; round < 10; round++ {
+			src := randVec(n, rng)
+			for _, v := range src {
+				inSum += float64(v)
+			}
+			ef.Compress(dst, src)
+			for _, v := range dst {
+				outSum += float64(v)
+			}
+		}
+		var mem float64
+		for _, v := range ef.memory {
+			mem += float64(v)
+		}
+		return math.Abs(inSum-(outSum+mem)) < 1e-2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := randVec(1000, rng)
+	r := CompressionRatio(&BlockTopK{BS: 10, K: 10}, src)
+	if math.Abs(r-0.1) > 1e-9 {
+		t.Fatalf("ratio = %v, want 0.1", r)
+	}
+}
+
+func TestDeltaEdgeCases(t *testing.T) {
+	if Delta(None{}, []float32{0, 0}) != 1 {
+		t.Fatal("zero vector delta should be 1")
+	}
+	if d := Delta(None{}, []float32{1, 2}); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("identity delta = %v", d)
+	}
+}
+
+func TestKLargerThanBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	src := randVec(20, rng)
+	dst := make([]float32, 20)
+	(&BlockTopK{BS: 10, K: 100}).Compress(dst, src)
+	if nnz(dst) != nnz(src) {
+		t.Fatal("k > b should keep everything")
+	}
+	(&BlockRandomK{BS: 10, K: 100, Rng: rng}).Compress(dst, src)
+	if nnz(dst) != nnz(src) {
+		t.Fatal("random k > b should keep everything")
+	}
+	(&TopK{K: 100}).Compress(dst, src)
+	if nnz(dst) != nnz(src) {
+		t.Fatal("element top-k > n should keep everything")
+	}
+}
+
+func BenchmarkBlockTopK(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := randVec(1<<20, rng)
+	dst := make([]float32, len(src))
+	c := &BlockTopK{BS: 256, K: 40}
+	b.SetBytes(int64(4 * len(src)))
+	for i := 0; i < b.N; i++ {
+		c.Compress(dst, src)
+	}
+}
+
+func BenchmarkBlockThreshold(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	src := randVec(1<<20, rng)
+	dst := make([]float32, len(src))
+	c := &BlockThreshold{BS: 256, Threshold: 10}
+	b.SetBytes(int64(4 * len(src)))
+	for i := 0; i < b.N; i++ {
+		c.Compress(dst, src)
+	}
+}
+
+func BenchmarkErrorFeedback(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	src := randVec(1<<18, rng)
+	dst := make([]float32, len(src))
+	ef := NewErrorFeedback(&BlockTopK{BS: 256, K: 10})
+	b.SetBytes(int64(4 * len(src)))
+	for i := 0; i < b.N; i++ {
+		ef.Compress(dst, src)
+	}
+}
+
+func TestCompressorNames(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := map[Compressor]string{
+		&BlockRandomK{K: 3, Rng: rng}:      "block-random-3",
+		&BlockTopK{K: 5}:                   "block-top-5",
+		&BlockTopKRatio{K: 2}:              "block-topratio-2",
+		&BlockThreshold{Threshold: 0.5}:    "block-threshold-0.5",
+		&TopK{K: 9}:                        "top-9",
+		&RandomK{K: 4, Rng: rng}:           "random-4",
+		&Threshold{T: 1.5}:                 "threshold-1.5",
+		None{}:                             "none",
+		NewErrorFeedback(&BlockTopK{K: 1}): "block-top-1+ef",
+	}
+	for c, want := range cases {
+		if got := c.Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"omnireduce/internal/transport"
+	"omnireduce/internal/wire"
+)
+
+// Unit tests for aggregator internals: the accumulator modes, the result
+// archive, and protocol error paths.
+
+func TestAccumFloat(t *testing.T) {
+	a := newAccum(Config{})
+	a.add(1, []float32{1, 2})
+	a.add(0, []float32{10, 20, 30}) // longer contribution grows the slot
+	got := a.result()
+	if len(got) != 3 || got[0] != 11 || got[1] != 22 || got[2] != 30 {
+		t.Fatalf("result = %v", got)
+	}
+	a.reset()
+	a.add(0, []float32{5})
+	if got := a.result(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("after reset: %v", got)
+	}
+}
+
+func TestAccumQuantized(t *testing.T) {
+	a := newAccum(Config{QuantizeScale: 4}) // quarter resolution
+	a.add(0, []float32{0.1})                // rounds to 0.4*... 0.1*4=0.4 -> 0
+	a.add(1, []float32{0.5})                // 0.5*4=2
+	got := a.result()
+	if len(got) != 1 {
+		t.Fatalf("result = %v", got)
+	}
+	if got[0] != 0.5 { // (0 + 2)/4
+		t.Fatalf("quantized sum = %v, want 0.5", got[0])
+	}
+}
+
+func TestAccumDeterministicOrder(t *testing.T) {
+	// Floating-point addition is not associative; the deterministic
+	// accumulator must reduce in ascending worker-ID order regardless of
+	// arrival order.
+	mk := func(order []int) []float32 {
+		a := newAccum(Config{DeterministicOrder: true})
+		vals := map[int][]float32{
+			0: {1e8}, 1: {-1e8}, 2: {1}, 3: {0.5},
+		}
+		for _, w := range order {
+			a.add(w, vals[w])
+		}
+		return a.result()
+	}
+	r1 := mk([]int{0, 1, 2, 3})
+	r2 := mk([]int{3, 2, 1, 0})
+	r3 := mk([]int{2, 0, 3, 1})
+	if r1[0] != r2[0] || r2[0] != r3[0] {
+		t.Fatalf("order-dependent results: %v %v %v", r1, r2, r3)
+	}
+}
+
+func TestAccumDeterministicQuantized(t *testing.T) {
+	a := newAccum(Config{DeterministicOrder: true, QuantizeScale: 1 << 10})
+	a.add(1, []float32{0.25})
+	a.add(0, []float32{0.5})
+	got := a.result()
+	if math.Abs(float64(got[0])-0.75) > 1e-3 {
+		t.Fatalf("det+quant = %v", got)
+	}
+}
+
+func TestArchiveEviction(t *testing.T) {
+	nw := transport.NewNetwork(1, 4)
+	conn := nw.AddNode(1)
+	defer conn.Close()
+	a, err := NewAggregator(conn, Config{Workers: 1, Aggregators: []int{1}, Reliable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tid := uint32(1); tid <= 40; tid++ {
+		a.archiveResult(0, tid, []byte{byte(tid)})
+	}
+	m := a.archive[0]
+	if len(m) != archiveDepth {
+		t.Fatalf("archive holds %d entries, want %d", len(m), archiveDepth)
+	}
+	if _, ok := m[40]; !ok {
+		t.Fatal("archive lost the newest tensor")
+	}
+	if _, ok := m[40-archiveDepth]; ok {
+		t.Fatal("archive kept an evicted tensor")
+	}
+	if !a.isFinished(0, 3) {
+		t.Fatal("isFinished should report evicted tensor 3")
+	}
+	if a.isFinished(0, 41) {
+		t.Fatal("isFinished must not report future tensor")
+	}
+}
+
+func TestFinishedTrackerOutOfOrder(t *testing.T) {
+	f := &finishedTracker{}
+	f.add(3)
+	if f.has(1) || f.has(2) || !f.has(3) {
+		t.Fatal("out-of-order add wrong")
+	}
+	f.add(1)
+	if !f.has(1) || f.has(2) {
+		t.Fatal("prefix tracking wrong")
+	}
+	f.add(2)
+	if f.upTo != 3 {
+		t.Fatalf("prefix did not collapse: upTo=%d except=%v", f.upTo, f.except)
+	}
+	if len(f.except) != 0 {
+		t.Fatalf("exceptions not drained: %v", f.except)
+	}
+	f.add(2) // re-add below prefix: no-op
+	if f.upTo != 3 {
+		t.Fatal("re-add changed prefix")
+	}
+}
+
+func TestAggregatorRejectsUnknownWorker(t *testing.T) {
+	nw := transport.NewNetwork(1, 16)
+	aggConn := nw.AddNode(1)
+	defer aggConn.Close()
+	cfg := Config{Workers: 1, Aggregators: []int{1}, Reliable: true}.withDefaults()
+	a, err := NewAggregator(aggConn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &wire.Packet{
+		Type: wire.TypeData, WID: 9, TensorID: 1, BlockSize: 4,
+		Nexts: []uint32{wire.Inf(0)},
+	}
+	err = a.handle(transport.Message{From: 9, Data: wire.AppendPacket(nil, p)})
+	if err == nil || !strings.Contains(err.Error(), "unknown worker") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAggregatorRejectsGeometryChange(t *testing.T) {
+	nw := transport.NewNetwork(2, 16)
+	aggConn := nw.AddNode(2)
+	defer aggConn.Close()
+	cfg := Config{Workers: 2, Aggregators: []int{2}, Reliable: true}.withDefaults()
+	a, err := NewAggregator(aggConn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := &wire.Packet{
+		Type: wire.TypeData, WID: 0, TensorID: 1, BlockSize: 4,
+		Nexts:  []uint32{wire.Inf(0), wire.Inf(1)},
+		Blocks: []wire.Block{{Index: 0, Data: []float32{1, 2, 3, 4}}},
+	}
+	if err := a.handle(transport.Message{From: 0, Data: wire.AppendPacket(nil, first)}); err != nil {
+		t.Fatal(err)
+	}
+	// Same tensor, different fusion width from the other worker.
+	bad := &wire.Packet{
+		Type: wire.TypeData, WID: 1, TensorID: 1, BlockSize: 4,
+		Nexts: []uint32{wire.Inf(0)},
+	}
+	err = a.handle(transport.Message{From: 1, Data: wire.AppendPacket(nil, bad)})
+	if err == nil || !strings.Contains(err.Error(), "geometry") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAggregatorRejectsWrongBlockIndex(t *testing.T) {
+	nw := transport.NewNetwork(2, 16)
+	aggConn := nw.AddNode(2)
+	defer aggConn.Close()
+	cfg := Config{Workers: 2, Aggregators: []int{2}, Reliable: true}.withDefaults()
+	a, err := NewAggregator(aggConn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(wid uint16, idx uint32) []byte {
+		return wire.AppendPacket(nil, &wire.Packet{
+			Type: wire.TypeData, WID: wid, TensorID: 1, BlockSize: 2,
+			Nexts:  []uint32{4},
+			Blocks: []wire.Block{{Index: idx, Data: []float32{1, 2}}},
+		})
+	}
+	if err := a.handle(transport.Message{From: 0, Data: mk(0, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	// Worker 1 claims a different block for the same column position.
+	err = a.handle(transport.Message{From: 1, Data: mk(1, 3)})
+	if err == nil {
+		t.Fatal("expected block index mismatch error")
+	}
+}
+
+func TestAggregatorRejectsGarbage(t *testing.T) {
+	nw := transport.NewNetwork(1, 16)
+	aggConn := nw.AddNode(1)
+	defer aggConn.Close()
+	cfg := Config{Workers: 1, Aggregators: []int{1}, Reliable: true}.withDefaults()
+	a, err := NewAggregator(aggConn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.handle(transport.Message{From: 0, Data: []byte{99, 1, 2}}); err == nil {
+		t.Fatal("expected error for unknown message type")
+	}
+	if err := a.handle(transport.Message{From: 0, Data: []byte{wire.TypeData, 0}}); err == nil {
+		t.Fatal("expected decode error for truncated packet")
+	}
+}
+
+func TestHierarchicalAllReduce(t *testing.T) {
+	cfg := Config{Workers: 2, Reliable: true}
+	c := startCluster(t, cfg, 0, 31)
+	const devices, n = 4, 3_000
+	locals := make([][][]float32, 2) // [node][device][elem]
+	want := make([]float32, n)
+	inputs := randomInputs(n, 2*devices, 0.6, 17)
+	for node := 0; node < 2; node++ {
+		locals[node] = make([][]float32, devices)
+		for d := 0; d < devices; d++ {
+			locals[node][d] = inputs[node*devices+d]
+			for i, v := range locals[node][d] {
+				want[i] += v
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for node := 0; node < 2; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			errs[node] = c.workers[node].HierarchicalAllReduce(locals[node])
+		}(node)
+	}
+	wg.Wait()
+	for node, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", node, err)
+		}
+	}
+	for node := 0; node < 2; node++ {
+		for d := 0; d < devices; d++ {
+			for i := range want {
+				diff := float64(locals[node][d][i]) - float64(want[i])
+				if diff > 1e-3 || diff < -1e-3 {
+					t.Fatalf("node %d dev %d elem %d: %v vs %v", node, d, i, locals[node][d][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestHierarchicalAllReduceValidation(t *testing.T) {
+	cfg := Config{Workers: 1, Reliable: true}
+	c := startCluster(t, cfg, 0, 32)
+	if err := c.workers[0].HierarchicalAllReduce(nil); err != nil {
+		t.Fatalf("empty locals: %v", err)
+	}
+	err := c.workers[0].HierarchicalAllReduce([][]float32{{1, 2}, {1}})
+	if err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestWorkerDecodeResultErrors(t *testing.T) {
+	// A worker must reject results for streams it does not know.
+	nw := transport.NewNetwork(2, 16)
+	cfg := Config{Workers: 1, Aggregators: []int{1}, Reliable: true}.withDefaults()
+	w, err := NewWorker(nw.Conn(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	streams := []*wStream{{idx: 0, cols: 1}}
+	res := wire.AppendPacket(nil, &wire.Packet{
+		Type: wire.TypeResult, Slot: 5, TensorID: 1, BlockSize: 4, Nexts: []uint32{wire.Inf(0)},
+	})
+	if _, _, err := w.decodeResult(transport.Message{From: 1, Data: res}, streams, 1); err == nil {
+		t.Fatal("expected unknown stream error")
+	}
+	// Wrong message type.
+	bad := wire.AppendPacket(nil, &wire.Packet{
+		Type: wire.TypeData, Slot: 0, TensorID: 1, BlockSize: 4, Nexts: []uint32{wire.Inf(0)},
+	})
+	if _, _, err := w.decodeResult(transport.Message{From: 1, Data: bad}, streams, 1); err == nil {
+		t.Fatal("expected type error")
+	}
+	// Stale tensor IDs are silently dropped.
+	stale := wire.AppendPacket(nil, &wire.Packet{
+		Type: wire.TypeResult, Slot: 0, TensorID: 7, BlockSize: 4, Nexts: []uint32{wire.Inf(0)},
+	})
+	st, p, err := w.decodeResult(transport.Message{From: 1, Data: stale}, streams, 1)
+	if err != nil || st != nil || p != nil {
+		t.Fatalf("stale result not dropped: %v %v %v", st, p, err)
+	}
+}
+
+func TestAggregatorRunStopsOnClose(t *testing.T) {
+	nw := transport.NewNetwork(1, 4)
+	conn := nw.AddNode(1)
+	a, err := NewAggregator(conn, Config{Workers: 1, Aggregators: []int{1}, Reliable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- a.Run() }()
+	time.Sleep(5 * time.Millisecond)
+	conn.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v on orderly close", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not stop")
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"omnireduce/internal/tensor"
+)
+
+// Tests for overlapping collectives (AllReduceAsync): the DDP
+// gradient-bucket pipelining pattern, where several tensors are in flight
+// per worker at once.
+
+func runAsyncBuckets(t *testing.T, c *cluster, buckets [][][]float32) {
+	t.Helper()
+	workers := len(c.workers)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Start every bucket before waiting on any: all in flight.
+			pendings := make([]*Pending, len(buckets))
+			for b := range buckets {
+				p, err := c.workers[w].AllReduceAsync(buckets[b][w])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				pendings[b] = p
+			}
+			for _, p := range pendings {
+				if err := p.Wait(); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("async buckets timed out")
+	}
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+}
+
+func TestAllReduceAsyncOverlappingBuckets(t *testing.T) {
+	cfg := Config{Workers: 3, Reliable: true, Streams: 2, BlockSize: 32}
+	c := startCluster(t, cfg, 0, 71)
+	const nBuckets = 6
+	buckets := make([][][]float32, nBuckets)
+	wants := make([][]float32, nBuckets)
+	for b := range buckets {
+		buckets[b] = randomInputs(2_000+97*b, 3, 0.7, int64(b)*13)
+		wants[b] = expectedSum(buckets[b])
+	}
+	runAsyncBuckets(t, c, buckets)
+	for b := range buckets {
+		checkResult(t, buckets[b], wants[b])
+	}
+}
+
+func TestAllReduceAsyncOverlappingLossy(t *testing.T) {
+	cfg := lossyConfig(2)
+	c := startCluster(t, cfg, 0.03, 73)
+	const nBuckets = 4
+	buckets := make([][][]float32, nBuckets)
+	wants := make([][]float32, nBuckets)
+	for b := range buckets {
+		buckets[b] = randomInputs(1_500, 2, 0.6, int64(b)*17)
+		wants[b] = expectedSum(buckets[b])
+	}
+	runAsyncBuckets(t, c, buckets)
+	for b := range buckets {
+		checkResult(t, buckets[b], wants[b])
+	}
+}
+
+func TestAllReduceAsyncManySmallBuckets(t *testing.T) {
+	// Far more overlapping tensors than the archive depth, issued in
+	// waves, to exercise archive eviction and the maxFinished guard.
+	cfg := Config{Workers: 2, Reliable: true, Streams: 1, BlockSize: 8}
+	c := startCluster(t, cfg, 0, 79)
+	for wave := 0; wave < 3; wave++ {
+		const nBuckets = 24
+		buckets := make([][][]float32, nBuckets)
+		wants := make([][]float32, nBuckets)
+		for b := range buckets {
+			buckets[b] = randomInputs(64, 2, 0.5, int64(wave*100+b))
+			wants[b] = expectedSum(buckets[b])
+		}
+		runAsyncBuckets(t, c, buckets)
+		for b := range buckets {
+			checkResult(t, buckets[b], wants[b])
+		}
+	}
+}
+
+func TestAllReduceAsyncEmptyTensor(t *testing.T) {
+	cfg := Config{Workers: 1, Reliable: true}
+	c := startCluster(t, cfg, 0, 81)
+	p, err := c.workers[0].AllReduceAsync(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncAfterClose(t *testing.T) {
+	cfg := Config{Workers: 1, Reliable: true}
+	c := startCluster(t, cfg, 0, 83)
+	c.workers[0].Close()
+	time.Sleep(20 * time.Millisecond) // let the pump observe the close
+	if _, err := c.workers[0].AllReduceAsync(make([]float32, 8)); err == nil {
+		t.Fatal("expected error starting op on closed worker")
+	}
+}
+
+func TestPeekTensorID(t *testing.T) {
+	if _, ok := peekTensorID(nil); ok {
+		t.Fatal("empty buffer accepted")
+	}
+	if _, ok := peekTensorID([]byte{99, 0, 0, 0}); ok {
+		t.Fatal("unknown type accepted")
+	}
+	if _, ok := peekTensorID([]byte{1, 0, 0}); ok {
+		t.Fatal("short dense packet accepted")
+	}
+}
+
+func TestAsyncMixedSparseAndDense(t *testing.T) {
+	// A sparse (Algorithm 3) collective and dense collectives in flight
+	// concurrently: tensor-ID routing must keep them separate.
+	cfg := Config{Workers: 2, Reliable: true, BlockSize: 16}
+	c := startCluster(t, cfg, 0, 91)
+	dense := randomInputs(3_000, 2, 0.5, 92)
+	wantDense := expectedSum(dense)
+	sparseIns := []*tensor.COO{randomCOO(1_000, 80, rand.New(rand.NewSource(93))), randomCOO(1_000, 80, rand.New(rand.NewSource(94)))}
+	wantSparse := expectedSparseSum(sparseIns)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	sparseOuts := make([]*tensor.COO, 2)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Issue the dense op first, then the sparse op, then wait —
+			// both are outstanding simultaneously.
+			p, err := c.workers[w].AllReduceAsync(dense[w])
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			sparseOuts[w], err = c.workers[w].AllReduceSparse(sparseIns[w])
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			errs[w] = p.Wait()
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("mixed ops timed out")
+	}
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	checkResult(t, dense, wantDense)
+	for w, out := range sparseOuts {
+		if !out.ToDense().ApproxEqual(wantSparse, 1e-4) {
+			t.Fatalf("worker %d sparse mismatch", w)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package core implements the OmniReduce protocol: streaming sparse
+// AllReduce via coordinated block aggregation (SIGCOMM '21, §3).
+//
+// The tensor is split into blocks of Config.BlockSize elements. Workers
+// transmit only non-zero blocks; one or more aggregators coordinate, each
+// telling the workers which block it needs next based on "next non-zero
+// block" metadata the workers piggyback on every packet (Algorithm 1).
+//
+// Parallelism follows §3.1.1: the tensor is sharded into Config.Streams
+// contiguous shards, each served by an independent aggregation stream that
+// owns one aggregator slot; streams are distributed round-robin across the
+// aggregator nodes. Within a stream, Block Fusion (§3.2) packs up to
+// Config.FusionWidth blocks per packet, column-aligned in the stream's
+// two-dimensional block layout.
+//
+// With Config.Reliable set (channel or TCP transports — the RDMA RC
+// stand-in), the protocol of Algorithm 1 runs without timers. With
+// Reliable unset (UDP), Algorithm 2's loss recovery runs: versioned slots,
+// per-version seen/count state, empty ack packets for zero blocks, and
+// worker retransmission timers.
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config parameterizes workers and aggregators. Every participant in a
+// job must use an identical Config.
+type Config struct {
+	// Workers is the number of worker nodes, with IDs 0..Workers-1.
+	Workers int
+	// Aggregators lists the aggregator node IDs. Stream s is served by
+	// Aggregators[s % len(Aggregators)].
+	Aggregators []int
+	// BlockSize is the number of float32 elements per block (default 256,
+	// the paper's default, §6).
+	BlockSize int
+	// FusionWidth is the number of blocks fused per packet, i.e. the
+	// number of columns in each stream's block layout (§3.2). Default 8.
+	FusionWidth int
+	// Streams is the number of parallel aggregation streams (the slot
+	// pool size, §3.1.1). Default 4.
+	Streams int
+	// Reliable indicates the transport delivers every message in order
+	// (channel/TCP). When false, Algorithm 2 loss recovery is active.
+	Reliable bool
+	// RetransmitTimeout is the worker's per-packet loss-detection timer
+	// (unreliable mode only). Default 20ms.
+	RetransmitTimeout time.Duration
+	// MaxRetries bounds per-packet retransmissions in unreliable mode;
+	// exceeding it fails the collective with an error (e.g. the
+	// aggregator is gone). Zero means retry forever.
+	MaxRetries int
+	// DeterministicOrder makes aggregation numerically reproducible by
+	// reducing worker contributions in worker-ID order (§7). It requires
+	// buffering one contribution per worker per slot.
+	DeterministicOrder bool
+	// HalfPrecision transmits block data as IEEE 754 binary16 on the
+	// wire, halving communication volume; the aggregator still
+	// accumulates in float32. Results are quantized to fp16 on the way
+	// back (the usual mixed-precision trade-off).
+	HalfPrecision bool
+	// ForceDense disables zero-block elision on the worker: every block
+	// is treated as non-zero and transmitted. This turns the protocol into
+	// a SwitchML-style dense streaming aggregation (§6.2.2's SwitchML*
+	// baseline) while keeping the slot pipeline identical.
+	ForceDense bool
+	// QuantizeScale, when non-zero, makes aggregators accumulate in
+	// fixed-point int64 arithmetic with this scale factor, emulating the
+	// integer ALUs of a programmable switch (§7, Fig 18). Workers are
+	// unaffected; results are de-quantized before multicast.
+	QuantizeScale float64
+}
+
+// withDefaults fills zero fields with paper defaults.
+func (c Config) withDefaults() Config {
+	if c.BlockSize == 0 {
+		c.BlockSize = 256
+	}
+	if c.FusionWidth == 0 {
+		c.FusionWidth = 8
+	}
+	if c.Streams == 0 {
+		c.Streams = 4
+	}
+	if c.RetransmitTimeout == 0 {
+		c.RetransmitTimeout = 20 * time.Millisecond
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Workers <= 0 {
+		return fmt.Errorf("core: Workers must be positive, got %d", c.Workers)
+	}
+	if len(c.Aggregators) == 0 {
+		return fmt.Errorf("core: at least one aggregator required")
+	}
+	if c.BlockSize < 0 || c.FusionWidth < 0 || c.FusionWidth > 64 || c.Streams < 0 {
+		return fmt.Errorf("core: invalid block/fusion/stream parameters")
+	}
+	if c.QuantizeScale < 0 {
+		return fmt.Errorf("core: QuantizeScale must be non-negative")
+	}
+	return nil
+}
+
+// aggregatorFor returns the node ID serving stream s.
+func (c Config) aggregatorFor(s int) int {
+	return c.Aggregators[s%len(c.Aggregators)]
+}
+
+// shard returns the global block range [lo, hi) owned by stream s when the
+// tensor has nb blocks total and eff streams are active.
+func shard(s, eff, nb int) (lo, hi int) {
+	lo = s * nb / eff
+	hi = (s + 1) * nb / eff
+	return lo, hi
+}
+
+// effectiveStreams caps the stream count so every stream owns at least one
+// block.
+func effectiveStreams(streams, nb int) int {
+	if nb < streams {
+		if nb == 0 {
+			return 1
+		}
+		return nb
+	}
+	return streams
+}

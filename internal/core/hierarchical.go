@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+
+	"omnireduce/internal/tensor"
+)
+
+// Hierarchical two-layer aggregation (§5, "Multi-GPU servers"): when a
+// worker node hosts several GPUs, the paper reduces across local GPUs
+// first (NCCL over NVLink), runs OmniReduce across nodes on the local
+// sum, and broadcasts the global result back to the local GPUs. Here the
+// local layer is an in-process reduction over the per-device tensors; the
+// inter-node layer is the regular worker protocol.
+
+// HierarchicalAllReduce sums every device tensor across all devices of
+// all workers. locals holds this node's per-device tensors (all the same
+// length); on return every tensor holds the global sum. The intra-node
+// reduce and broadcast are performed in process; the inter-node exchange
+// is one AllReduce on the node's combined gradient.
+func (w *Worker) HierarchicalAllReduce(locals [][]float32) error {
+	if len(locals) == 0 {
+		return nil
+	}
+	n := len(locals[0])
+	for d, l := range locals {
+		if len(l) != n {
+			return fmt.Errorf("core: device %d tensor length %d != %d", d, len(l), n)
+		}
+	}
+	// Layer 1: intra-node reduction into device 0's buffer.
+	sum := tensor.FromSlice(locals[0])
+	for _, l := range locals[1:] {
+		sum.Add(tensor.FromSlice(l))
+	}
+	// Layer 2: inter-node OmniReduce.
+	if err := w.AllReduce(locals[0]); err != nil {
+		return err
+	}
+	// Layer 1 again: intra-node broadcast of the global result.
+	for _, l := range locals[1:] {
+		copy(l, locals[0])
+	}
+	return nil
+}

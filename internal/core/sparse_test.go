@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"omnireduce/internal/tensor"
+)
+
+// allReduceSparse runs the key-value collective across all workers and
+// returns each worker's result.
+func (c *cluster) allReduceSparse(t testing.TB, inputs []*tensor.COO) []*tensor.COO {
+	t.Helper()
+	outs := make([]*tensor.COO, len(c.workers))
+	errs := make([]error, len(c.workers))
+	var wg sync.WaitGroup
+	for i, w := range c.workers {
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			outs[i], errs[i] = w.AllReduceSparse(inputs[i])
+		}(i, w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("AllReduceSparse timed out")
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	return outs
+}
+
+func randomCOO(dim, nnz int, rng *rand.Rand) *tensor.COO {
+	s := tensor.NewCOO(dim)
+	perm := rng.Perm(dim)
+	if nnz > dim {
+		nnz = dim
+	}
+	keys := append([]int(nil), perm[:nnz]...)
+	// COO requires ascending keys.
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	for _, k := range keys {
+		s.Append(int32(k), float32(rng.NormFloat64())+0.1)
+	}
+	return s
+}
+
+func expectedSparseSum(inputs []*tensor.COO) *tensor.Dense {
+	out := tensor.NewDense(inputs[0].Dim)
+	for _, in := range inputs {
+		out.Add(in.ToDense())
+	}
+	return out
+}
+
+func TestSparseAllReduceBasic(t *testing.T) {
+	cfg := Config{Workers: 2, Reliable: true, BlockSize: 2}
+	c := startCluster(t, cfg, 0, 1)
+	a := tensor.NewCOO(20)
+	a.Append(1, 1)
+	a.Append(5, 2)
+	a.Append(9, 3)
+	b := tensor.NewCOO(20)
+	b.Append(5, 10)
+	b.Append(15, 4)
+	outs := c.allReduceSparse(t, []*tensor.COO{a, b})
+	want := expectedSparseSum([]*tensor.COO{a, b})
+	for w, out := range outs {
+		got := out.ToDense()
+		if !got.ApproxEqual(want, 1e-5) {
+			t.Fatalf("worker %d: got %v want %v", w, got.Data, want.Data)
+		}
+	}
+}
+
+func TestSparseAllReduceOverlapExtremes(t *testing.T) {
+	cfg := Config{Workers: 3, Reliable: true, BlockSize: 8}
+	t.Run("identical", func(t *testing.T) {
+		c := startCluster(t, cfg, 0, 2)
+		rng := rand.New(rand.NewSource(3))
+		base := randomCOO(500, 60, rng)
+		inputs := []*tensor.COO{base.Clone(), base.Clone(), base.Clone()}
+		outs := c.allReduceSparse(t, inputs)
+		want := expectedSparseSum(inputs)
+		for w, out := range outs {
+			if !out.ToDense().ApproxEqual(want, 1e-4) {
+				t.Fatalf("worker %d mismatch", w)
+			}
+		}
+	})
+	t.Run("disjoint", func(t *testing.T) {
+		c := startCluster(t, cfg, 0, 3)
+		inputs := make([]*tensor.COO, 3)
+		for w := range inputs {
+			s := tensor.NewCOO(300)
+			for k := w * 100; k < (w+1)*100; k += 3 {
+				s.Append(int32(k), float32(k))
+			}
+			inputs[w] = s
+		}
+		outs := c.allReduceSparse(t, inputs)
+		want := expectedSparseSum(inputs)
+		for w, out := range outs {
+			if !out.ToDense().ApproxEqual(want, 1e-4) {
+				t.Fatalf("worker %d mismatch", w)
+			}
+		}
+	})
+}
+
+func TestSparseAllReduceEmpty(t *testing.T) {
+	cfg := Config{Workers: 2, Reliable: true, BlockSize: 4}
+	c := startCluster(t, cfg, 0, 4)
+	inputs := []*tensor.COO{tensor.NewCOO(100), tensor.NewCOO(100)}
+	outs := c.allReduceSparse(t, inputs)
+	for w, out := range outs {
+		if out.Len() != 0 {
+			t.Fatalf("worker %d: expected empty result, got %d entries", w, out.Len())
+		}
+	}
+}
+
+func TestSparseAllReduceOneEmptyWorker(t *testing.T) {
+	cfg := Config{Workers: 2, Reliable: true, BlockSize: 4}
+	c := startCluster(t, cfg, 0, 5)
+	a := tensor.NewCOO(50)
+	a.Append(7, 1.5)
+	a.Append(33, -2)
+	inputs := []*tensor.COO{a, tensor.NewCOO(50)}
+	outs := c.allReduceSparse(t, inputs)
+	want := expectedSparseSum(inputs)
+	for w, out := range outs {
+		if !out.ToDense().ApproxEqual(want, 1e-5) {
+			t.Fatalf("worker %d mismatch", w)
+		}
+	}
+}
+
+func TestSparseAllReduceRequiresReliable(t *testing.T) {
+	cfg := Config{Workers: 1, Reliable: false, Aggregators: []int{1}}
+	c := startCluster(t, cfg, 0, 6)
+	if _, err := c.workers[0].AllReduceSparse(tensor.NewCOO(10)); err == nil {
+		t.Fatal("expected error for unreliable sparse mode")
+	}
+}
+
+func TestSparseAllReduceKeyRange(t *testing.T) {
+	cfg := Config{Workers: 1, Reliable: true}
+	c := startCluster(t, cfg, 0, 7)
+	s := &tensor.COO{Dim: 1 << 31, Keys: []int32{-2}, Values: []float32{1}} // 0xFFFFFFFE as uint32
+	if _, err := c.workers[0].AllReduceSparse(s); err == nil {
+		t.Fatal("expected key-range error")
+	}
+}
+
+func TestSparseAllReduceSequential(t *testing.T) {
+	cfg := Config{Workers: 2, Reliable: true, BlockSize: 16}
+	c := startCluster(t, cfg, 0, 8)
+	rng := rand.New(rand.NewSource(9))
+	for round := 0; round < 3; round++ {
+		inputs := []*tensor.COO{randomCOO(2_000, 150, rng), randomCOO(2_000, 150, rng)}
+		outs := c.allReduceSparse(t, inputs)
+		want := expectedSparseSum(inputs)
+		for w, out := range outs {
+			if !out.ToDense().ApproxEqual(want, 1e-4) {
+				t.Fatalf("round %d worker %d mismatch", round, w)
+			}
+		}
+	}
+}
+
+// Property: sparse AllReduce equals dense elementwise sum for arbitrary
+// shapes and sparsity, and results arrive in strictly ascending key order.
+func TestSparseAllReduceProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		workers := 1 + r.Intn(4)
+		cfg := Config{Workers: workers, Reliable: true, BlockSize: 1 + r.Intn(32)}
+		c := startCluster(t, cfg, 0, seed)
+		dim := 10 + r.Intn(2_000)
+		inputs := make([]*tensor.COO, workers)
+		for w := range inputs {
+			inputs[w] = randomCOO(dim, r.Intn(dim/2+1), r)
+		}
+		outs := c.allReduceSparse(t, inputs)
+		want := expectedSparseSum(inputs)
+		for _, out := range outs {
+			// Keys strictly ascending is enforced by COO.Append already;
+			// verify numerical equality.
+			if !out.ToDense().ApproxEqual(want, 1e-3) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

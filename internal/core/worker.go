@@ -1,0 +1,469 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"omnireduce/internal/tensor"
+	"omnireduce/internal/transport"
+	"omnireduce/internal/wire"
+)
+
+// Worker is one OmniReduce worker endpoint.
+//
+// Collectives are SPMD: every worker must issue the same operations in
+// the same order. Operations may overlap: AllReduceAsync starts a
+// collective and returns a Pending handle, allowing several tensors
+// (e.g. DDP gradient buckets) in flight at once, exactly as the paper's
+// PyTorch integration overlaps bucket aggregation with backpropagation.
+// The blocking AllReduce is AllReduceAsync + Wait.
+type Worker struct {
+	conn transport.Conn
+	cfg  Config
+	id   int
+
+	mu        sync.Mutex
+	tensorSeq uint32
+	ops       map[uint32]chan transport.Message
+	closed    chan struct{}
+	recvErr   error
+
+	// Stats accumulates per-worker traffic counters across operations.
+	// Fields are updated atomically (operations may overlap); use
+	// Snapshot for a consistent-enough view while operations run.
+	Stats Stats
+}
+
+// Stats counts protocol traffic for analysis and tests.
+type Stats struct {
+	BlocksSent   int64 // non-bootstrap data blocks transmitted
+	PacketsSent  int64
+	BytesSent    int64 // encoded packet bytes, including retransmissions
+	Retransmits  int64
+	AcksSent     int64 // empty payload packets (unreliable mode)
+	ResultsRecvd int64
+}
+
+// Snapshot returns an atomic-read copy of the counters.
+func (s *Stats) Snapshot() Stats {
+	return Stats{
+		BlocksSent:   atomic.LoadInt64(&s.BlocksSent),
+		PacketsSent:  atomic.LoadInt64(&s.PacketsSent),
+		BytesSent:    atomic.LoadInt64(&s.BytesSent),
+		Retransmits:  atomic.LoadInt64(&s.Retransmits),
+		AcksSent:     atomic.LoadInt64(&s.AcksSent),
+		ResultsRecvd: atomic.LoadInt64(&s.ResultsRecvd),
+	}
+}
+
+// NewWorker creates a worker bound to conn; conn.LocalID() must be in
+// [0, cfg.Workers).
+func NewWorker(conn transport.Conn, cfg Config) (*Worker, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	id := conn.LocalID()
+	if id < 0 || id >= cfg.Workers {
+		return nil, fmt.Errorf("core: worker id %d out of range [0,%d)", id, cfg.Workers)
+	}
+	w := &Worker{
+		conn:   conn,
+		cfg:    cfg,
+		id:     id,
+		ops:    make(map[uint32]chan transport.Message),
+		closed: make(chan struct{}),
+	}
+	go w.recvPump()
+	return w, nil
+}
+
+// recvPump routes inbound messages to the operation owning their tensor
+// ID. Messages for unknown tensors (stale replays for finished
+// operations) are dropped.
+func (w *Worker) recvPump() {
+	for {
+		m, err := w.conn.Recv()
+		if err != nil {
+			w.mu.Lock()
+			w.recvErr = err
+			close(w.closed)
+			w.mu.Unlock()
+			return
+		}
+		tid, ok := peekTensorID(m.Data)
+		if !ok {
+			continue
+		}
+		w.mu.Lock()
+		ch := w.ops[tid]
+		w.mu.Unlock()
+		if ch == nil {
+			continue // operation finished; stale duplicate
+		}
+		select {
+		case ch <- m:
+		case <-w.closed:
+			return
+		}
+	}
+}
+
+// peekTensorID extracts the tensor ID without a full decode.
+func peekTensorID(buf []byte) (uint32, bool) {
+	switch wire.PeekType(buf) {
+	case wire.TypeData, wire.TypeResult:
+		if len(buf) < 12 {
+			return 0, false
+		}
+		return uint32(buf[8]) | uint32(buf[9])<<8 | uint32(buf[10])<<16 | uint32(buf[11])<<24, true
+	case wire.TypeSparseData, wire.TypeSparseResult:
+		if len(buf) < 8 {
+			return 0, false
+		}
+		return uint32(buf[4]) | uint32(buf[5])<<8 | uint32(buf[6])<<16 | uint32(buf[7])<<24, true
+	default:
+		return 0, false
+	}
+}
+
+// beginOp allocates a tensor ID and registers its message channel.
+func (w *Worker) beginOp() (uint32, chan transport.Message, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	select {
+	case <-w.closed:
+		return 0, nil, fmt.Errorf("core: worker %d receive: %w", w.id, w.recvErr)
+	default:
+	}
+	w.tensorSeq++
+	tid := w.tensorSeq
+	ch := make(chan transport.Message, 1024)
+	w.ops[tid] = ch
+	return tid, ch, nil
+}
+
+func (w *Worker) endOp(tid uint32) {
+	w.mu.Lock()
+	delete(w.ops, tid)
+	w.mu.Unlock()
+}
+
+// Pending is an in-flight collective started by AllReduceAsync.
+type Pending struct {
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks until the collective completes and returns its error.
+func (p *Pending) Wait() error {
+	<-p.done
+	return p.err
+}
+
+// wStream is the per-stream worker state for one AllReduce.
+type wStream struct {
+	idx     int
+	lo, hi  int // global block range (shard)
+	cols    int
+	next    []int // per-column next unsent non-zero global block (-1 none)
+	ver     uint8 // round number mod 256 of the last sent packet
+	done    bool
+	last    []byte // last transmitted packet, for retransmission
+	sentAt  time.Time
+	retries int // retransmissions of the current packet
+}
+
+// AllReduce sums data element-wise across all workers; on return, data
+// holds the global sum on every worker. Every worker must call AllReduce
+// with equal-length inputs.
+func (w *Worker) AllReduce(data []float32) error {
+	p, err := w.AllReduceAsync(data)
+	if err != nil {
+		return err
+	}
+	return p.Wait()
+}
+
+// AllReduceAsync starts an AllReduce and returns immediately; data must
+// not be touched until the returned handle's Wait returns, at which point
+// it holds the global sum. Multiple operations may be in flight at once
+// (gradient-bucket pipelining); all workers must start the same
+// operations in the same order.
+func (w *Worker) AllReduceAsync(data []float32) (*Pending, error) {
+	p := &Pending{done: make(chan struct{})}
+	if len(data) == 0 {
+		close(p.done)
+		return p, nil
+	}
+	tid, msgCh, err := w.beginOp()
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		defer close(p.done)
+		defer w.endOp(tid)
+		p.err = w.runAllReduce(data, tid, msgCh)
+	}()
+	return p, nil
+}
+
+// runAllReduce drives one collective to completion.
+func (w *Worker) runAllReduce(data []float32, tid uint32, msgCh chan transport.Message) error {
+	bs := w.cfg.BlockSize
+	t := tensor.FromSlice(data)
+	nb := t.NumBlocks(bs)
+	var bm *tensor.Bitmap
+	if w.cfg.ForceDense {
+		bm = tensor.NewBitmap(nb)
+		for b := 0; b < nb; b++ {
+			bm.Set(b)
+		}
+	} else {
+		bm = tensor.ComputeBitmap(t, bs)
+	}
+	eff := effectiveStreams(w.cfg.Streams, nb)
+
+	streams := make([]*wStream, eff)
+	active := 0
+	for s := 0; s < eff; s++ {
+		lo, hi := shard(s, eff, nb)
+		cols := w.cfg.FusionWidth
+		if hi-lo < cols {
+			cols = hi - lo
+		}
+		if cols == 0 {
+			continue // empty shard (cannot happen after effectiveStreams)
+		}
+		st := &wStream{idx: s, lo: lo, hi: hi, cols: cols, next: make([]int, cols)}
+		streams[s] = st
+		active++
+
+		// Bootstrap packet: the first block of every column is sent
+		// unconditionally (Algorithm 1 line 5 generalized to fusion), with
+		// the per-column next non-zero offsets.
+		p := &wire.Packet{
+			Type:      wire.TypeData,
+			DType:     w.dtype(),
+			Slot:      uint16(s),
+			WID:       uint16(w.id),
+			TensorID:  tid,
+			BlockSize: uint32(bs),
+			Nexts:     make([]uint32, cols),
+		}
+		for c := 0; c < cols; c++ {
+			first := firstInColumn(lo, hi, c, cols)
+			if first < 0 {
+				st.next[c] = -1
+				p.Nexts[c] = wire.Inf(c)
+				continue
+			}
+			p.Blocks = append(p.Blocks, wire.Block{
+				Index: uint32(first),
+				Data:  t.Block(first, bs),
+			})
+			st.next[c] = nextNonZeroInColumn(bm, first, lo, hi, c, cols)
+			p.Nexts[c] = nextOffsetWire(st.next[c], c)
+		}
+		if err := w.sendStream(st, p); err != nil {
+			return err
+		}
+	}
+	if active == 0 {
+		return nil
+	}
+
+	var ticker *time.Ticker
+	var tickCh <-chan time.Time
+	if !w.cfg.Reliable {
+		ticker = time.NewTicker(w.cfg.RetransmitTimeout / 2)
+		defer ticker.Stop()
+		tickCh = ticker.C
+	}
+
+	for active > 0 {
+		select {
+		case m := <-msgCh:
+			st, p, err := w.decodeResult(m, streams, tid)
+			if err != nil {
+				return err
+			}
+			if st == nil {
+				continue // stale or duplicate
+			}
+			nowDone, err := w.processResult(st, p, t, bm, bs, tid)
+			if err != nil {
+				return err
+			}
+			if nowDone {
+				active--
+			}
+		case <-w.closed:
+			w.mu.Lock()
+			err := w.recvErr
+			w.mu.Unlock()
+			return fmt.Errorf("core: worker %d receive: %w", w.id, err)
+		case <-tickCh:
+			now := time.Now()
+			for _, st := range streams {
+				if st == nil || st.done || st.last == nil {
+					continue
+				}
+				if now.Sub(st.sentAt) >= w.cfg.RetransmitTimeout {
+					if w.cfg.MaxRetries > 0 && st.retries >= w.cfg.MaxRetries {
+						return fmt.Errorf("core: worker %d stream %d: no response after %d retransmissions",
+							w.id, st.idx, st.retries)
+					}
+					st.retries++
+					atomic.AddInt64(&w.Stats.Retransmits, 1)
+					if err := w.resend(st); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (w *Worker) decodeResult(m transport.Message, streams []*wStream, tid uint32) (*wStream, *wire.Packet, error) {
+	if wire.PeekType(m.Data) != wire.TypeResult {
+		return nil, nil, fmt.Errorf("core: worker %d: unexpected message type %d", w.id, wire.PeekType(m.Data))
+	}
+	p, err := wire.DecodePacket(m.Data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: worker decode: %w", err)
+	}
+	if p.TensorID != tid {
+		return nil, nil, nil // stale result from a previous tensor
+	}
+	if int(p.Slot) >= len(streams) || streams[p.Slot] == nil {
+		return nil, nil, fmt.Errorf("core: worker %d: result for unknown stream %d", w.id, p.Slot)
+	}
+	st := streams[p.Slot]
+	if st.done {
+		return nil, nil, nil // duplicate final result
+	}
+	if !w.cfg.Reliable && p.Version != st.ver {
+		return nil, nil, nil // duplicate of an already-processed round
+	}
+	return st, p, nil
+}
+
+// processResult applies an aggregator result to the local tensor and sends
+// the next request's blocks. It reports whether the stream finished.
+func (w *Worker) processResult(st *wStream, p *wire.Packet, t *tensor.Dense, bm *tensor.Bitmap, bs int, tid uint32) (bool, error) {
+	atomic.AddInt64(&w.Stats.ResultsRecvd, 1)
+	for _, b := range p.Blocks {
+		t.SetBlock(int(b.Index)*bs, b.Data)
+	}
+	if p.Done() {
+		st.done = true
+		st.last = nil
+		return true, nil
+	}
+
+	// Build the response round: contribute every column whose requested
+	// next block equals our local next non-zero block.
+	resp := &wire.Packet{
+		Type:      wire.TypeData,
+		Version:   st.ver + 1, // round counter, wraps mod 256
+		DType:     w.dtype(),
+		Slot:      p.Slot,
+		WID:       uint16(w.id),
+		TensorID:  tid,
+		BlockSize: uint32(bs),
+		Nexts:     make([]uint32, st.cols),
+	}
+	st.ver = resp.Version
+	contributes := false
+	for c := 0; c < st.cols; c++ {
+		req := p.Nexts[c]
+		if wire.IsInf(req) {
+			resp.Nexts[c] = wire.Inf(c)
+			continue
+		}
+		if st.next[c] >= 0 && int(req) == st.next[c] {
+			blk := st.next[c]
+			resp.Blocks = append(resp.Blocks, wire.Block{
+				Index: uint32(blk),
+				Data:  t.Block(blk, bs),
+			})
+			st.next[c] = nextNonZeroInColumn(bm, blk, st.lo, st.hi, c, st.cols)
+			contributes = true
+			atomic.AddInt64(&w.Stats.BlocksSent, 1)
+		} else if st.next[c] >= 0 && int(req) > st.next[c] {
+			return false, fmt.Errorf("core: worker %d stream %d col %d: aggregator requested %d past local next %d",
+				w.id, st.idx, c, req, st.next[c])
+		}
+		resp.Nexts[c] = nextOffsetWire(st.next[c], c)
+	}
+	if w.cfg.Reliable {
+		if contributes {
+			return false, w.sendStream(st, resp)
+		}
+		// Silent round: the aggregator advances without us (Algorithm 1's
+		// "otherwise the worker awaits a further packet").
+		st.last = nil
+		return false, nil
+	}
+	// Unreliable mode: always respond, with an empty ack if we have no
+	// block to contribute (Algorithm 2 lines 18-21).
+	if !contributes {
+		atomic.AddInt64(&w.Stats.AcksSent, 1)
+	}
+	return false, w.sendStream(st, resp)
+}
+
+func (w *Worker) sendStream(st *wStream, p *wire.Packet) error {
+	st.last = wire.AppendPacket(st.last[:0], p)
+	st.sentAt = time.Now()
+	st.retries = 0
+	atomic.AddInt64(&w.Stats.PacketsSent, 1)
+	atomic.AddInt64(&w.Stats.BytesSent, int64(len(st.last)))
+	return w.conn.Send(w.cfg.aggregatorFor(st.idx), st.last)
+}
+
+func (w *Worker) resend(st *wStream) error {
+	st.sentAt = time.Now()
+	atomic.AddInt64(&w.Stats.PacketsSent, 1)
+	atomic.AddInt64(&w.Stats.BytesSent, int64(len(st.last)))
+	return w.conn.Send(w.cfg.aggregatorFor(st.idx), st.last)
+}
+
+// dtype returns the configured wire element encoding.
+func (w *Worker) dtype() uint8 {
+	if w.cfg.HalfPrecision {
+		return wire.DTypeF16
+	}
+	return wire.DTypeF32
+}
+
+// Broadcast distributes root's data to every worker: non-root inputs are
+// cleared and the AllReduce sum reproduces root's tensor everywhere (§7).
+func (w *Worker) Broadcast(data []float32, root int) error {
+	if w.id != root {
+		clear(data)
+	}
+	return w.AllReduce(data)
+}
+
+// AllGather concatenates each worker's segment into out on every worker.
+// out must have len(segment)*Workers elements; the local segment is placed
+// at offset id*len(segment). AllGather is AllReduce with disjoint non-zero
+// ranges (§7), so only each worker's own segment is transmitted.
+func (w *Worker) AllGather(segment, out []float32) error {
+	n := len(segment)
+	if len(out) != n*w.cfg.Workers {
+		return fmt.Errorf("core: AllGather output length %d != %d", len(out), n*w.cfg.Workers)
+	}
+	clear(out)
+	copy(out[w.id*n:], segment)
+	return w.AllReduce(out)
+}
+
+// Close shuts down the worker's transport endpoint; in-flight operations
+// fail with a receive error.
+func (w *Worker) Close() error { return w.conn.Close() }

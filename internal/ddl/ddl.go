@@ -1,0 +1,318 @@
+// Package ddl models data-parallel distributed training at iteration
+// granularity (scaling factors and end-to-end speedups, Figs 1, 9, 10,
+// 14) and provides a real SGD trainer with gradient compression and error
+// feedback for the convergence experiments (Figs 11, 12).
+package ddl
+
+import (
+	"math"
+	"math/rand"
+
+	"omnireduce/internal/compress"
+	"omnireduce/internal/sparsity"
+)
+
+// IterTime returns the per-iteration wall time for a workload with
+// computation time p.TComp when gradient communication takes tComm:
+// communication overlaps with up to OverlapGamma*TComp of the backward
+// pass, and the remainder is exposed (the calibrated model documented in
+// EXPERIMENTS.md).
+func IterTime(p *sparsity.Profile, tComm float64) float64 {
+	exposed := tComm - p.OverlapGamma*p.TComp
+	if exposed < 0 {
+		exposed = 0
+	}
+	return p.TComp + exposed
+}
+
+// ScalingFactor is the paper's sf = T_N / (N * T) metric with
+// weak scaling: per-worker throughput with communication divided by
+// single-GPU throughput, which reduces to TComp / IterTime.
+func ScalingFactor(p *sparsity.Profile, tComm float64) float64 {
+	return p.TComp / IterTime(p, tComm)
+}
+
+// Speedup of method A over method B for a workload, by iteration time.
+func Speedup(p *sparsity.Profile, tCommBase, tCommNew float64) float64 {
+	return IterTime(p, tCommBase) / IterTime(p, tCommNew)
+}
+
+// Task is a synthetic binary-classification task with an embedding-style
+// sparse feature block plus a dense feature block, mirroring the mixed
+// dense/embedding gradients of Table 1's models. The ground truth is a
+// random weight vector; labels are Bernoulli with logistic link.
+type Task struct {
+	DenseDim int // dense features per example
+	EmbRows  int // embedding dictionary size
+	EmbDim   int // embedding vector width
+	Truth    []float32
+	rng      *rand.Rand
+}
+
+// Dim is the total parameter dimension.
+func (t *Task) Dim() int { return t.DenseDim + t.EmbRows*t.EmbDim }
+
+// NewTask builds a task with a fixed random ground truth.
+func NewTask(denseDim, embRows, embDim int, seed int64) *Task {
+	rng := rand.New(rand.NewSource(seed))
+	t := &Task{DenseDim: denseDim, EmbRows: embRows, EmbDim: embDim, rng: rng}
+	t.Truth = make([]float32, t.Dim())
+	for i := range t.Truth {
+		t.Truth[i] = float32(rng.NormFloat64())
+	}
+	return t
+}
+
+// Example is one training example: dense features plus a few active
+// embedding rows (the sparse categorical features).
+type Example struct {
+	Dense []float32
+	Rows  []int
+	Label float32
+}
+
+// Sample draws a batch of examples using rng (per-worker streams use
+// distinct seeds).
+func (t *Task) Sample(batch int, rng *rand.Rand) []Example {
+	out := make([]Example, batch)
+	for i := range out {
+		ex := Example{Dense: make([]float32, t.DenseDim)}
+		for j := range ex.Dense {
+			ex.Dense[j] = float32(rng.NormFloat64())
+		}
+		// A handful of active embedding rows per example, power-law-ish:
+		// low row indices are hot (shared across workers), the tail cold.
+		k := 1 + rng.Intn(3)
+		for j := 0; j < k; j++ {
+			var r int
+			if rng.Float64() < 0.5 {
+				r = rng.Intn(1 + t.EmbRows/20) // hot head
+			} else {
+				r = rng.Intn(t.EmbRows)
+			}
+			ex.Rows = append(ex.Rows, r)
+		}
+		// Logit under the ground truth.
+		z := t.logit(t.Truth, ex)
+		p := 1 / (1 + math.Exp(-z))
+		if rng.Float64() < p {
+			ex.Label = 1
+		}
+		out[i] = ex
+	}
+	return out
+}
+
+func (t *Task) logit(w []float32, ex Example) float64 {
+	var z float64
+	for j, x := range ex.Dense {
+		z += float64(w[j]) * float64(x)
+	}
+	for _, r := range ex.Rows {
+		base := t.DenseDim + r*t.EmbDim
+		for d := 0; d < t.EmbDim; d++ {
+			// Embedding features enter with weight 1 on each active row
+			// dimension (a simple sum-pooling featurizer).
+			z += float64(w[base+d]) * embFeature(d)
+		}
+	}
+	return z
+}
+
+// embFeature is the fixed per-dimension activation of an active row.
+func embFeature(d int) float64 { return 1 / math.Sqrt(float64(d+1)) }
+
+// Gradient computes the mini-batch logistic-loss gradient into grad
+// (zeroed first) and returns the mean loss. Only the embedding rows
+// touched by the batch receive non-zero gradient, reproducing the paper's
+// embedding-gradient sparsity.
+func (t *Task) Gradient(w []float32, batch []Example, grad []float32) float64 {
+	clear(grad)
+	var loss float64
+	inv := 1 / float64(len(batch))
+	for _, ex := range batch {
+		z := t.logit(w, ex)
+		p := 1 / (1 + math.Exp(-z))
+		y := float64(ex.Label)
+		loss += -(y*math.Log(p+1e-12) + (1-y)*math.Log(1-p+1e-12))
+		g := (p - y) * inv
+		for j, x := range ex.Dense {
+			grad[j] += float32(g * float64(x))
+		}
+		for _, r := range ex.Rows {
+			base := t.DenseDim + r*t.EmbDim
+			for d := 0; d < t.EmbDim; d++ {
+				grad[base+d] += float32(g * embFeature(d))
+			}
+		}
+	}
+	return loss * inv
+}
+
+// Accuracy evaluates classification accuracy of w on fresh samples.
+func (t *Task) Accuracy(w []float32, samples int, rng *rand.Rand) float64 {
+	batch := t.Sample(samples, rng)
+	correct := 0
+	for _, ex := range batch {
+		z := t.logit(w, ex)
+		pred := float32(0)
+		if z > 0 {
+			pred = 1
+		}
+		if pred == ex.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(samples)
+}
+
+// Reducer aggregates per-worker gradients; the training loop is agnostic
+// to whether aggregation happens in-process or over OmniReduce.
+type Reducer interface {
+	// Reduce sums grads element-wise across workers, storing the global
+	// average-ready sum back into every grads[w].
+	Reduce(grads [][]float32) error
+}
+
+// LocalReducer sums in process (the fast path for convergence studies).
+type LocalReducer struct{}
+
+// Reduce implements Reducer.
+func (LocalReducer) Reduce(grads [][]float32) error {
+	sum := make([]float32, len(grads[0]))
+	for _, g := range grads {
+		for i, v := range g {
+			sum[i] += v
+		}
+	}
+	for _, g := range grads {
+		copy(g, sum)
+	}
+	return nil
+}
+
+// TrainConfig drives Train.
+type TrainConfig struct {
+	Workers    int
+	Batch      int // per-worker batch size
+	Iterations int
+	LR         float32
+	Seed       int64
+	// Compressor factory: one instance per worker (error feedback is
+	// stateful and local). nil = no compression.
+	NewCompressor func(worker int) compress.Compressor
+	// ErrorFeedback wraps each worker's compressor with EF memory.
+	ErrorFeedback bool
+	Reducer       Reducer
+	// LossEvery records the training loss every k iterations (default 10).
+	LossEvery int
+}
+
+// TrainResult holds a training run's trajectory.
+type TrainResult struct {
+	Losses    []float64 // mean worker loss, every LossEvery iterations
+	Accuracy  float64   // final held-out accuracy
+	GradStats GradStats
+}
+
+// GradStats aggregates gradient sparsity observed during training.
+type GradStats struct {
+	MeanSparsity     float64 // element sparsity after compression
+	MeanBlockDensity float64 // fraction of non-zero 256-blocks after compression
+	Samples          int
+}
+
+// Train runs synchronous data-parallel SGD on the task.
+func (t *Task) Train(cfg TrainConfig) (*TrainResult, error) {
+	if cfg.LossEvery == 0 {
+		cfg.LossEvery = 10
+	}
+	if cfg.Reducer == nil {
+		cfg.Reducer = LocalReducer{}
+	}
+	dim := t.Dim()
+	w := make([]float32, dim) // shared initial model (zeros)
+	workersRng := make([]*rand.Rand, cfg.Workers)
+	comps := make([]compress.Compressor, cfg.Workers)
+	for i := range workersRng {
+		workersRng[i] = rand.New(rand.NewSource(cfg.Seed + int64(i)*7907))
+		if cfg.NewCompressor != nil {
+			c := cfg.NewCompressor(i)
+			if cfg.ErrorFeedback {
+				c = compress.NewErrorFeedback(c)
+			}
+			comps[i] = c
+		}
+	}
+	grads := make([][]float32, cfg.Workers)
+	for i := range grads {
+		grads[i] = make([]float32, dim)
+	}
+	res := &TrainResult{}
+	models := make([][]float32, cfg.Workers)
+	for i := range models {
+		models[i] = append([]float32(nil), w...)
+	}
+
+	for it := 0; it < cfg.Iterations; it++ {
+		var lossSum float64
+		for wk := 0; wk < cfg.Workers; wk++ {
+			batch := t.Sample(cfg.Batch, workersRng[wk])
+			lossSum += t.Gradient(models[wk], batch, grads[wk])
+			if comps[wk] != nil {
+				comps[wk].Compress(grads[wk], grads[wk])
+			}
+		}
+		if it%cfg.LossEvery == 0 {
+			res.Losses = append(res.Losses, lossSum/float64(cfg.Workers))
+		}
+		// Record sparsity of what would go on the wire.
+		if it%25 == 0 {
+			s, bd := wireSparsity(grads[0])
+			res.GradStats.MeanSparsity += s
+			res.GradStats.MeanBlockDensity += bd
+			res.GradStats.Samples++
+		}
+		if err := cfg.Reducer.Reduce(grads); err != nil {
+			return nil, err
+		}
+		scale := cfg.LR / float32(cfg.Workers)
+		for wk := 0; wk < cfg.Workers; wk++ {
+			for i, g := range grads[wk] {
+				models[wk][i] -= scale * g
+			}
+		}
+	}
+	if res.GradStats.Samples > 0 {
+		res.GradStats.MeanSparsity /= float64(res.GradStats.Samples)
+		res.GradStats.MeanBlockDensity /= float64(res.GradStats.Samples)
+	}
+	evalRng := rand.New(rand.NewSource(cfg.Seed + 999331))
+	res.Accuracy = t.Accuracy(models[0], 4000, evalRng)
+	return res, nil
+}
+
+func wireSparsity(g []float32) (elemSparsity, blockDensity float64) {
+	nz := 0
+	const bs = 256
+	nb := (len(g) + bs - 1) / bs
+	nzBlocks := 0
+	for b := 0; b < nb; b++ {
+		lo := b * bs
+		hi := lo + bs
+		if hi > len(g) {
+			hi = len(g)
+		}
+		blockNZ := false
+		for _, v := range g[lo:hi] {
+			if v != 0 {
+				nz++
+				blockNZ = true
+			}
+		}
+		if blockNZ {
+			nzBlocks++
+		}
+	}
+	return 1 - float64(nz)/float64(len(g)), float64(nzBlocks) / float64(nb)
+}

@@ -1,0 +1,229 @@
+package ddl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"omnireduce/internal/compress"
+	"omnireduce/internal/sparsity"
+)
+
+func TestIterTimeModel(t *testing.T) {
+	p := &sparsity.Profile{TComp: 1.0, OverlapGamma: 0.5}
+	// Fully hidden communication.
+	if got := IterTime(p, 0.3); got != 1.0 {
+		t.Fatalf("hidden comm: %v", got)
+	}
+	// Partially exposed.
+	if got := IterTime(p, 0.8); math.Abs(got-1.3) > 1e-12 {
+		t.Fatalf("exposed comm: %v", got)
+	}
+	if sf := ScalingFactor(p, 0.8); math.Abs(sf-1.0/1.3) > 1e-12 {
+		t.Fatalf("sf: %v", sf)
+	}
+	if su := Speedup(p, 0.8, 0.3); math.Abs(su-1.3) > 1e-12 {
+		t.Fatalf("speedup: %v", su)
+	}
+}
+
+func TestScalingFactorReproducesFig9NCCL(t *testing.T) {
+	// The profile calibration must reproduce the paper's Figure 9 NCCL
+	// scaling factors at 8 workers / 10 Gbps given the ring formula.
+	want := map[string]float64{
+		"DeepLight": 0.044, "LSTM": 0.121, "NCF": 0.175,
+		"BERT": 0.287, "VGG19": 0.497, "ResNet152": 0.948,
+	}
+	const B = 10e9
+	for _, p := range sparsity.Workloads {
+		tRing := 2.0 * 7 / 8 * float64(p.TotalBytes()) * 8 / B
+		got := ScalingFactor(p, tRing)
+		if math.Abs(got-want[p.Name])/want[p.Name] > 0.10 {
+			t.Errorf("%s: sf %0.3f vs paper %0.3f", p.Name, got, want[p.Name])
+		}
+	}
+}
+
+func TestTaskGradientSparsity(t *testing.T) {
+	task := NewTask(64, 2000, 16, 1)
+	rng := rand.New(rand.NewSource(2))
+	w := make([]float32, task.Dim())
+	g := make([]float32, task.Dim())
+	batch := task.Sample(32, rng)
+	task.Gradient(w, batch, g)
+	// Dense part fully non-zero, embedding part sparse.
+	nzDense := 0
+	for _, v := range g[:64] {
+		if v != 0 {
+			nzDense++
+		}
+	}
+	if nzDense < 60 {
+		t.Fatalf("dense gradient too sparse: %d/64", nzDense)
+	}
+	nzEmb := 0
+	for _, v := range g[64:] {
+		if v != 0 {
+			nzEmb++
+		}
+	}
+	frac := float64(nzEmb) / float64(len(g)-64)
+	if frac > 0.20 {
+		t.Fatalf("embedding gradient not sparse: %v", frac)
+	}
+	if nzEmb == 0 {
+		t.Fatal("embedding gradient empty")
+	}
+}
+
+func TestTrainingConverges(t *testing.T) {
+	task := NewTask(32, 500, 8, 3)
+	res, err := task.Train(TrainConfig{
+		Workers: 4, Batch: 16, Iterations: 300, LR: 0.5, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Losses[0], res.Losses[len(res.Losses)-1]
+	if last >= first*0.8 {
+		t.Fatalf("loss did not drop: %v -> %v", first, last)
+	}
+	if res.Accuracy < 0.65 {
+		t.Fatalf("accuracy %v too low", res.Accuracy)
+	}
+}
+
+func TestTrainingWithBlockCompressionConverges(t *testing.T) {
+	// Fig 12's claim: block compressors with error feedback preserve
+	// convergence. Compare final losses against no compression.
+	task := NewTask(32, 500, 8, 4)
+	base, err := task.Train(TrainConfig{Workers: 2, Batch: 16, Iterations: 300, LR: 0.5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	makeCfg := func(newC func(int) compress.Compressor) TrainConfig {
+		return TrainConfig{
+			Workers: 2, Batch: 16, Iterations: 300, LR: 0.5, Seed: 11,
+			NewCompressor: newC, ErrorFeedback: true,
+		}
+	}
+	nb := (task.Dim() + 255) / 256
+	k := nb / 10 // 10% of blocks
+	cases := map[string]func(int) compress.Compressor{
+		"block-topk": func(int) compress.Compressor { return &compress.BlockTopK{BS: 256, K: k} },
+		"block-randk": func(w int) compress.Compressor {
+			return &compress.BlockRandomK{BS: 256, K: k, Rng: rand.New(rand.NewSource(int64(w) + 100))}
+		},
+		"block-threshold": func(int) compress.Compressor { return &compress.BlockThreshold{BS: 256, Threshold: 0.05} },
+	}
+	baseLast := base.Losses[len(base.Losses)-1]
+	for name, f := range cases {
+		res, err := task.Train(makeCfg(f))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		last := res.Losses[len(res.Losses)-1]
+		if last > baseLast*1.6+0.1 {
+			t.Errorf("%s: final loss %v vs uncompressed %v", name, last, baseLast)
+		}
+		first := res.Losses[0]
+		if last >= first {
+			t.Errorf("%s: loss did not decrease (%v -> %v)", name, first, last)
+		}
+	}
+}
+
+func TestCompressionIncreasesBlockSparsity(t *testing.T) {
+	task := NewTask(512, 200, 16, 5)
+	nb := (task.Dim() + 255) / 256
+	res, err := task.Train(TrainConfig{
+		Workers: 2, Batch: 16, Iterations: 60, LR: 0.3, Seed: 13,
+		NewCompressor: func(int) compress.Compressor {
+			return &compress.BlockTopK{BS: 256, K: nb / 20}
+		},
+		ErrorFeedback: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GradStats.MeanBlockDensity > 0.1 {
+		t.Fatalf("block density %v too high for 5%% top-k", res.GradStats.MeanBlockDensity)
+	}
+}
+
+func TestLocalReducer(t *testing.T) {
+	g := [][]float32{{1, 2}, {10, 20}, {100, 200}}
+	if err := (LocalReducer{}).Reduce(g); err != nil {
+		t.Fatal(err)
+	}
+	for w := range g {
+		if g[w][0] != 111 || g[w][1] != 222 {
+			t.Fatalf("worker %d: %v", w, g[w])
+		}
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	task := NewTask(16, 100, 4, 6)
+	cfg := TrainConfig{Workers: 2, Batch: 8, Iterations: 50, LR: 0.2, Seed: 17}
+	a, err := task.Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := task.Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Losses {
+		if a.Losses[i] != b.Losses[i] {
+			t.Fatal("training not deterministic")
+		}
+	}
+	if a.Accuracy != b.Accuracy {
+		t.Fatal("accuracy not deterministic")
+	}
+}
+
+func TestBucketPipelineIterTime(t *testing.T) {
+	p := &sparsity.Profile{TComp: 1.0, DenseBytes: 100 << 20} // 4 buckets
+	// Zero communication: iteration time is pure compute.
+	if got := BucketPipelineIterTime(p, 0, 0.6); got != 1.0 {
+		t.Fatalf("free comm: %v", got)
+	}
+	// Communication far larger than compute: iteration approaches
+	// first-bucket production + total comm.
+	got := BucketPipelineIterTime(p, 10, 0.6)
+	first := 0.4 + 0.6/4 // forward + first bucket's share of backward
+	if math.Abs(got-(first+10)) > 1e-9 {
+		t.Fatalf("comm-bound: %v, want %v", got, first+10)
+	}
+	// Comm roughly equal to backward: almost fully hidden.
+	hidden := BucketPipelineIterTime(p, 0.5, 0.6)
+	if hidden > 1.3 {
+		t.Fatalf("overlap not effective: %v", hidden)
+	}
+	// Monotone in comm volume.
+	if BucketPipelineIterTime(p, 0.5, 0.6) > BucketPipelineIterTime(p, 1.0, 0.6) {
+		t.Fatal("not monotone in comm")
+	}
+	// Scaling factor consistency.
+	if sf := PipelineScalingFactor(p, 10, 0.6); math.Abs(sf-1.0/got) > 1e-12 {
+		t.Fatalf("sf = %v", sf)
+	}
+}
+
+func TestBucketPipelineVsGammaModel(t *testing.T) {
+	// For the real workloads, the mechanistic pipeline model should give
+	// scaling factors in the same ballpark as the calibrated gamma model
+	// for NCCL at 10 Gbps (within ~2x either way) — it is an ablation of
+	// the modeling choice, not a recalibration.
+	const B = 10e9
+	for _, p := range sparsity.Workloads {
+		tRing := 2.0 * 7 / 8 * float64(p.TotalBytes()) * 8 / B
+		gamma := ScalingFactor(p, tRing)
+		pipe := PipelineScalingFactor(p, tRing, 0.6)
+		if pipe > gamma*2.5 || pipe < gamma/2.5 {
+			t.Errorf("%s: pipeline sf %v vs gamma sf %v", p.Name, pipe, gamma)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package ddl
+
+import "omnireduce/internal/sparsity"
+
+// BucketPipelineIterTime is a mechanistic alternative to the calibrated
+// IterTime overlap model: the backward pass emits the gradient in B
+// fusion buckets (PyTorch DDP's 25 MB buckets), each becoming eligible
+// for communication when produced; bucket communications serialize on the
+// NIC and overlap the remaining backward computation. The iteration ends
+// when both compute and the last bucket's communication finish.
+//
+// backwardFrac is the fraction of TComp spent in the backward pass
+// (buckets are produced uniformly across it); commTotal is the
+// communication time for the full gradient under the chosen collective
+// (buckets are assumed to divide it evenly).
+func BucketPipelineIterTime(p *sparsity.Profile, commTotal, backwardFrac float64) float64 {
+	buckets := p.Buckets()
+	if buckets < 1 {
+		buckets = 1
+	}
+	backward := p.TComp * backwardFrac
+	forward := p.TComp - backward
+	perBucket := commTotal / float64(buckets)
+	// Bucket i (1-based) is produced at forward + backward*i/B from the
+	// start of the iteration; its communication starts at
+	// max(production, previous bucket's comm end) and lasts perBucket.
+	var commEnd float64
+	for i := 1; i <= buckets; i++ {
+		ready := forward + backward*float64(i)/float64(buckets)
+		if ready > commEnd {
+			commEnd = ready
+		}
+		commEnd += perBucket
+	}
+	// The next iteration starts once both compute and the last reduction
+	// complete.
+	if commEnd < p.TComp {
+		return p.TComp
+	}
+	return commEnd
+}
+
+// PipelineScalingFactor is ScalingFactor under the bucket-pipeline model.
+func PipelineScalingFactor(p *sparsity.Profile, commTotal, backwardFrac float64) float64 {
+	return p.TComp / BucketPipelineIterTime(p, commTotal, backwardFrac)
+}

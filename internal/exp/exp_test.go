@@ -1,0 +1,343 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fast options keep the experiment suite quick under go test.
+func fastOpts() Options { return Options{Scale: 64, Seed: 1} }
+
+// parse reads a table cell back as a float.
+func cell(t *testing.T, tb interface{ String() string }, row, col int) float64 {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	// lines[0] = title, [1] = header, [2] = separator, data from [3].
+	fields := strings.Fields(lines[3+row])
+	v, err := strconv.ParseFloat(fields[col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q: %v", row, col, fields[col], err)
+	}
+	return v
+}
+
+func TestFig4Shape(t *testing.T) {
+	tb := Fig4(fastOpts())
+	if tb.Rows() != 9 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+	// For every fabric/worker row: O,99% must beat NCCL, and O,0% must be
+	// slower than O,99%.
+	for r := 0; r < 9; r++ {
+		nccl := cell(t, tb, r, 2)
+		o0 := cell(t, tb, r, 3)
+		o99 := cell(t, tb, r, 6)
+		if o99 >= nccl {
+			t.Errorf("row %d: O,99%%=%v not faster than NCCL=%v", r, o99, nccl)
+		}
+		if o99 >= o0 {
+			t.Errorf("row %d: sparsity did not help (%v vs %v)", r, o99, o0)
+		}
+	}
+	// 8-worker DPDK row: the paper reports ~6.3x at 99%; require > 3x.
+	if su := cell(t, tb, 2, 2) / cell(t, tb, 2, 6); su < 3 {
+		t.Errorf("10G 8-worker speedup at 99%% = %v, want > 3", su)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	tb := Fig5(fastOpts())
+	if tb.Rows() != 9 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+	// At 99% sparsity (last row) GDR OmniReduce beats NCCL-RDMA by > 2x.
+	last := tb.Rows() - 1
+	gdr := cell(t, tb, last, 1)
+	nccl := cell(t, tb, last, 4)
+	if nccl/gdr < 2 {
+		t.Errorf("GDR speedup at 99%% = %v", nccl/gdr)
+	}
+	// RDMA (copy-bound) is slower than GDR at 99% sparsity (§6.1.1).
+	rdma := cell(t, tb, last, 3)
+	if rdma < gdr {
+		t.Errorf("RDMA %v should not beat GDR %v at high sparsity", rdma, gdr)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tb := Fig6(fastOpts())
+	// Paper: OmniReduce achieves at least 1.5x at any sparsity and up to
+	// ~6.3x (DPDK); SparCML beneficial only above ~90%; AGsparse ~98%.
+	for r := 0; r < tb.Rows(); r++ {
+		sp := cell(t, tb, r, 0)
+		omniDPDK := cell(t, tb, r, 3)
+		if omniDPDK < 1.2 {
+			t.Errorf("s=%v%%: Omni-DPDK speedup %v < 1.2", sp, omniDPDK)
+		}
+		ssar := cell(t, tb, r, 4)
+		if sp < 60 && ssar > 1 {
+			t.Errorf("s=%v%%: SSAR speedup %v should be < 1 at low sparsity", sp, ssar)
+		}
+		ag := cell(t, tb, r, 6)
+		if sp < 90 && ag > 1 {
+			t.Errorf("s=%v%%: AGsparse speedup %v should be < 1", sp, ag)
+		}
+	}
+	// Crossover: SSAR beneficial at 99%.
+	if ssar99 := cell(t, tb, tb.Rows()-1, 4); ssar99 < 1 {
+		t.Errorf("SSAR at 99%% = %v, want > 1", ssar99)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	tb := Fig7(fastOpts())
+	if tb.Rows() != 12 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+	// Dense rows: omni speedup grows with workers (rows 0..2 are s=0%).
+	if !(cell(t, tb, 2, 2) > cell(t, tb, 0, 2)) {
+		t.Errorf("omni dense speedup should grow with workers: %v vs %v",
+			cell(t, tb, 2, 2), cell(t, tb, 0, 2))
+	}
+	// AGsparse scales poorly: speedup decreases with workers at s=96%.
+	if !(cell(t, tb, 11, 6) < cell(t, tb, 9, 6)) {
+		t.Errorf("AGsparse speedup should shrink with workers: %v vs %v",
+			cell(t, tb, 11, 6), cell(t, tb, 9, 6))
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	tb := Fig8(fastOpts())
+	if tb.Rows() != 5 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+	// OmniReduce (last row) has zero conversion cost and the lowest total.
+	omniTotal := cell(t, tb, 4, 4)
+	for r := 0; r < 4; r++ {
+		if total := cell(t, tb, r, 4); total <= omniTotal {
+			t.Errorf("row %d total %v <= omni %v", r, total, omniTotal)
+		}
+	}
+	// AGsparse pays dense->sparse conversion.
+	if cell(t, tb, 2, 1) <= 0 {
+		t.Error("AGsparse conversion cost missing")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	tb := Fig13(fastOpts())
+	// Omni must win at 99% sparsity and never lose catastrophically.
+	last := tb.Rows() - 1
+	if nccl, omni := cell(t, tb, last, 1), cell(t, tb, last, 2); omni >= nccl {
+		t.Errorf("multi-GPU omni %v should beat NCCL %v at 99%%", omni, nccl)
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	tb := Fig15(fastOpts())
+	// Without Block Fusion, small blocks are much slower at low sparsity:
+	// row bs=32, s=0% -> NBF much worse than BF.
+	bf, nbf := cell(t, tb, 0, 2), cell(t, tb, 0, 3)
+	if nbf < bf {
+		t.Errorf("NBF %v should not beat BF %v at bs=32 dense", nbf, bf)
+	}
+}
+
+func TestFig17Shape(t *testing.T) {
+	tb := Fig17(fastOpts())
+	// At s=90%, 8 workers (row 5): all-overlap < none-overlap.
+	for r := 0; r < tb.Rows(); r++ {
+		sp := cell(t, tb, r, 0)
+		workers := cell(t, tb, r, 1)
+		if sp == 90 && workers == 8 {
+			if all, none := cell(t, tb, r, 4), cell(t, tb, r, 3); all >= none {
+				t.Errorf("all-overlap %v should beat none %v", all, none)
+			}
+		}
+	}
+}
+
+func TestFig18Shape(t *testing.T) {
+	tb := Fig18(fastOpts())
+	// The P4 aggregator with bs=256 tracks or beats the server aggregator.
+	for r := 0; r < tb.Rows(); r++ {
+		p4 := cell(t, tb, r, 2)
+		srv := cell(t, tb, r, 3)
+		if p4 < srv*0.8 {
+			t.Errorf("row %d: P4(256) %v much worse than server %v", r, p4, srv)
+		}
+	}
+}
+
+func TestFig21Shape(t *testing.T) {
+	tb := Fig21(fastOpts())
+	if tb.Rows() != 3 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+	// At 1% loss, NCCL-TCP's slowdown is far larger than OmniReduce's.
+	last := tb.Rows() - 1
+	omni := cell(t, tb, last, 1)
+	tcp := cell(t, tb, last, 5)
+	if tcp < omni*5 {
+		t.Errorf("TCP slowdown %v should dwarf omni's %v at 1%% loss", tcp, omni)
+	}
+}
+
+func TestPerfModelTable(t *testing.T) {
+	tb := PerfModelTable()
+	if tb.Rows() != 16 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+	// N=8, D=0.01: SU vs ring = 175.
+	if got := cell(t, tb, 11, 2); got != 175 {
+		t.Errorf("SU = %v, want 175", got)
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	tb := Fig1(fastOpts())
+	if tb.Rows() != 6 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+	// Scaling factors decrease with workers for network-bound models
+	// (row 0 = DeepLight).
+	if !(cell(t, tb, 0, 1) > cell(t, tb, 0, 3)) {
+		t.Errorf("DeepLight sf should fall with workers: %v vs %v",
+			cell(t, tb, 0, 1), cell(t, tb, 0, 3))
+	}
+	// ResNet152 stays near 1 (row 5).
+	if sf := cell(t, tb, 5, 3); sf < 0.8 {
+		t.Errorf("ResNet152 sf@8 = %v, want ~0.95", sf)
+	}
+}
+
+func TestFig9MatchesPaperShape(t *testing.T) {
+	tb := Fig9(fastOpts())
+	for r := 0; r < tb.Rows(); r++ {
+		nccl := cell(t, tb, r, 1)
+		omni := cell(t, tb, r, 2)
+		paperNccl := cell(t, tb, r, 3)
+		if omni < nccl {
+			t.Errorf("row %d: omni sf %v below nccl sf %v", r, omni, nccl)
+		}
+		// NCCL sf reproduces the paper by calibration (within 15%).
+		if d := nccl/paperNccl - 1; d > 0.15 || d < -0.15 {
+			t.Errorf("row %d: NCCL sf %v vs paper %v", r, nccl, paperNccl)
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tb := Fig10(fastOpts())
+	if tb.Rows() != 12 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+	// 10G DeepLight (row 0): omni speedup must be large (paper: 8.2).
+	if su := cell(t, tb, 0, 2); su < 3 {
+		t.Errorf("DeepLight 10G speedup %v, want > 3", su)
+	}
+	// ResNet152 at 10G (row 5): ~1.
+	if su := cell(t, tb, 5, 2); su < 0.9 || su > 1.5 {
+		t.Errorf("ResNet152 10G speedup %v, want ~1", su)
+	}
+	// No workload slows down.
+	for r := 0; r < tb.Rows(); r++ {
+		if su := cell(t, tb, r, 2); su < 0.9 {
+			t.Errorf("row %d: omni speedup %v < 0.9", r, su)
+		}
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	tb := Fig14(fastOpts())
+	if su := cell(t, tb, 0, 1); su < 1.3 {
+		t.Errorf("DeepLight multi-GPU speedup %v, want > 1.3", su)
+	}
+	for r := 0; r < tb.Rows(); r++ {
+		if su := cell(t, tb, r, 1); su < 0.9 {
+			t.Errorf("row %d speedup %v < 0.9", r, su)
+		}
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	tb := Table1(fastOpts())
+	if tb.Rows() != 6 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+}
+
+func TestTable2TracksPaperDistribution(t *testing.T) {
+	tb := Table2(fastOpts())
+	if tb.Rows() != 8 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+	// DeepLight "None" row ~59.5%, "All" row ~13.6% (paper Table 2).
+	if got := cell(t, tb, 0, 1); got < 48 || got > 72 {
+		t.Errorf("DeepLight none-overlap = %v%%, want ~59.5", got)
+	}
+	if got := cell(t, tb, 7, 1); got < 7 || got > 22 {
+		t.Errorf("DeepLight all-overlap = %v%%, want ~13.6", got)
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	tb := Fig16(fastOpts())
+	if tb.Rows() != 36 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+	// DeepLight keeps high block sparsity at bs=256 (row 4), VGG19
+	// collapses (rows 24..29; bs=256 is row 28).
+	if got := cell(t, tb, 4, 2); got < 90 {
+		t.Errorf("DeepLight block sparsity at 256 = %v%%", got)
+	}
+	if got := cell(t, tb, 28, 2); got > 10 {
+		t.Errorf("VGG19 block sparsity at 256 = %v%%", got)
+	}
+}
+
+func TestFig11Converges(t *testing.T) {
+	tb := Fig11(fastOpts())
+	if tb.Rows() != 5 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+	baseAcc := cell(t, tb, 0, 1)
+	for r := 1; r < 5; r++ {
+		acc := cell(t, tb, r, 1)
+		if acc < baseAcc-12 {
+			t.Errorf("row %d accuracy %v%% dropped too far from %v%%", r, acc, baseAcc)
+		}
+		if su := cell(t, tb, r, 2); su <= cell(t, tb, 0, 2) {
+			t.Errorf("row %d: compression speedup %v not above uncompressed %v", r, su, cell(t, tb, 0, 2))
+		}
+	}
+}
+
+func TestFig12LossesDecrease(t *testing.T) {
+	tb := Fig12(fastOpts())
+	if tb.Rows() < 5 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+	last := tb.Rows() - 1
+	for col := 1; col <= 4; col++ {
+		first := cell(t, tb, 0, col)
+		final := cell(t, tb, last, col)
+		if final >= first {
+			t.Errorf("col %d: loss %v -> %v did not decrease", col, first, final)
+		}
+	}
+}
+
+func TestFig20BitmapCost(t *testing.T) {
+	tb := Fig20(Options{Scale: 64, Seed: 2})
+	if tb.Rows() != 9 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+	// All measured costs are positive and finite.
+	for r := 0; r < tb.Rows(); r++ {
+		if v := cell(t, tb, r, 1); v <= 0 {
+			t.Errorf("row %d bitmap cost %v", r, v)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("a", 1.5)
+	tb.AddRow("longer-name", 123456.789)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "longer-name") || !strings.Contains(out, "1.235e+05") {
+		t.Fatalf("bad render:\n%s", out)
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(1, 2)
+	var b strings.Builder
+	tb.RenderCSV(&b)
+	want := "a,b\n1,2\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q", b.String())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatal("empty summary wrong")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[float64]string{
+		512:             "512 B",
+		2048:            "2.00 KB",
+		3 << 20:         "3.00 MB",
+		1.5 * (1 << 30): "1.50 GB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := FormatDuration(2.5); got != "2.500 s" {
+		t.Errorf("FormatDuration = %q", got)
+	}
+	if got := FormatDuration(0.012); got != "12.000 ms" {
+		t.Errorf("FormatDuration = %q", got)
+	}
+	if got := FormatDuration(43e-6); got != "43.000 us" {
+		t.Errorf("FormatDuration = %q", got)
+	}
+	if got := FormatDuration(5e-8); got != "50 ns" {
+		t.Errorf("FormatDuration = %q", got)
+	}
+}

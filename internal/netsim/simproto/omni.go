@@ -1,0 +1,416 @@
+package simproto
+
+import (
+	"omnireduce/internal/netsim"
+	"omnireduce/internal/tensor"
+)
+
+// OmniOpts parameterizes the simulated OmniReduce protocol.
+type OmniOpts struct {
+	FusionWidth int // blocks fused per packet (§3.2); default 8
+	Streams     int // parallel slot streams (§3.1.1); default 8
+	ForceDense  bool
+	// Lossy enables the Algorithm 2 model: per-round acks from every
+	// worker, retransmission timers, result replay.
+	Lossy             bool
+	RetransmitTimeout float64
+	// SwitchAgg models the P4 switch aggregator of Fig 18: negligible
+	// per-packet processing at the aggregator.
+	SwitchAgg bool
+	// NoCopy skips the staging-copy model regardless of cluster CopyBW.
+	NoCopy bool
+}
+
+func (o OmniOpts) withDefaults() OmniOpts {
+	if o.FusionWidth == 0 {
+		o.FusionWidth = 8
+	}
+	if o.Streams == 0 {
+		// The paper keeps 256 outstanding packets per worker (§5); with 8
+		// fused blocks per packet, 32 streams give a comparable pipeline
+		// depth.
+		o.Streams = 32
+	}
+	if o.RetransmitTimeout == 0 {
+		o.RetransmitTimeout = 1e-3
+	}
+	return o
+}
+
+// packetMeta is the per-packet metadata overhead in bytes: header plus one
+// next-offset per fused column (§3.2).
+func packetMeta(cols int) float64 { return 24 + 4*float64(cols) }
+
+// omniRound is one precomputed aggregation round of one stream.
+type omniRound struct {
+	// blocksByWorker[w] = number of blocks worker w contributes.
+	blocksByWorker []int
+	contributors   int
+	resultBlocks   int
+}
+
+// buildRounds derives the per-stream round schedule from the block
+// occupancy, mirroring internal/core's column layout: stream s owns a
+// contiguous shard, columns are block-index residues, rounds advance every
+// column through the union non-zero sequence in lockstep.
+func buildRounds(spec *BlockSpec, workers, streams, width int, dense bool) [][]omniRound {
+	nb := spec.Blocks
+	if streams > nb {
+		streams = nb
+	}
+	if streams < 1 {
+		streams = 1
+	}
+	union := tensor.NewBitmap(nb)
+	if dense {
+		for b := 0; b < nb; b++ {
+			union.Set(b)
+		}
+	} else {
+		for _, bm := range spec.PerWorker {
+			union.Or(bm)
+		}
+	}
+	owns := func(w, b int) bool {
+		if dense {
+			return true
+		}
+		return spec.PerWorker[w].Get(b)
+	}
+
+	all := make([][]omniRound, streams)
+	for s := 0; s < streams; s++ {
+		lo := s * nb / streams
+		hi := (s + 1) * nb / streams
+		cols := width
+		if hi-lo < cols {
+			cols = hi - lo
+		}
+		if cols == 0 {
+			continue
+		}
+		// Per-column sequences of union non-zero blocks after the first.
+		first := make([]int, cols)
+		seqs := make([][]int, cols)
+		for c := 0; c < cols; c++ {
+			first[c] = -1
+			for b := lo; b < hi; b++ {
+				if b%cols != c {
+					continue
+				}
+				if first[c] == -1 {
+					first[c] = b
+					continue
+				}
+				if union.Get(b) {
+					seqs[c] = append(seqs[c], b)
+				}
+			}
+		}
+		// Round 0: bootstrap, every worker sends the first block of every
+		// column unconditionally.
+		rounds := []omniRound{{
+			blocksByWorker: uniformContribution(workers, cols),
+			contributors:   workers,
+			resultBlocks:   cols,
+		}}
+		maxLen := 0
+		for _, q := range seqs {
+			if len(q) > maxLen {
+				maxLen = len(q)
+			}
+		}
+		for r := 0; r < maxLen; r++ {
+			rd := omniRound{blocksByWorker: make([]int, workers)}
+			for c := 0; c < cols; c++ {
+				if r >= len(seqs[c]) {
+					continue
+				}
+				b := seqs[c][r]
+				rd.resultBlocks++
+				for w := 0; w < workers; w++ {
+					if owns(w, b) {
+						rd.blocksByWorker[w]++
+					}
+				}
+			}
+			for _, k := range rd.blocksByWorker {
+				if k > 0 {
+					rd.contributors++
+				}
+			}
+			if rd.resultBlocks > 0 {
+				rounds = append(rounds, rd)
+			}
+		}
+		all[s] = rounds
+	}
+	return all
+}
+
+func uniformContribution(workers, k int) []int {
+	out := make([]int, workers)
+	for w := range out {
+		out[w] = k
+	}
+	return out
+}
+
+type omniMsg struct {
+	stream int
+	round  int
+	worker int // -1 for results
+	resend bool
+}
+
+// SimOmniReduce runs the block-aggregation protocol on the simulator and
+// returns the completion time in seconds (when every worker has the final
+// result and, if modeled, the staging copy has drained).
+func SimOmniReduce(c Cluster, spec *BlockSpec, opts OmniOpts) float64 {
+	opts = opts.withDefaults()
+	n := netsim.NewNet(c.Latency, c.Loss, c.Seed)
+	N := c.Workers
+
+	workers := make([]*netsim.Node, N)
+	for w := 0; w < N; w++ {
+		workers[w] = n.AddNode(w, c.WorkerBW, c.WorkerBW)
+		workers[w].CPUPerMsg = c.CPUPerMsg
+		if !opts.NoCopy {
+			workers[w].CopyBW = c.CopyBW
+		}
+	}
+	M := c.Aggregators
+	if M < 1 {
+		M = 1
+	}
+	aggNode := func(s int) int {
+		if c.Colocated {
+			return s % N
+		}
+		return N + s%M
+	}
+	if !c.Colocated {
+		for a := 0; a < M; a++ {
+			nd := n.AddNode(N+a, c.AggBW, c.AggBW)
+			nd.CPUPerMsg = c.CPUPerMsg
+			if opts.SwitchAgg {
+				nd.CPUPerMsg = 50e-9
+			}
+		}
+	}
+
+	rounds := buildRounds(spec, N, opts.Streams, opts.FusionWidth, opts.ForceDense)
+
+	// Aggregator per-stream state.
+	type aggState struct {
+		round   int
+		pending int
+		seen    []bool
+	}
+	aggSt := make([]*aggState, len(rounds))
+	// Worker per-stream state.
+	type wState struct {
+		resultRound int // last result round received
+	}
+	wSt := make([][]*wState, N)
+	for w := range wSt {
+		wSt[w] = make([]*wState, len(rounds))
+		for s := range wSt[w] {
+			wSt[w][s] = &wState{resultRound: -1}
+		}
+	}
+
+	activeStreams := 0
+	done := 0
+	var finishedAt float64
+
+	cols := func(s int) int {
+		if len(rounds[s]) == 0 {
+			return 0
+		}
+		return rounds[s][0].resultBlocks
+	}
+
+	workerPacketBytes := func(s, r, w int) float64 {
+		return float64(rounds[s][r].blocksByWorker[w])*spec.BlockBytes + packetMeta(cols(s))
+	}
+	resultBytes := func(s, r int) float64 {
+		return float64(rounds[s][r].resultBlocks)*spec.BlockBytes + packetMeta(cols(s))
+	}
+
+	var sendWorkerPacket func(w, s, r int)
+	var handleAgg func(nodeID int, m netsim.Message)
+	var handleWorker func(w int, m netsim.Message)
+
+	// mustSend reports whether worker w transmits in round r of stream s:
+	// contributors always; in lossy mode, everyone (acks).
+	mustSend := func(s, r, w int) bool {
+		return opts.Lossy || rounds[s][r].blocksByWorker[w] > 0
+	}
+
+	sendWorkerPacket = func(w, s, r int) {
+		bytes := workerPacketBytes(s, r, w)
+		if !mustSend(s, r, w) {
+			return
+		}
+		if rounds[s][r].blocksByWorker[w] == 0 {
+			bytes = packetMeta(cols(s)) // empty ack
+		}
+		workers[w].Send(aggNode(s), bytes, omniMsg{stream: s, round: r, worker: w})
+		if opts.Lossy {
+			// Retransmission timer: if the result for this round has not
+			// arrived by the deadline, resend.
+			var arm func()
+			arm = func() {
+				n.Sim.After(opts.RetransmitTimeout, func() {
+					st := wSt[w][s]
+					if st.resultRound >= r || done >= activeStreams*N {
+						return
+					}
+					workers[w].Send(aggNode(s), bytes, omniMsg{stream: s, round: r, worker: w, resend: true})
+					arm()
+				})
+			}
+			arm()
+		}
+	}
+
+	expected := func(s, r int) int {
+		if opts.Lossy {
+			return N
+		}
+		return rounds[s][r].contributors
+	}
+
+	multicastResult := func(s, r int) {
+		nd := n.Node(aggNode(s))
+		for w := 0; w < N; w++ {
+			nd.Send(w, resultBytes(s, r), omniMsg{stream: s, round: r, worker: -1})
+		}
+	}
+
+	handleAgg = func(nodeID int, m netsim.Message) {
+		msg := m.Payload.(omniMsg)
+		st := aggSt[msg.stream]
+		switch {
+		case msg.round < st.round:
+			// Stale retransmission of a completed round: replay result.
+			if opts.Lossy {
+				n.Node(nodeID).Send(msg.worker, resultBytes(msg.stream, msg.round), omniMsg{stream: msg.stream, round: msg.round, worker: -1})
+			}
+		case msg.round == st.round:
+			if st.seen[msg.worker] {
+				return // duplicate within the round
+			}
+			st.seen[msg.worker] = true
+			st.pending--
+			if st.pending == 0 {
+				multicastResult(msg.stream, st.round)
+				st.round++
+				if st.round < len(rounds[msg.stream]) {
+					st.pending = expected(msg.stream, st.round)
+					for i := range st.seen {
+						st.seen[i] = false
+					}
+				}
+			}
+		default:
+			// A future-round packet cannot arrive before the result that
+			// clocks it was multicast; panic to catch model bugs.
+			panic("simproto: packet for future round")
+		}
+	}
+
+	handleWorker = func(w int, m netsim.Message) {
+		msg := m.Payload.(omniMsg)
+		st := wSt[w][msg.stream]
+		if msg.worker != -1 || msg.round <= st.resultRound {
+			return // duplicate result
+		}
+		if msg.round != st.resultRound+1 {
+			// Results are per-sender ordered on a reliable fabric; with
+			// loss the replay path keeps rounds consecutive.
+			panic("simproto: result round gap")
+		}
+		st.resultRound = msg.round
+		next := msg.round + 1
+		if next < len(rounds[msg.stream]) {
+			sendWorkerPacket(w, msg.stream, next)
+		} else {
+			done++
+			if done == activeStreams*N {
+				finishedAt = n.Sim.Now()
+			}
+		}
+	}
+
+	// Wire up handlers. Aggregator nodes may be worker nodes (colocated):
+	// dispatch on the payload's worker field.
+	for w := 0; w < N; w++ {
+		w := w
+		workers[w].Handler = func(m netsim.Message) {
+			msg := m.Payload.(omniMsg)
+			if msg.worker >= 0 {
+				handleAgg(w, m) // colocated aggregator shard
+			} else {
+				handleWorker(w, m)
+			}
+		}
+	}
+	if !c.Colocated {
+		for a := 0; a < M; a++ {
+			id := N + a
+			n.Node(id).Handler = func(m netsim.Message) { handleAgg(id, m) }
+		}
+	}
+
+	// Launch: staging copy plus bootstrap packets for every stream.
+	copyDone := 0
+	copyFinished := 0.0
+	for s := range rounds {
+		if len(rounds[s]) == 0 {
+			continue
+		}
+		activeStreams++
+		aggSt[s] = &aggState{pending: expected(s, 0), seen: make([]bool, N)}
+	}
+	for w := 0; w < N; w++ {
+		w := w
+		workers[w].Copy(spec.TotalBytes(), func() {
+			copyDone++
+			if t := n.Sim.Now(); t > copyFinished {
+				copyFinished = t
+			}
+		})
+		for s := range rounds {
+			if len(rounds[s]) == 0 {
+				continue
+			}
+			sendWorkerPacket(w, s, 0)
+		}
+	}
+
+	n.Sim.Run()
+	if copyFinished > finishedAt {
+		finishedAt = copyFinished
+	}
+	return finishedAt
+}
+
+// SimSwitchML models the SwitchML-style dense streaming aggregation
+// (§6.1.1's SwitchML* server-based baseline): the same slot pipeline with
+// zero-block elision disabled.
+func SimSwitchML(c Cluster, tensorBytes float64, opts OmniOpts) float64 {
+	opts.ForceDense = true
+	blockBytes := 1024.0
+	blocks := int(tensorBytes / blockBytes)
+	if blocks < 1 {
+		blocks = 1
+	}
+	spec := &BlockSpec{Blocks: blocks, BlockBytes: blockBytes,
+		PerWorker: make([]*tensor.Bitmap, c.Workers)}
+	for w := range spec.PerWorker {
+		spec.PerWorker[w] = tensor.NewBitmap(blocks)
+	}
+	return SimOmniReduce(c, spec, opts)
+}

@@ -1,0 +1,56 @@
+// Package perfmodel implements the closed-form performance model of §3.4
+// (following Patarasuk & Yuan's modeling approach): completion times for
+// ring AllReduce, AGsparse AllReduce, and OmniReduce, plus the speedup
+// expressions the paper derives from them.
+package perfmodel
+
+// Params are the model inputs: N workers with full-duplex bandwidth B
+// (bits/second), one-way latency Alpha (seconds), tensor of S elements of
+// ElemBytes each, and element density D in [0, 1].
+type Params struct {
+	N         int
+	B         float64
+	Alpha     float64
+	S         float64 // elements
+	ElemBytes float64 // bytes per element (4 for float32)
+	D         float64
+}
+
+func (p Params) bits() float64 { return p.S * p.ElemBytes * 8 }
+
+// TRing is the ring AllReduce time: 2(N-1)(α + S/(N·B)).
+func TRing(p Params) float64 {
+	n := float64(p.N)
+	return 2 * (n - 1) * (p.Alpha + p.bits()/(n*p.B))
+}
+
+// TAGsparse is the AGsparse AllReduce time: (N-1)(α + 2DS/B), with key and
+// value each ElemBytes wide.
+func TAGsparse(p Params) float64 {
+	n := float64(p.N)
+	return (n - 1) * (p.Alpha + 2*p.D*p.bits()/p.B)
+}
+
+// TOmniReduce is the best-case OmniReduce time: α + DS/B, independent of
+// N (the aggregator bandwidth matches the combined worker bandwidth and
+// pipelining masks intermediate latency).
+func TOmniReduce(p Params) float64 {
+	return p.Alpha + p.D*p.bits()/p.B
+}
+
+// SpeedupVsRing is the bandwidth-regime speedup 2(N-1)/(N·D).
+func SpeedupVsRing(n int, d float64) float64 {
+	return 2 * float64(n-1) / (float64(n) * d)
+}
+
+// SpeedupVsAGsparse is the bandwidth-regime speedup 2(N-1).
+func SpeedupVsAGsparse(n int) float64 {
+	return 2 * float64(n-1)
+}
+
+// ColocatedSpeedupVsRing halves the benefit: with the aggregator sharded
+// across the N workers each node has B/2 for each role, so the dense
+// (D=1) speedup drops to 1 (§3.4).
+func ColocatedSpeedupVsRing(n int, d float64) float64 {
+	return SpeedupVsRing(n, d) / 2
+}

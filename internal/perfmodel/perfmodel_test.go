@@ -1,0 +1,79 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func base() Params {
+	return Params{N: 8, B: 1e10, Alpha: 5e-6, S: 25e6, ElemBytes: 4, D: 1}
+}
+
+func TestTRing(t *testing.T) {
+	p := base()
+	want := 2.0 * 7 * (5e-6 + 25e6*32/(8*1e10))
+	if got := TRing(p); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TRing = %v, want %v", got, want)
+	}
+}
+
+func TestTAGsparse(t *testing.T) {
+	p := base()
+	p.D = 0.1
+	want := 7.0 * (5e-6 + 2*0.1*25e6*32/1e10)
+	if got := TAGsparse(p); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TAGsparse = %v", got)
+	}
+}
+
+func TestTOmniReduce(t *testing.T) {
+	p := base()
+	p.D = 0.01
+	want := 5e-6 + 0.01*25e6*32/1e10
+	if got := TOmniReduce(p); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TOmniReduce = %v", got)
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	if got := SpeedupVsRing(8, 1); math.Abs(got-1.75) > 1e-12 {
+		t.Fatalf("SU ring dense = %v, want 1.75", got)
+	}
+	if got := SpeedupVsRing(8, 0.01); math.Abs(got-175) > 1e-9 {
+		t.Fatalf("SU ring sparse = %v, want 175", got)
+	}
+	if got := SpeedupVsAGsparse(8); got != 14 {
+		t.Fatalf("SU agsparse = %v, want 14", got)
+	}
+	if got := ColocatedSpeedupVsRing(8, 1); math.Abs(got-0.875) > 1e-12 {
+		t.Fatalf("SU colocated = %v", got)
+	}
+}
+
+// Property: in the bandwidth regime (alpha = 0) the model ratios equal the
+// closed-form speedups exactly.
+func TestSpeedupConsistencyProperty(t *testing.T) {
+	f := func(nRaw uint8, dRaw uint8) bool {
+		n := 2 + int(nRaw)%15
+		d := 0.01 + float64(dRaw%100)/100
+		p := Params{N: n, B: 1e10, Alpha: 0, S: 1e6, ElemBytes: 4, D: d}
+		su := TRing(p) / TOmniReduce(p)
+		return math.Abs(su-SpeedupVsRing(n, d)) < 1e-6*su
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Omni's time never exceeds ring's for any density <= 1 with alpha = 0 and
+// N >= 2 (SU >= 2(N-1)/N >= 1).
+func TestOmniNeverSlowerInModel(t *testing.T) {
+	f := func(nRaw, dRaw uint8) bool {
+		p := Params{N: 2 + int(nRaw)%15, B: 1e10, Alpha: 0, S: 1e6, ElemBytes: 4, D: 0.01 + float64(dRaw%100)/100}
+		return TOmniReduce(p) <= TRing(p)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

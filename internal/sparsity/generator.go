@@ -1,0 +1,196 @@
+// Package sparsity provides synthetic gradient generators with controlled
+// sparsity and inter-worker overlap, plus the per-model gradient profiles
+// of the paper's six DNN workloads (Tables 1 and 2, Figure 16).
+//
+// Two layers are provided:
+//
+//   - Generators that materialize actual float32 tensors for the real
+//     implementation's tests and benchmarks (§6.1 "sparse tensors are
+//     generated randomly at each iteration").
+//   - Analytic profiles that describe each DNN's gradient structure
+//     (size, embedding fraction, block-sparsity curve, overlap
+//     distribution) for the virtual-time simulator, which must reason
+//     about multi-gigabyte gradients without materializing them.
+package sparsity
+
+import (
+	"fmt"
+	"math/rand"
+
+	"omnireduce/internal/tensor"
+)
+
+// Overlap controls how the non-zero positions of different workers'
+// tensors relate (§6.4.2: "all overlap", "none overlap", random).
+type Overlap int
+
+const (
+	// OverlapRandom draws each worker's non-zero set independently.
+	OverlapRandom Overlap = iota
+	// OverlapAll gives every worker the same non-zero positions.
+	OverlapAll
+	// OverlapNone partitions non-zero positions disjointly across workers.
+	OverlapNone
+)
+
+// String implements fmt.Stringer.
+func (o Overlap) String() string {
+	switch o {
+	case OverlapRandom:
+		return "random"
+	case OverlapAll:
+		return "all"
+	case OverlapNone:
+		return "none"
+	default:
+		return fmt.Sprintf("Overlap(%d)", int(o))
+	}
+}
+
+// GenSpec describes a synthetic multi-worker gradient generation request.
+type GenSpec struct {
+	Elements int     // tensor length per worker
+	Sparsity float64 // fraction of zero elements in [0,1]
+	Workers  int
+	Overlap  Overlap
+	// BlockAligned, when > 0, places non-zeros in units of whole blocks of
+	// this many elements (block-granular sparsity); when 0, non-zeros are
+	// placed element-wise.
+	BlockAligned int
+}
+
+// Generate produces one tensor per worker according to spec, using rng for
+// all randomness. Values are drawn from a unit normal distribution.
+func Generate(spec GenSpec, rng *rand.Rand) []*tensor.Dense {
+	if spec.Workers <= 0 {
+		panic("sparsity: Workers must be positive")
+	}
+	if spec.Sparsity < 0 || spec.Sparsity > 1 {
+		panic("sparsity: Sparsity must be in [0,1]")
+	}
+	out := make([]*tensor.Dense, spec.Workers)
+	for w := range out {
+		out[w] = tensor.NewDense(spec.Elements)
+	}
+	unit := 1
+	if spec.BlockAligned > 1 {
+		unit = spec.BlockAligned
+	}
+	numUnits := (spec.Elements + unit - 1) / unit
+	nzUnits := int(float64(numUnits)*(1-spec.Sparsity) + 0.5)
+	if nzUnits > numUnits {
+		nzUnits = numUnits
+	}
+
+	fill := func(t *tensor.Dense, u int) {
+		lo := u * unit
+		hi := lo + unit
+		if hi > spec.Elements {
+			hi = spec.Elements
+		}
+		for i := lo; i < hi; i++ {
+			v := float32(rng.NormFloat64())
+			if v == 0 {
+				v = 1e-6 // keep chosen positions genuinely non-zero
+			}
+			t.Data[i] = v
+		}
+	}
+
+	switch spec.Overlap {
+	case OverlapAll:
+		units := rng.Perm(numUnits)[:nzUnits]
+		for _, u := range units {
+			for w := range out {
+				fill(out[w], u)
+			}
+		}
+	case OverlapNone:
+		// Disjoint unit sets: shuffle all units, deal nzUnits to each
+		// worker in turn. If there are not enough units for full
+		// disjointness, later workers get fewer (documented best effort,
+		// mirroring the paper's "no overlap is viable only when m <= n/N").
+		perm := rng.Perm(numUnits)
+		idx := 0
+		for w := range out {
+			for k := 0; k < nzUnits && idx < len(perm); k++ {
+				fill(out[w], perm[idx])
+				idx++
+			}
+		}
+	case OverlapRandom:
+		for w := range out {
+			units := rng.Perm(numUnits)[:nzUnits]
+			for _, u := range units {
+				fill(out[w], u)
+			}
+		}
+	default:
+		panic("sparsity: unknown overlap mode")
+	}
+	return out
+}
+
+// GlobalBlockStats summarizes the union structure of a multi-worker tensor
+// set under block size bs: how many blocks are non-zero at >=1 worker, the
+// total number of (worker, block) transmissions OmniReduce would perform,
+// and the distribution of blocks by how many workers share them
+// (Table 2's breakdown).
+type GlobalBlockStats struct {
+	Blocks       int   // total blocks per tensor
+	UnionNonZero int   // blocks non-zero at >= 1 worker
+	TotalSent    int   // sum over workers of per-worker non-zero blocks
+	ByOverlap    []int // ByOverlap[k-1] = #blocks non-zero at exactly k workers
+}
+
+// ComputeGlobalBlockStats scans the given per-worker tensors.
+func ComputeGlobalBlockStats(tensors []*tensor.Dense, bs int) GlobalBlockStats {
+	if len(tensors) == 0 {
+		return GlobalBlockStats{}
+	}
+	nb := tensors[0].NumBlocks(bs)
+	st := GlobalBlockStats{Blocks: nb, ByOverlap: make([]int, len(tensors))}
+	maps := make([]*tensor.Bitmap, len(tensors))
+	for w, t := range tensors {
+		maps[w] = tensor.ComputeBitmap(t, bs)
+	}
+	for b := 0; b < nb; b++ {
+		cnt := 0
+		for _, m := range maps {
+			if m.Get(b) {
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			st.UnionNonZero++
+			st.TotalSent += cnt
+			st.ByOverlap[cnt-1]++
+		}
+	}
+	return st
+}
+
+// SentVolumeFractionByOverlap converts ByOverlap counts into Table 2's
+// metric: the fraction of the total transmitted block volume contributed by
+// blocks with each overlap count (a block with overlap k is transmitted k
+// times).
+func (st GlobalBlockStats) SentVolumeFractionByOverlap() []float64 {
+	out := make([]float64, len(st.ByOverlap))
+	if st.TotalSent == 0 {
+		return out
+	}
+	for k, c := range st.ByOverlap {
+		out[k] = float64((k+1)*c) / float64(st.TotalSent)
+	}
+	return out
+}
+
+// UnionExpansion returns the ratio of union non-zero volume to the average
+// per-worker sent volume: how much more a worker receives than it sends.
+func (st GlobalBlockStats) UnionExpansion(workers int) float64 {
+	if st.TotalSent == 0 {
+		return 1
+	}
+	perWorker := float64(st.TotalSent) / float64(workers)
+	return float64(st.UnionNonZero) / perWorker
+}

@@ -1,0 +1,370 @@
+package sparsity
+
+import (
+	"math"
+	"math/rand"
+
+	"omnireduce/internal/tensor"
+)
+
+// Profile analytically describes one DNN workload's gradient structure, so
+// the virtual-time simulator can reason about multi-gigabyte gradients
+// without materializing them. Values are taken from, or calibrated
+// against, the paper's Tables 1 and 2 and Figure 9 (see EXPERIMENTS.md for
+// the calibration notes).
+type Profile struct {
+	Name  string
+	Task  string
+	Batch int
+
+	// Gradient composition (Table 1). Sizes in bytes of float32 data.
+	DenseBytes int64 // non-embedding weights
+	EmbBytes   int64 // embedding weights (0 for conv nets)
+
+	// Structural model of the embedding part: EmbRows rows of width
+	// EmbDim; TouchedRows rows receive non-zero gradients per iteration,
+	// uniformly placed. Rows are block-aligned.
+	EmbDim      int
+	EmbRows     int64
+	TouchedRows int64
+
+	// DenseDensity is the element-wise non-zero fraction of the dense
+	// (non-embedding) part of the gradient.
+	DenseDensity float64
+
+	// PaperSparsity is Table 1's overall gradient sparsity, kept for
+	// cross-checking the structural model.
+	PaperSparsity float64
+
+	// PaperOmniCommBytes is Table 1's measured average per-worker
+	// OmniReduce communication volume at block size 256.
+	PaperOmniCommBytes int64
+
+	// OverlapVolumeFrac is Table 2's breakdown for 8 workers:
+	// OverlapVolumeFrac[k-1] is the fraction of total transmitted block
+	// volume contributed by blocks non-zero at exactly k workers.
+	OverlapVolumeFrac [8]float64
+
+	// TComp is the calibrated single-GPU computation time per iteration in
+	// seconds, and OverlapGamma the fraction of TComp that gradient
+	// communication can hide behind (comm/compute overlap). Both are
+	// derived from the paper's Figure 9 NCCL scaling factors combined with
+	// the ring AllReduce bandwidth model; see EXPERIMENTS.md.
+	TComp        float64
+	OverlapGamma float64
+}
+
+// TotalBytes is the full gradient size in bytes.
+func (p *Profile) TotalBytes() int64 { return p.DenseBytes + p.EmbBytes }
+
+// TotalElems is the number of float32 gradient elements.
+func (p *Profile) TotalElems() int64 { return p.TotalBytes() / 4 }
+
+// Buckets approximates how many gradient buckets DDP-style training
+// communicates per iteration (25 MB fusion buckets, PyTorch's default).
+func (p *Profile) Buckets() int {
+	const bucket = 25 << 20
+	n := (p.TotalBytes() + bucket - 1) / bucket
+	if n < 1 {
+		n = 1
+	}
+	return int(n)
+}
+
+// ElementSparsity is the modeled element-wise zero fraction.
+func (p *Profile) ElementSparsity() float64 {
+	embNNZ := float64(p.TouchedRows) * float64(p.EmbDim)
+	denseNNZ := p.DenseDensity * float64(p.DenseBytes/4)
+	return 1 - (embNNZ+denseNNZ)/float64(p.TotalElems())
+}
+
+// BlockSparsity returns the modeled fraction of all-zero blocks for block
+// size bs (in elements). This is Figure 16's left panel.
+//
+// Embedding part: rows are block-aligned and touched uniformly at random
+// with probability t = TouchedRows/EmbRows. A block of bs elements spans
+// r = max(1, bs/EmbDim) rows, so it is zero with probability (1-t)^r.
+// Dense part: elements are i.i.d. non-zero with probability DenseDensity,
+// so a block is zero with probability (1-DenseDensity)^bs.
+func (p *Profile) BlockSparsity(bs int) float64 {
+	embElems := float64(p.EmbBytes / 4)
+	denseElems := float64(p.DenseBytes / 4)
+	total := embElems + denseElems
+
+	var embZero float64
+	if embElems > 0 {
+		t := float64(p.TouchedRows) / float64(p.EmbRows)
+		r := 1.0
+		if bs > p.EmbDim {
+			r = float64(bs) / float64(p.EmbDim)
+		}
+		embZero = math.Pow(1-t, r)
+	}
+	denseZero := math.Pow(1-p.DenseDensity, float64(bs))
+	return (embElems*embZero + denseElems*denseZero) / total
+}
+
+// OmniCommBytes returns the modeled per-worker OmniReduce communication
+// volume at block size bs: the volume of non-zero blocks.
+func (p *Profile) OmniCommBytes(bs int) int64 {
+	return int64((1 - p.BlockSparsity(bs)) * float64(p.TotalBytes()))
+}
+
+// UnionFactor returns U/V: the ratio between the union non-zero block
+// volume across workers and the average per-worker non-zero volume,
+// derived from the Table 2 overlap distribution restricted to `workers`
+// members of the 8-worker set. A block transmitted by exactly k of 8
+// workers is, for a random subset of size n, transmitted by a
+// hypergeometric number of them.
+func (p *Profile) UnionFactor(workers int) float64 {
+	if workers <= 1 {
+		return 1
+	}
+	if workers > 8 {
+		workers = 8
+	}
+	// For each 8-worker overlap class k (volume fraction f_k, block-count
+	// weight f_k/k), compute the expected per-block sent count and union
+	// membership when restricted to n workers.
+	var blockWeight, sent, union float64
+	n := float64(workers)
+	for k := 1; k <= 8; k++ {
+		f := p.OverlapVolumeFrac[k-1]
+		if f == 0 {
+			continue
+		}
+		w := f / float64(k) // relative number of blocks in class k
+		// Expected #senders among n: n*k/8 (hypergeometric mean).
+		eSent := n * float64(k) / 8
+		// P(block present at >=1 of the n): 1 - C(8-k,n)/C(8,n).
+		pPresent := 1 - hypergeomZero(8, k, workers)
+		blockWeight += w
+		sent += w * eSent
+		union += w * pPresent
+	}
+	if sent == 0 {
+		return 1
+	}
+	perWorker := sent / n
+	return union / perWorker
+}
+
+// hypergeomZero returns P(no marked items drawn) when drawing n of total
+// items, k of which are marked: C(total-k, n) / C(total, n).
+func hypergeomZero(total, k, n int) float64 {
+	p := 1.0
+	for i := 0; i < n; i++ {
+		num := float64(total - k - i)
+		den := float64(total - i)
+		if num <= 0 {
+			return 0
+		}
+		p *= num / den
+	}
+	return p
+}
+
+// SynthesizeGradient materializes a scaled-down gradient tensor with the
+// profile's structure. scale divides the model size (e.g. 1000 turns a
+// 2.26 GB gradient into ~2.3 MB) while preserving element and block
+// sparsity structure. Used by tests and by Table 1 / Fig 16 regeneration.
+func (p *Profile) SynthesizeGradient(scale int, rng *rand.Rand) *tensor.Dense {
+	if scale < 1 {
+		scale = 1
+	}
+	embElems := int(p.EmbBytes / 4 / int64(scale))
+	denseElems := int(p.DenseBytes / 4 / int64(scale))
+	d := tensor.NewDense(embElems + denseElems)
+
+	// Embedding region: block-aligned rows of width EmbDim.
+	if embElems > 0 && p.EmbRows > 0 {
+		rows := embElems / p.EmbDim
+		if rows < 1 {
+			rows = 1
+		}
+		t := float64(p.TouchedRows) / float64(p.EmbRows)
+		touched := int(t*float64(rows) + 0.5)
+		if touched < 1 {
+			touched = 1
+		}
+		if touched > rows {
+			touched = rows
+		}
+		for _, r := range rng.Perm(rows)[:touched] {
+			lo := r * p.EmbDim
+			hi := lo + p.EmbDim
+			if hi > embElems {
+				hi = embElems
+			}
+			for i := lo; i < hi; i++ {
+				d.Data[i] = nonZeroNorm(rng)
+			}
+		}
+	}
+	// Dense region: i.i.d. elements.
+	for i := embElems; i < embElems+denseElems; i++ {
+		if rng.Float64() < p.DenseDensity {
+			d.Data[i] = nonZeroNorm(rng)
+		}
+	}
+	return d
+}
+
+// SynthesizeWorkers materializes per-worker gradients whose overlap
+// structure follows the profile's Table 2 distribution: for every union
+// non-zero block, an overlap class k is drawn with probability
+// proportional to f_k/k, and the block is assigned to k random workers.
+// The per-worker non-zero block count matches OmniCommBytes(bs)/(<k>)
+// structure. Used by Table 2 regeneration and overlap-sensitive tests.
+func (p *Profile) SynthesizeWorkers(workers, elements, bs int, rng *rand.Rand) []*tensor.Dense {
+	out := make([]*tensor.Dense, workers)
+	for w := range out {
+		out[w] = tensor.NewDense(elements)
+	}
+	nb := (elements + bs - 1) / bs
+	// Union block density at this bs.
+	perWorkerDensity := 1 - p.BlockSparsity(bs)
+	// Class weights over blocks (f_k/k).
+	var weights [8]float64
+	var wSum, meanK float64
+	for k := 1; k <= 8; k++ {
+		weights[k-1] = p.OverlapVolumeFrac[k-1] / float64(k)
+		wSum += weights[k-1]
+	}
+	if wSum == 0 {
+		weights[7] = 1
+		wSum = 1
+	}
+	for k := 1; k <= 8; k++ {
+		meanK += float64(k) * weights[k-1] / wSum
+	}
+	// Choose union block count so that average per-worker density matches:
+	// perWorker = union * meanK / workers  =>  union = perWorker*workers/meanK.
+	unionBlocks := int(perWorkerDensity*float64(nb)*float64(workers)/meanK + 0.5)
+	if unionBlocks > nb {
+		unionBlocks = nb
+	}
+	perm := rng.Perm(nb)[:unionBlocks]
+	for _, b := range perm {
+		// Draw overlap class.
+		x := rng.Float64() * wSum
+		k := 8
+		for c := 1; c <= 8; c++ {
+			x -= weights[c-1]
+			if x <= 0 {
+				k = c
+				break
+			}
+		}
+		if k > workers {
+			k = workers
+		}
+		for _, w := range rng.Perm(workers)[:k] {
+			lo := b * bs
+			hi := lo + bs
+			if hi > elements {
+				hi = elements
+			}
+			for i := lo; i < hi; i++ {
+				out[w].Data[i] = nonZeroNorm(rng)
+			}
+		}
+	}
+	return out
+}
+
+func nonZeroNorm(rng *rand.Rand) float32 {
+	v := float32(rng.NormFloat64())
+	if v == 0 {
+		return 1e-6
+	}
+	return v
+}
+
+// The six benchmark workloads of Table 1. Structural parameters (EmbDim,
+// TouchedRows, DenseDensity) are fitted so that ElementSparsity and
+// OmniCommBytes(256) reproduce Table 1; TComp/OverlapGamma are calibrated
+// from Figure 9's NCCL scaling factors (see EXPERIMENTS.md).
+var (
+	DeepLight = &Profile{
+		Name: "DeepLight", Task: "Click-through Rate Prediction", Batch: 2048,
+		DenseBytes: 1_800_000, EmbBytes: 2_260_000_000,
+		EmbDim: 64, EmbRows: 8_828_125, TouchedRows: 16_600,
+		DenseDensity:  1.0,
+		PaperSparsity: 0.9973, PaperOmniCommBytes: 16 << 20,
+		OverlapVolumeFrac: [8]float64{0.5949, 0.1194, 0.0561, 0.0340, 0.0236, 0.0185, 0.0173, 0.1362},
+		TComp:             0.145, OverlapGamma: 0.10,
+	}
+	LSTM = &Profile{
+		Name: "LSTM", Task: "Language Modeling", Batch: 128,
+		DenseBytes: 74_000_000, EmbBytes: 1_520_000_000,
+		EmbDim: 512, EmbRows: 742_187, TouchedRows: 8_000,
+		DenseDensity:  0.962,
+		PaperSparsity: 0.9450, PaperOmniCommBytes: 90 << 20,
+		OverlapVolumeFrac: [8]float64{0.1810, 0.0458, 0.0198, 0.0111, 0.0071, 0.0050, 0.0040, 0.7261},
+		TComp:             0.307, OverlapGamma: 0.18,
+	}
+	NCF = &Profile{
+		Name: "NCF", Task: "Recommendation", Batch: 1 << 20,
+		DenseBytes: 400_000, EmbBytes: 679_000_000,
+		EmbDim: 64, EmbRows: 2_652_343, TouchedRows: 360_000,
+		DenseDensity:  1.0,
+		PaperSparsity: 0.846, PaperOmniCommBytes: 280 << 20,
+		OverlapVolumeFrac: [8]float64{0.2748, 0.1778, 0.1310, 0.1029, 0.0852, 0.0760, 0.0739, 0.0785},
+		TComp:             0.202, OverlapGamma: 0.0,
+	}
+	BERT = &Profile{
+		Name: "BERT", Task: "Question Answering", Batch: 4,
+		DenseBytes: 1_000_000_000, EmbBytes: 284_000_000,
+		EmbDim: 768, EmbRows: 92_447, TouchedRows: 53_600,
+		DenseDensity:  1.0,
+		PaperSparsity: 0.0931, PaperOmniCommBytes: 1_213_328_384, // 1.13 GiB
+		OverlapVolumeFrac: [8]float64{0.0060, 0.0011, 0.0004, 0.0002, 0.0001, 0.0001, 0.0001, 0.9920},
+		TComp:             0.550, OverlapGamma: 0.78,
+	}
+	VGG19 = &Profile{
+		Name: "VGG19", Task: "Image Classification", Batch: 64,
+		DenseBytes: 548_000_000, EmbBytes: 0,
+		DenseDensity:  0.680,
+		PaperSparsity: 0.320, PaperOmniCommBytes: 547 << 20,
+		OverlapVolumeFrac: [8]float64{0.0003, 0.0002, 0.0001, 0.0001, 0.0002, 0.0006, 0.0105, 0.9879},
+		TComp:             0.450, OverlapGamma: 0.693,
+	}
+	ResNet152 = &Profile{
+		Name: "ResNet152", Task: "Image Classification", Batch: 64,
+		DenseBytes: 230_000_000, EmbBytes: 0,
+		DenseDensity:  0.784,
+		PaperSparsity: 0.216, PaperOmniCommBytes: 230 << 20,
+		OverlapVolumeFrac: [8]float64{0.0001, 0.0001, 0, 0, 0, 0.0001, 0.0001, 0.9996},
+		TComp:             0.300, OverlapGamma: 1.0,
+	}
+
+	// SBERT is BERT after 1% Block Top-k compression (Table 2's last
+	// column): very sparse with low inter-worker overlap. Block Top-k
+	// produces block-structured sparsity (whole 256-element blocks kept or
+	// dropped), which the i.i.d. dense-part model expresses with a
+	// DenseDensity calibrated so that the 256-block density is ~1%:
+	// 1-(1-dd)^256 = 0.01.
+	SBERT = &Profile{
+		Name: "sBERT", Task: "Question Answering (1% Block Top-k)", Batch: 4,
+		DenseBytes: 1_000_000_000, EmbBytes: 284_000_000,
+		EmbDim: 768, EmbRows: 92_447, TouchedRows: 536,
+		DenseDensity:  3.93e-5,
+		PaperSparsity: 0.99, PaperOmniCommBytes: 13 << 20,
+		OverlapVolumeFrac: [8]float64{0.8315, 0.1281, 0.0263, 0.0078, 0.0031, 0.0014, 0.0007, 0.0011},
+		TComp:             0.550, OverlapGamma: 0.78,
+	}
+)
+
+// Workloads lists the six benchmark DNNs in Table 1 order.
+var Workloads = []*Profile{DeepLight, LSTM, NCF, BERT, VGG19, ResNet152}
+
+// ByName returns the named workload profile, or nil.
+func ByName(name string) *Profile {
+	for _, p := range append(Workloads, SBERT) {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}

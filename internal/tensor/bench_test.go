@@ -1,0 +1,68 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Benchmarks grounding Fig 20 (bitmap computation cost vs block size) on
+// the real implementation.
+
+func benchTensor(n int, density float64, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	d := NewDense(n)
+	for i := range d.Data {
+		if rng.Float64() < density {
+			d.Data[i] = float32(rng.NormFloat64())
+		}
+	}
+	return d
+}
+
+func BenchmarkComputeBitmap(b *testing.B) {
+	d := benchTensor(1<<22, 0.3, 1) // 16 MB
+	for _, bs := range []int{1, 16, 64, 256} {
+		b.Run(fmt.Sprintf("bs=%d", bs), func(b *testing.B) {
+			b.SetBytes(int64(4 * d.Len()))
+			for i := 0; i < b.N; i++ {
+				ComputeBitmap(d, bs)
+			}
+		})
+	}
+}
+
+func BenchmarkComputeBitmapSerial(b *testing.B) {
+	d := benchTensor(1<<22, 0.3, 1)
+	b.SetBytes(int64(4 * d.Len()))
+	for i := 0; i < b.N; i++ {
+		ComputeBitmapSerial(d, 256)
+	}
+}
+
+func BenchmarkDenseAdd(b *testing.B) {
+	x := benchTensor(1<<20, 1, 2)
+	y := benchTensor(1<<20, 1, 3)
+	b.SetBytes(int64(4 * x.Len()))
+	for i := 0; i < b.N; i++ {
+		x.Add(y)
+	}
+}
+
+func BenchmarkFromDense(b *testing.B) {
+	d := benchTensor(1<<20, 0.05, 4)
+	b.SetBytes(int64(4 * d.Len()))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FromDense(d)
+	}
+}
+
+func BenchmarkCOOAdd(b *testing.B) {
+	x := FromDense(benchTensor(1<<20, 0.02, 5))
+	y := FromDense(benchTensor(1<<20, 0.02, 6))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.AddCOO(y)
+	}
+}

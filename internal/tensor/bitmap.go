@@ -1,0 +1,183 @@
+package tensor
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+)
+
+// Bitmap records which blocks of a tensor contain at least one non-zero
+// element: bit b is set iff block b is non-zero. It is the Go counterpart
+// of the paper's GPU bitmap kernel (Appendix B.1): one bit per block,
+// computed with a parallel scan.
+type Bitmap struct {
+	bits      []uint64
+	numBlocks int
+}
+
+// NewBitmap returns an all-zero bitmap for numBlocks blocks.
+func NewBitmap(numBlocks int) *Bitmap {
+	return &Bitmap{
+		bits:      make([]uint64, (numBlocks+63)/64),
+		numBlocks: numBlocks,
+	}
+}
+
+// NumBlocks reports the number of blocks the bitmap covers.
+func (m *Bitmap) NumBlocks() int { return m.numBlocks }
+
+// Set marks block b non-zero.
+func (m *Bitmap) Set(b int) { m.bits[b>>6] |= 1 << (uint(b) & 63) }
+
+// Clear marks block b zero.
+func (m *Bitmap) Clear(b int) { m.bits[b>>6] &^= 1 << (uint(b) & 63) }
+
+// Get reports whether block b is marked non-zero.
+func (m *Bitmap) Get(b int) bool { return m.bits[b>>6]&(1<<(uint(b)&63)) != 0 }
+
+// Count returns the number of non-zero blocks.
+func (m *Bitmap) Count() int {
+	n := 0
+	for _, w := range m.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// BlockSparsity returns the fraction of all-zero blocks in [0,1].
+func (m *Bitmap) BlockSparsity() float64 {
+	if m.numBlocks == 0 {
+		return 0
+	}
+	return 1 - float64(m.Count())/float64(m.numBlocks)
+}
+
+// NextSet returns the index of the first set bit at or after from, or -1 if
+// none. This is the worker's "next non-zero block" lookup in Algorithm 1.
+func (m *Bitmap) NextSet(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= m.numBlocks {
+		return -1
+	}
+	wi := from >> 6
+	w := m.bits[wi] &^ ((1 << (uint(from) & 63)) - 1)
+	for {
+		if w != 0 {
+			b := wi<<6 + bits.TrailingZeros64(w)
+			if b >= m.numBlocks {
+				return -1
+			}
+			return b
+		}
+		wi++
+		if wi >= len(m.bits) {
+			return -1
+		}
+		w = m.bits[wi]
+	}
+}
+
+// Or merges other into m (block-wise union). Panics if sizes differ.
+func (m *Bitmap) Or(other *Bitmap) {
+	if other.numBlocks != m.numBlocks {
+		panic("tensor: bitmap size mismatch")
+	}
+	for i, w := range other.bits {
+		m.bits[i] |= w
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Bitmap) Clone() *Bitmap {
+	c := NewBitmap(m.numBlocks)
+	copy(c.bits, m.bits)
+	return c
+}
+
+// ComputeBitmap scans the dense tensor t with block size bs and returns the
+// non-zero-block bitmap. The scan is sharded across GOMAXPROCS goroutines
+// (the stand-in for the paper's CUDA kernel); shard boundaries are aligned
+// to multiples of 64 blocks so shards never write the same word.
+func ComputeBitmap(t *Dense, bs int) *Bitmap {
+	nb := t.NumBlocks(bs)
+	m := NewBitmap(nb)
+	workers := runtime.GOMAXPROCS(0)
+	// Each shard handles a contiguous range of bitmap words.
+	wordsPerShard := (len(m.bits) + workers - 1) / workers
+	if wordsPerShard == 0 {
+		wordsPerShard = 1
+	}
+	var wg sync.WaitGroup
+	for w0 := 0; w0 < len(m.bits); w0 += wordsPerShard {
+		w1 := w0 + wordsPerShard
+		if w1 > len(m.bits) {
+			w1 = len(m.bits)
+		}
+		wg.Add(1)
+		go func(w0, w1 int) {
+			defer wg.Done()
+			firstBlock := w0 << 6
+			lastBlock := w1 << 6
+			if lastBlock > nb {
+				lastBlock = nb
+			}
+			for b := firstBlock; b < lastBlock; b++ {
+				if !isZeroBlock(t.Block(b, bs)) {
+					m.bits[b>>6] |= 1 << (uint(b) & 63)
+				}
+			}
+		}(w0, w1)
+	}
+	wg.Wait()
+	return m
+}
+
+// ComputeBitmapSerial is the single-goroutine variant, used by the bitmap
+// cost benchmark (Fig 20) to expose the raw per-element scan cost.
+func ComputeBitmapSerial(t *Dense, bs int) *Bitmap {
+	nb := t.NumBlocks(bs)
+	m := NewBitmap(nb)
+	for b := 0; b < nb; b++ {
+		if !isZeroBlock(t.Block(b, bs)) {
+			m.Set(b)
+		}
+	}
+	return m
+}
+
+func isZeroBlock(v []float32) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DensityWithinBlocks returns the average fraction of non-zero elements
+// within the non-zero blocks of t (Fig 16, right panel). Returns 0 when the
+// tensor has no non-zero block.
+func DensityWithinBlocks(t *Dense, bs int) float64 {
+	nb := t.NumBlocks(bs)
+	var nzBlocks int
+	var density float64
+	for b := 0; b < nb; b++ {
+		blk := t.Block(b, bs)
+		nz := 0
+		for _, v := range blk {
+			if v != 0 {
+				nz++
+			}
+		}
+		if nz > 0 {
+			nzBlocks++
+			density += float64(nz) / float64(len(blk))
+		}
+	}
+	if nzBlocks == 0 {
+		return 0
+	}
+	return density / float64(nzBlocks)
+}

@@ -1,0 +1,278 @@
+// Package transport abstracts the message fabrics OmniReduce runs over.
+//
+// The paper implements two data paths: DPDK/UDP (unreliable datagrams,
+// recovered by Algorithm 2) and RDMA RoCE in Reliable Connected mode
+// (at-most-once, in-order, reliable messages). This package provides the
+// Go equivalents:
+//
+//   - an in-process channel transport (reliable and ordered, the default
+//     RC stand-in and the fabric used by tests and examples),
+//   - a TCP message transport (reliable and ordered across processes),
+//   - a UDP datagram transport (unreliable, exercising loss recovery), and
+//   - a deterministic loss/duplication injector that wraps any transport.
+//
+// All transports move opaque []byte messages between small-integer node
+// IDs; the wire package defines what is inside the messages.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Message is one received datagram or message.
+type Message struct {
+	From int
+	Data []byte
+}
+
+// Conn is one node's endpoint in a message fabric. Implementations must
+// allow concurrent Send calls; Recv is typically called from one receive
+// loop but implementations must tolerate concurrent callers.
+//
+// Ownership: Send takes ownership of nothing — it copies data as needed
+// before returning, so the caller may immediately reuse the buffer. Recv
+// returns a buffer owned by the caller.
+type Conn interface {
+	// Send delivers data to node `to` (best effort for datagram fabrics).
+	Send(to int, data []byte) error
+	// Recv blocks until a message arrives or the connection closes.
+	Recv() (Message, error)
+	// LocalID returns this endpoint's node ID.
+	LocalID() int
+	// Close releases the endpoint; pending and future Recv calls return
+	// ErrClosed.
+	Close() error
+}
+
+// ErrClosed is returned by Recv and Send after Close.
+var ErrClosed = errors.New("transport: connection closed")
+
+// ErrUnknownPeer is returned by Send for an unregistered destination.
+var ErrUnknownPeer = errors.New("transport: unknown peer")
+
+// Network is an in-process fabric connecting a fixed set of nodes through
+// buffered channels. Delivery is reliable and per-sender ordered, matching
+// RDMA RC semantics. The zero value is not usable; call NewNetwork.
+type Network struct {
+	mu    sync.Mutex
+	boxes map[int]chan Message
+	cap   int
+}
+
+// NewNetwork creates a fabric with nodes 0..n-1, each with a receive queue
+// of queueCap messages (Send blocks when the destination queue is full,
+// providing natural backpressure).
+func NewNetwork(n, queueCap int) *Network {
+	nw := &Network{boxes: make(map[int]chan Message, n), cap: queueCap}
+	for i := 0; i < n; i++ {
+		nw.boxes[i] = make(chan Message, queueCap)
+	}
+	return nw
+}
+
+// AddNode registers an additional node ID (e.g. aggregators numbered after
+// the workers) and returns its Conn.
+func (nw *Network) AddNode(id int) Conn {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if _, ok := nw.boxes[id]; !ok {
+		nw.boxes[id] = make(chan Message, nw.cap)
+	}
+	return &chanConn{nw: nw, id: id}
+}
+
+// Conn returns node id's endpoint. The node must exist.
+func (nw *Network) Conn(id int) Conn {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if _, ok := nw.boxes[id]; !ok {
+		panic(fmt.Sprintf("transport: unknown node %d", id))
+	}
+	return &chanConn{nw: nw, id: id}
+}
+
+type chanConn struct {
+	nw     *Network
+	id     int
+	mu     sync.Mutex
+	closed chan struct{} // lazily created
+}
+
+func (c *chanConn) closedCh() chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed == nil {
+		c.closed = make(chan struct{})
+	}
+	return c.closed
+}
+
+func (c *chanConn) Send(to int, data []byte) error {
+	c.nw.mu.Lock()
+	box, ok := c.nw.boxes[to]
+	c.nw.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownPeer, to)
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	select {
+	case box <- Message{From: c.id, Data: buf}:
+		return nil
+	case <-c.closedCh():
+		return ErrClosed
+	}
+}
+
+func (c *chanConn) Recv() (Message, error) {
+	c.nw.mu.Lock()
+	box := c.nw.boxes[c.id]
+	c.nw.mu.Unlock()
+	select {
+	case m := <-box:
+		return m, nil
+	case <-c.closedCh():
+		// Drain any message that raced with close.
+		select {
+		case m := <-box:
+			return m, nil
+		default:
+		}
+		return Message{}, ErrClosed
+	}
+}
+
+func (c *chanConn) LocalID() int { return c.id }
+
+func (c *chanConn) Close() error {
+	ch := c.closedCh()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case <-ch:
+	default:
+		close(ch)
+	}
+	return nil
+}
+
+// Lossy wraps a Conn and drops, duplicates, or reorders outgoing messages
+// with the given probabilities, using a seeded deterministic source. It
+// emulates the paper's packet-loss experiments (Appendix D), where loss is
+// injected "assuming uniform probability at a given loss rate".
+type Lossy struct {
+	inner     Conn
+	mu        sync.Mutex
+	rng       *rand.Rand
+	dropP     float64
+	dupP      float64
+	reorderP  float64
+	held      *heldMsg
+	dropped   int
+	dups      int
+	reordered int
+}
+
+type heldMsg struct {
+	to   int
+	data []byte
+}
+
+// NewLossy wraps inner. dropP and dupP are per-message probabilities.
+// Reordering is off by default; enable with SetReorder.
+func NewLossy(inner Conn, dropP, dupP float64, seed int64) *Lossy {
+	return &Lossy{inner: inner, rng: rand.New(rand.NewSource(seed)), dropP: dropP, dupP: dupP}
+}
+
+// SetReorder makes each surviving message be held back with probability p
+// and released after the next message to the same fabric, swapping their
+// order. Returns l for chaining.
+func (l *Lossy) SetReorder(p float64) *Lossy {
+	l.mu.Lock()
+	l.reorderP = p
+	l.mu.Unlock()
+	return l
+}
+
+// Send drops the message with probability dropP, otherwise forwards it
+// (possibly after the next message, when reordering is enabled) and
+// possibly forwards a duplicate.
+func (l *Lossy) Send(to int, data []byte) error {
+	l.mu.Lock()
+	drop := l.rng.Float64() < l.dropP
+	dup := !drop && l.rng.Float64() < l.dupP
+	hold := !drop && l.held == nil && l.rng.Float64() < l.reorderP
+	if drop {
+		l.dropped++
+	}
+	if dup {
+		l.dups++
+	}
+	var release *heldMsg
+	if !drop && !hold && l.held != nil {
+		release = l.held
+		l.held = nil
+		l.reordered++
+	}
+	if hold {
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		l.held = &heldMsg{to: to, data: buf}
+	}
+	l.mu.Unlock()
+	if drop {
+		return nil
+	}
+	if !hold {
+		if err := l.inner.Send(to, data); err != nil {
+			return err
+		}
+		if dup {
+			if err := l.inner.Send(to, data); err != nil {
+				return err
+			}
+		}
+	}
+	if release != nil {
+		return l.inner.Send(release.to, release.data)
+	}
+	return nil
+}
+
+// Flush releases any held (reorder-delayed) message immediately.
+func (l *Lossy) Flush() error {
+	l.mu.Lock()
+	release := l.held
+	l.held = nil
+	l.mu.Unlock()
+	if release != nil {
+		return l.inner.Send(release.to, release.data)
+	}
+	return nil
+}
+
+// Recv forwards to the inner connection.
+func (l *Lossy) Recv() (Message, error) { return l.inner.Recv() }
+
+// LocalID forwards to the inner connection.
+func (l *Lossy) LocalID() int { return l.inner.LocalID() }
+
+// Close forwards to the inner connection.
+func (l *Lossy) Close() error { return l.inner.Close() }
+
+// Stats reports how many messages were dropped and duplicated.
+func (l *Lossy) Stats() (dropped, duplicated int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped, l.dups
+}
+
+// Reordered reports how many message pairs were swapped.
+func (l *Lossy) Reordered() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reordered
+}

@@ -1,0 +1,129 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// UDP is an unreliable datagram transport, the stand-in for the paper's
+// DPDK/UDP data path. Messages may be dropped, duplicated, or reordered by
+// the network; OmniReduce's Algorithm 2 recovers from all three. Peers are
+// identified by a static id->address book.
+type UDP struct {
+	id     int
+	pc     *net.UDPConn
+	peers  map[int]*net.UDPAddr
+	byAddr map[string]int
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Conn = (*UDP)(nil)
+
+// MaxDatagram is the largest datagram the transport sends or receives.
+// It comfortably covers a fused packet of 64 x 256 float32 blocks on a
+// loopback interface (jumbo frames / local sockets).
+const MaxDatagram = 128 << 10
+
+// NewUDP binds addrs[id] and resolves all peer addresses.
+func NewUDP(id int, addrs map[int]string) (*UDP, error) {
+	local, err := net.ResolveUDPAddr("udp", addrs[id])
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %s: %w", addrs[id], err)
+	}
+	pc, err := net.ListenUDP("udp", local)
+	if err != nil {
+		return nil, fmt.Errorf("transport: bind %s: %w", addrs[id], err)
+	}
+	u := &UDP{id: id, pc: pc, peers: make(map[int]*net.UDPAddr), byAddr: make(map[string]int)}
+	for pid, a := range addrs {
+		if pid == id {
+			// Record our actual bound address (supports ":0").
+			u.byAddr[pc.LocalAddr().String()] = id
+			continue
+		}
+		ra, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			pc.Close()
+			return nil, fmt.Errorf("transport: resolve peer %d (%s): %w", pid, a, err)
+		}
+		u.peers[pid] = ra
+		u.byAddr[ra.String()] = pid
+	}
+	return u, nil
+}
+
+// RegisterPeer adds or updates a peer binding (used with ":0" setups where
+// addresses are exchanged after binding).
+func (u *UDP) RegisterPeer(id int, addr string) error {
+	ra, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return err
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.peers[id] = ra
+	u.byAddr[ra.String()] = id
+	return nil
+}
+
+// Addr returns the bound local address.
+func (u *UDP) Addr() string { return u.pc.LocalAddr().String() }
+
+// Send transmits one datagram, best effort.
+func (u *UDP) Send(to int, data []byte) error {
+	u.mu.Lock()
+	ra, ok := u.peers[to]
+	closed := u.closed
+	u.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownPeer, to)
+	}
+	if len(data) > MaxDatagram {
+		return fmt.Errorf("transport: datagram too large (%d > %d)", len(data), MaxDatagram)
+	}
+	_, err := u.pc.WriteToUDP(data, ra)
+	return err
+}
+
+// Recv blocks for the next datagram. Datagrams from unknown senders are
+// attributed id -1.
+func (u *UDP) Recv() (Message, error) {
+	buf := make([]byte, MaxDatagram)
+	n, from, err := u.pc.ReadFromUDP(buf)
+	if err != nil {
+		u.mu.Lock()
+		closed := u.closed
+		u.mu.Unlock()
+		if closed {
+			return Message{}, ErrClosed
+		}
+		return Message{}, err
+	}
+	u.mu.Lock()
+	id, ok := u.byAddr[from.String()]
+	u.mu.Unlock()
+	if !ok {
+		id = -1
+	}
+	return Message{From: id, Data: buf[:n]}, nil
+}
+
+// LocalID returns the node ID.
+func (u *UDP) LocalID() int { return u.id }
+
+// Close shuts the socket; blocked Recv calls return ErrClosed.
+func (u *UDP) Close() error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return nil
+	}
+	u.closed = true
+	u.mu.Unlock()
+	return u.pc.Close()
+}

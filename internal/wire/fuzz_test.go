@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Robustness: decoding arbitrary bytes must never panic — it either
+// returns a packet or an error. The aggregator and worker receive raw
+// datagrams from the network, so the decoders are an attack/corruption
+// surface.
+
+func TestDecodePacketNeverPanics(t *testing.T) {
+	f := func(seed int64, size uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		buf := make([]byte, int(size)%2048)
+		r.Read(buf)
+		defer func() {
+			if p := recover(); p != nil {
+				t.Errorf("DecodePacket panicked on %d bytes: %v", len(buf), p)
+			}
+		}()
+		_, _ = DecodePacket(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeSparsePacketNeverPanics(t *testing.T) {
+	f := func(seed int64, size uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		buf := make([]byte, int(size)%2048)
+		r.Read(buf)
+		defer func() {
+			if p := recover(); p != nil {
+				t.Errorf("DecodeSparsePacket panicked: %v", p)
+			}
+		}()
+		_, _ = DecodeSparsePacket(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Flipping any single byte of a valid packet must not panic either (it
+// may decode to a different valid packet or fail).
+func TestDecodePacketBitflips(t *testing.T) {
+	p := &Packet{
+		Type: TypeData, Version: 1, Slot: 3, WID: 2, TensorID: 9,
+		BlockSize: 8,
+		Nexts:     []uint32{16, Inf(1)},
+		Blocks:    []Block{{Index: 4, Data: []float32{1, 2, 3, 4, 5, 6, 7, 8}}},
+	}
+	buf := AppendPacket(nil, p)
+	for i := range buf {
+		for _, b := range []byte{0x00, 0xFF, buf[i] ^ 0x01} {
+			mut := append([]byte(nil), buf...)
+			mut[i] = b
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic with byte %d set to %#x: %v", i, b, r)
+					}
+				}()
+				_, _ = DecodePacket(mut)
+			}()
+		}
+	}
+}
+
+// Huge declared lengths must fail cleanly rather than allocating wildly:
+// a corrupted block-length field is bounded by the buffer check.
+func TestDecodePacketHugeDeclaredLength(t *testing.T) {
+	p := &Packet{Type: TypeData, BlockSize: 4, Nexts: []uint32{0},
+		Blocks: []Block{{Index: 0, Data: []float32{1}}}}
+	buf := AppendPacket(nil, p)
+	// Block length field sits after nexts: header(24) + 4 + index(4).
+	off := 24 + 4 + 4
+	buf[off] = 0xFF
+	buf[off+1] = 0xFF
+	buf[off+2] = 0xFF
+	buf[off+3] = 0x7F
+	if _, err := DecodePacket(buf); err == nil {
+		t.Fatal("accepted packet with 2^31 declared block length")
+	}
+}

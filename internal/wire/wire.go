@@ -1,0 +1,302 @@
+// Package wire defines the binary message formats exchanged between
+// OmniReduce workers and aggregators.
+//
+// The layout follows the paper's implementation (§5): a small fixed header
+// carrying the metadata the RDMA implementation packs into a 32-bit
+// immediate value (message type, opcode, slot id, block count), followed by
+// the per-column next-offsets of the Block Fusion scheme (§3.2) and the
+// fused block payloads. All integers are little-endian.
+//
+// A packet addresses one aggregation slot and carries up to Cols fused
+// blocks, one per column of the two-dimensional block layout. Column i of
+// a tensor with fusion width w holds the blocks {b : b mod w == i}. The
+// "no more blocks" sentinel is column-specific (the paper's per-column
+// infinity values): any next offset >= InfBase encodes infinity for column
+// (offset - InfBase).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Message types.
+const (
+	// TypeData is a worker->aggregator packet carrying zero or more fused
+	// blocks plus per-column next-offsets. A TypeData packet with no
+	// blocks is the loss-recovery ack of Algorithm 2 (empty payload).
+	TypeData uint8 = iota + 1
+	// TypeResult is an aggregator->worker packet carrying aggregated
+	// blocks and the global per-column next-offsets.
+	TypeResult
+	// TypeSparseData is a worker->aggregator key-value packet (Algorithm 3).
+	TypeSparseData
+	// TypeSparseResult is the aggregator->worker key-value result.
+	TypeSparseResult
+)
+
+// InfBase is the smallest "infinity" next-offset. InfBase+i is the
+// infinity sentinel for column i, preserving column identity as required
+// by Block Fusion (§3.2, footnote 3).
+const InfBase uint32 = 0xFFFFFF00
+
+// Inf returns the infinity sentinel for column col.
+func Inf(col int) uint32 { return InfBase + uint32(col) }
+
+// IsInf reports whether a next-offset is an infinity sentinel.
+func IsInf(v uint32) bool { return v >= InfBase }
+
+// MaxCols is the largest supported fusion width (limited by the presence
+// bitmask and the InfBase encoding).
+const MaxCols = 64
+
+// Block is one fused block: its global block index and its values.
+type Block struct {
+	Index uint32
+	Data  []float32
+}
+
+// Packet is a decoded dense-format OmniReduce message (TypeData or
+// TypeResult).
+type Packet struct {
+	Type      uint8
+	Version   uint8  // round number mod 256 (Algorithm 2 extended)
+	DType     uint8  // element encoding: DTypeF32 or DTypeF16
+	Slot      uint16 // stream / slot-pool index
+	WID       uint16 // sending worker, or aggregator shard for results
+	TensorID  uint32 // identifies the collective operation
+	BlockSize uint32 // elements per block
+	Nexts     []uint32
+	Blocks    []Block
+}
+
+// Cols reports the fusion width.
+func (p *Packet) Cols() int { return len(p.Nexts) }
+
+// Done reports whether every column's next offset is infinity, i.e. the
+// sender has no further non-zero blocks (end of reduction for this slot).
+func (p *Packet) Done() bool {
+	for _, n := range p.Nexts {
+		if !IsInf(n) {
+			return false
+		}
+	}
+	return len(p.Nexts) > 0
+}
+
+const headerLen = 24
+
+// MaxPacketLen returns the encoded size of a packet with the given fusion
+// width and block size when all columns carry data.
+func MaxPacketLen(cols, blockSize int) int {
+	return headerLen + 4*cols + cols*(4+4*blockSize)
+}
+
+// ErrTruncated is returned when a buffer is too short for its declared
+// contents.
+var ErrTruncated = fmt.Errorf("wire: truncated packet")
+
+// AppendPacket encodes p, appending to dst and returning the extended
+// slice. The layout is:
+//
+//	[0]  type, [1] version, [2] cols, [3] dtype
+//	[4]  slot uint16, [6] wid uint16
+//	[8]  tensorID uint32, [12] blockSize uint32
+//	[16] presentMask uint64
+//	[24] nexts [cols]uint32
+//	...  per present block, ascending column order:
+//	     index uint32, length-in-elements uint32, data [length]float32
+//
+// The per-block length field covers the tensor's final block, which may be
+// shorter than blockSize. Blocks must be supplied in strictly ascending
+// column order (at most one block per column); AppendPacket panics
+// otherwise, since the decoder recovers block boundaries from the presence
+// mask in ascending bit order.
+func AppendPacket(dst []byte, p *Packet) []byte {
+	if len(p.Nexts) == 0 || len(p.Nexts) > MaxCols {
+		panic(fmt.Sprintf("wire: invalid fusion width %d", len(p.Nexts)))
+	}
+	var mask uint64
+	prevCol := -1
+	for _, b := range p.Blocks {
+		col := int(b.Index) % len(p.Nexts)
+		if col <= prevCol {
+			panic(fmt.Sprintf("wire: blocks must be in ascending column order (col %d after %d)", col, prevCol))
+		}
+		prevCol = col
+		mask |= 1 << uint(col)
+	}
+	dst = append(dst, p.Type, p.Version, uint8(len(p.Nexts)), p.DType)
+	dst = binary.LittleEndian.AppendUint16(dst, p.Slot)
+	dst = binary.LittleEndian.AppendUint16(dst, p.WID)
+	dst = binary.LittleEndian.AppendUint32(dst, p.TensorID)
+	dst = binary.LittleEndian.AppendUint32(dst, p.BlockSize)
+	dst = binary.LittleEndian.AppendUint64(dst, mask)
+	for _, n := range p.Nexts {
+		dst = binary.LittleEndian.AppendUint32(dst, n)
+	}
+	for _, b := range p.Blocks {
+		dst = binary.LittleEndian.AppendUint32(dst, b.Index)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Data)))
+		if p.DType == DTypeF16 {
+			for _, v := range b.Data {
+				dst = binary.LittleEndian.AppendUint16(dst, F16FromF32(v))
+			}
+		} else {
+			for _, v := range b.Data {
+				dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+			}
+		}
+	}
+	return dst
+}
+
+// DecodePacket parses an encoded dense packet. Block data slices are
+// copied out of buf, so buf may be reused by the caller afterwards.
+func DecodePacket(buf []byte) (*Packet, error) {
+	if len(buf) < headerLen {
+		return nil, ErrTruncated
+	}
+	p := &Packet{
+		Type:      buf[0],
+		Version:   buf[1],
+		DType:     buf[3],
+		Slot:      binary.LittleEndian.Uint16(buf[4:]),
+		WID:       binary.LittleEndian.Uint16(buf[6:]),
+		TensorID:  binary.LittleEndian.Uint32(buf[8:]),
+		BlockSize: binary.LittleEndian.Uint32(buf[12:]),
+	}
+	if p.DType > DTypeF16 {
+		return nil, fmt.Errorf("wire: unknown dtype %d", p.DType)
+	}
+	cols := int(buf[2])
+	if cols == 0 || cols > MaxCols {
+		return nil, fmt.Errorf("wire: invalid fusion width %d", cols)
+	}
+	mask := binary.LittleEndian.Uint64(buf[16:])
+	off := headerLen
+	if len(buf) < off+4*cols {
+		return nil, ErrTruncated
+	}
+	p.Nexts = make([]uint32, cols)
+	for i := range p.Nexts {
+		p.Nexts[i] = binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+	}
+	elemBytes := 4
+	if p.DType == DTypeF16 {
+		elemBytes = 2
+	}
+	for mask != 0 {
+		mask &= mask - 1 // one block per set bit
+		if len(buf) < off+8 {
+			return nil, ErrTruncated
+		}
+		idx := binary.LittleEndian.Uint32(buf[off:])
+		n := int(binary.LittleEndian.Uint32(buf[off+4:]))
+		off += 8
+		if n < 0 || len(buf) < off+elemBytes*n {
+			return nil, ErrTruncated
+		}
+		data := make([]float32, n)
+		if p.DType == DTypeF16 {
+			for i := range data {
+				data[i] = F16ToF32(binary.LittleEndian.Uint16(buf[off:]))
+				off += 2
+			}
+		} else {
+			for i := range data {
+				data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+				off += 4
+			}
+		}
+		p.Blocks = append(p.Blocks, Block{Index: idx, Data: data})
+	}
+	return p, nil
+}
+
+// SparsePacket is a decoded key-value message (Algorithm 3).
+type SparsePacket struct {
+	Type     uint8
+	WID      uint16
+	TensorID uint32
+	NextKey  uint32 // key of the sender's next non-zero value; InfKey if none
+	Keys     []uint32
+	Values   []float32
+}
+
+// InfKey is the "no more keys" sentinel for sparse packets.
+const InfKey uint32 = 0xFFFFFFFF
+
+const sparseHeaderLen = 16
+
+// AppendSparsePacket encodes p, appending to dst.
+func AppendSparsePacket(dst []byte, p *SparsePacket) []byte {
+	if len(p.Keys) != len(p.Values) {
+		panic("wire: keys/values length mismatch")
+	}
+	dst = append(dst, p.Type, 0)
+	dst = binary.LittleEndian.AppendUint16(dst, p.WID)
+	dst = binary.LittleEndian.AppendUint32(dst, p.TensorID)
+	dst = binary.LittleEndian.AppendUint32(dst, p.NextKey)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p.Keys)))
+	for _, k := range p.Keys {
+		dst = binary.LittleEndian.AppendUint32(dst, k)
+	}
+	for _, v := range p.Values {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+	}
+	return dst
+}
+
+// DecodeSparsePacket parses an encoded sparse packet.
+func DecodeSparsePacket(buf []byte) (*SparsePacket, error) {
+	if len(buf) < sparseHeaderLen {
+		return nil, ErrTruncated
+	}
+	p := &SparsePacket{
+		Type:     buf[0],
+		WID:      binary.LittleEndian.Uint16(buf[2:]),
+		TensorID: binary.LittleEndian.Uint32(buf[4:]),
+		NextKey:  binary.LittleEndian.Uint32(buf[8:]),
+	}
+	n := int(binary.LittleEndian.Uint32(buf[12:]))
+	off := sparseHeaderLen
+	if len(buf) < off+8*n {
+		return nil, ErrTruncated
+	}
+	p.Keys = make([]uint32, n)
+	p.Values = make([]float32, n)
+	for i := 0; i < n; i++ {
+		p.Keys[i] = binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+	}
+	for i := 0; i < n; i++ {
+		p.Values[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+	}
+	return p, nil
+}
+
+// PeekType returns the message type of an encoded packet without decoding
+// it, or 0 for an empty buffer.
+func PeekType(buf []byte) uint8 {
+	if len(buf) == 0 {
+		return 0
+	}
+	return buf[0]
+}
+
+// Immediate packs OmniReduce metadata into the 32-bit RDMA immediate
+// layout described in §5: data type (2 bits), AllReduce opcode (2 bits),
+// slot id (12 bits), and number of blocks (16 bits).
+func Immediate(dtype, opcode uint8, slot uint16, numBlocks uint16) uint32 {
+	return uint32(dtype&0x3)<<30 | uint32(opcode&0x3)<<28 |
+		uint32(slot&0xFFF)<<16 | uint32(numBlocks)
+}
+
+// SplitImmediate is the inverse of Immediate.
+func SplitImmediate(imm uint32) (dtype, opcode uint8, slot uint16, numBlocks uint16) {
+	return uint8(imm >> 30), uint8(imm>>28) & 0x3, uint16(imm>>16) & 0xFFF, uint16(imm)
+}
