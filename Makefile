@@ -1,0 +1,41 @@
+# Development targets. `make tier1` is the gate every change must keep
+# green; `make race` is the heavier concurrency tier CI runs on top.
+
+GO ?= go
+
+.PHONY: all tier1 vet race short-race fuzz chaos bench clean
+
+all: tier1
+
+# Tier 1: the baseline build-and-test gate.
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race tier: vet plus the full suite under the race detector.
+race: vet
+	$(GO) test -race ./...
+
+# Quick race pass: skips the long-running scenarios (-short), for local
+# iteration.
+short-race: vet
+	$(GO) test -race -short ./...
+
+# Chaos suite only: the seeded fault-injection end-to-end tests.
+chaos:
+	$(GO) test -race -run 'TestChaos' -v ./internal/core/ ./internal/transport/
+
+# Continuous fuzzing of the wire decoders (FUZZTIME to override).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDecodePacket -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeSparsePacket -fuzztime $(FUZZTIME) ./internal/wire/
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+clean:
+	$(GO) clean -testcache

@@ -1,18 +1,26 @@
-// Lossynet: OmniReduce over real UDP sockets with injected packet loss.
+// Lossynet: OmniReduce under injected network chaos.
 //
 // The paper's DPDK data path runs over unreliable datagrams; Algorithm 2
 // (Appendix A) recovers from loss with versioned slots, acks, and worker
-// retransmission timers. This example runs a 3-worker AllReduce over
-// loopback UDP with 2% of all messages dropped, and shows the reduction
-// still completes exactly.
+// retransmission timers. This example exercises that recovery two ways:
 //
-//	go run ./examples/lossynet
+//  1. Over real loopback UDP sockets, with a multi-phase chaos schedule
+//     (uniform + Gilbert–Elliott burst loss, duplication, reordering,
+//     delay) injected by transport.ChaosFabric — showing the reduction
+//     completes exactly despite every failure mode at once.
+//
+//  2. As a seeded deterministic replay: the same scenario run twice over
+//     the in-process fabric makes identical injection decisions, so a
+//     failing chaos run can be replayed exactly from its seed.
+//
+//     go run ./examples/lossynet
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
@@ -21,10 +29,33 @@ import (
 )
 
 func main() {
+	udpChaos()
+	seededReplay()
+}
+
+// chaosScenario is the shared injection schedule: an opening storm of loss
+// and duplication, a reordering phase, a delay phase with background loss,
+// then light residual loss for the remainder.
+func chaosScenario(seed int64) transport.Scenario {
+	return transport.Scenario{
+		Seed:   seed,
+		Window: 100,
+		Phases: []transport.Phase{
+			{Packets: 50, Drop: 0.04, Dup: 0.04,
+				Burst: &transport.Burst{PEnter: 0.02, PExit: 0.3, DropBad: 0.8}},
+			{Packets: 40, Reorder: 0.2, ReorderSpan: 2},
+			{Packets: 40, Drop: 0.02, Delay: 2 * time.Millisecond, DelayP: 0.3},
+			{Drop: 0.01},
+		},
+	}
+}
+
+// udpChaos runs a 3-worker AllReduce over real UDP sockets routed through
+// the chaos fabric.
+func udpChaos() {
 	const (
 		workers  = 3
 		elements = 200_000
-		lossRate = 0.02
 	)
 	cfg := core.Config{
 		Workers:           workers,
@@ -56,13 +87,14 @@ func main() {
 		}
 	}
 
-	// Wrap every endpoint in a deterministic loss injector.
-	lossy := make([]*transport.Lossy, workers+1)
+	// Route every endpoint through one seeded chaos fabric.
+	fabric := transport.NewChaosFabric(chaosScenario(2021))
+	conns := make([]transport.Conn, workers+1)
 	for i, u := range eps {
-		lossy[i] = transport.NewLossy(u, lossRate, 0, int64(i)+100)
+		conns[i] = fabric.Wrap(u)
 	}
 
-	agg, err := core.NewAggregator(lossy[workers], cfg)
+	agg, err := core.NewAggregator(conns[workers], cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,7 +117,7 @@ func main() {
 
 	ws := make([]*core.Worker, workers)
 	for i := range ws {
-		w, err := core.NewWorker(lossy[i], cfg)
+		w, err := core.NewWorker(conns[i], cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -118,16 +150,56 @@ func main() {
 			}
 		}
 	}
-	var dropped, retrans int64
-	for i := range lossy {
-		d, _ := lossy[i].Stats()
-		dropped += int64(d)
-	}
-	for _, w := range ws {
-		retrans += w.Stats.Retransmits
-	}
-	fmt.Printf("UDP AllReduce over %d workers, %d elements, %.0f%% message loss\n",
-		workers, elements, lossRate*100)
+	ev := fabric.Counts()
+	fmt.Printf("UDP AllReduce over %d workers, %d elements, chaos schedule active\n",
+		workers, elements)
 	fmt.Printf("completed in %v; max |error| = %.2g\n", elapsed.Round(time.Millisecond), maxErr)
-	fmt.Printf("messages dropped by injector: %d; worker retransmissions: %d\n", dropped, retrans)
+	fmt.Printf("injected: %d dropped (%d burst), %d duplicated, %d reordered, %d delayed\n",
+		ev.Dropped, ev.BurstDrops, ev.Duplicated, ev.Reordered, ev.Delayed)
+
+	// Per-event recovery metrics, merged across all participants.
+	recovery := ws[0].Stats.RecoveryCounters()
+	for _, w := range ws[1:] {
+		recovery.Merge(w.Stats.RecoveryCounters())
+	}
+	recovery.Table("loss recovery (workers)").Render(os.Stdout)
+}
+
+// seededReplay demonstrates deterministic replay: the same scenario over
+// the in-process fabric twice, byte-identical results and identical
+// injection decisions within the scenario window.
+func seededReplay() {
+	const workers = 3
+	cfg := core.Config{
+		Workers:            workers,
+		Reliable:           false,
+		DeterministicOrder: true,
+		BlockSize:          32,
+		FusionWidth:        4,
+		Streams:            2,
+		RetransmitTimeout:  3 * time.Millisecond,
+	}
+	rng := rand.New(rand.NewSource(17))
+	inputs := make([][]float32, workers)
+	for w := range inputs {
+		inputs[w] = make([]float32, 32*512)
+		for i := range inputs[w] {
+			inputs[w][i] = float32(rng.NormFloat64())
+		}
+	}
+	sc := chaosScenario(2021)
+
+	first, err := core.RunChaosScenario(cfg, sc, inputs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	replay, err := core.RunChaosScenario(cfg, sc, inputs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nseeded replay (seed %d): exact=%v/%v, window events %d/%d, identical=%v\n",
+		sc.Seed, first.Exact, replay.Exact,
+		first.WindowEvents, replay.WindowEvents,
+		first.WindowEvents == replay.WindowEvents)
+	first.RecoveryCounters().Table("recovery events (run 1)").Render(os.Stdout)
 }

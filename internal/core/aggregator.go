@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"omnireduce/internal/metrics"
 	"omnireduce/internal/transport"
 	"omnireduce/internal/wire"
 )
@@ -57,13 +58,32 @@ type Aggregator struct {
 	Stats AggStats
 }
 
-// AggStats counts aggregator-side protocol activity.
+// AggStats counts aggregator-side protocol activity. The recovery
+// counters distinguish the three fates of a non-live packet: a duplicate
+// of the current round (filtered), a packet from an old round (answered
+// with a replay when possible), and a packet for a tensor that finished
+// long enough ago that its archived result was evicted (dropped).
 type AggStats struct {
 	PacketsRecvd     int64
 	BlocksAggregated int64
 	RoundsCompleted  int64
 	ResultsSent      int64
 	Replays          int64 // unicast result retransmissions (Algorithm 2)
+	DupsFiltered     int64 // same-round duplicates discarded
+	StaleRounds      int64 // packets arriving for an already-concluded round
+	StaleFinished    int64 // packets for finished tensors past the archive
+}
+
+// RecoveryCounters exports the loss-recovery subset of the counters as a
+// metrics counter set. Call only after Run returns (the counters are
+// written unsynchronized by the Run goroutine).
+func (s *AggStats) RecoveryCounters() *metrics.Counters {
+	c := metrics.NewCounters()
+	c.Add("result_replays", s.Replays)
+	c.Add("dups_filtered", s.DupsFiltered)
+	c.Add("stale_rounds", s.StaleRounds)
+	c.Add("stale_finished_dropped", s.StaleFinished)
+	return c
 }
 
 // NewAggregator returns an aggregator bound to conn.
@@ -210,6 +230,7 @@ func (a *Aggregator) handleDense(p *wire.Packet) error {
 		if a.isFinished(p.Slot, p.TensorID) {
 			// A finished tensor already evicted from the archive: cannot
 			// replay, but must not resurrect state either.
+			a.Stats.StaleFinished++
 			return nil
 		}
 		sl = a.newSlot(p)
@@ -307,6 +328,7 @@ func (a *Aggregator) processVersioned(p *wire.Packet, sl *aggSlot) error {
 		// the sender is at most one result behind a live round, and that
 		// missing result is lastRes. Deeper-stale duplicates receive a
 		// result their worker will discard by version mismatch.
+		a.Stats.StaleRounds++
 		if sl.lastRes != nil {
 			a.Stats.Replays++
 			return a.conn.Send(wid, sl.lastRes)
@@ -314,6 +336,7 @@ func (a *Aggregator) processVersioned(p *wire.Packet, sl *aggSlot) error {
 		return nil
 	}
 	if sl.seen[wid] {
+		a.Stats.DupsFiltered++
 		return nil // duplicate within the live round; original counted
 	}
 	sl.seen[wid] = true

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"omnireduce/internal/metrics"
+	"omnireduce/internal/transport"
+)
+
+// Chaos scenario runner: builds an in-process cluster whose every endpoint
+// routes through a transport.ChaosFabric, runs one AllReduce per worker,
+// and verifies the result against the dense reference sum. The runner is
+// what the chaos end-to-end suite and the lossynet example drive; because
+// both the channel fabric and the chaos decisions are deterministic,
+// re-running a ChaosRun with the same scenario replays the exact injection
+// decisions of a failure.
+
+// ChaosReport summarizes one chaos scenario run.
+type ChaosReport struct {
+	// MaxAbsErr is the largest |result - reference| over all workers and
+	// elements, where the reference is the worker-ID-ordered float32 sum.
+	MaxAbsErr float64
+	// Exact reports whether every worker's result is bit-identical to the
+	// reference (guaranteed when cfg.DeterministicOrder is set).
+	Exact bool
+	// Events are the fabric's injection tallies.
+	Events transport.EventCounts
+	// WindowEvents is the deterministic replay fingerprint: injection
+	// events within the scenario's per-link window.
+	WindowEvents int64
+	// WorkerStats are per-worker protocol counters.
+	WorkerStats []Stats
+	// AggStats are per-aggregator protocol counters.
+	AggStats []AggStats
+	// Elapsed is the wall-clock duration of the collective.
+	Elapsed time.Duration
+}
+
+// Retransmits sums worker retransmissions.
+func (r *ChaosReport) Retransmits() int64 {
+	var n int64
+	for _, s := range r.WorkerStats {
+		n += s.Retransmits
+	}
+	return n
+}
+
+// RecoveryCounters merges every participant's recovery counters.
+func (r *ChaosReport) RecoveryCounters() *metrics.Counters {
+	c := metrics.NewCounters()
+	for i := range r.WorkerStats {
+		c.Merge(r.WorkerStats[i].RecoveryCounters())
+	}
+	for i := range r.AggStats {
+		c.Merge(r.AggStats[i].RecoveryCounters())
+	}
+	return c
+}
+
+// RunChaosScenario runs one AllReduce for each worker of cfg over a
+// channel fabric wrapped in the given chaos scenario, using copies of
+// inputs (the caller's slices are not mutated). cfg.Reliable is forced
+// off: chaos injection requires Algorithm 2's loss recovery. The deadline
+// bounds the whole collective (0 means 60s).
+func RunChaosScenario(cfg Config, sc transport.Scenario, inputs [][]float32, deadline time.Duration) (*ChaosReport, error) {
+	cfg = cfg.withDefaults()
+	cfg.Reliable = false
+	if len(cfg.Aggregators) == 0 {
+		cfg.Aggregators = []int{cfg.Workers}
+	}
+	if len(inputs) != cfg.Workers {
+		return nil, fmt.Errorf("core: %d inputs for %d workers", len(inputs), cfg.Workers)
+	}
+	if deadline == 0 {
+		deadline = 60 * time.Second
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Reference: worker-ID-ordered float32 sum — exactly what
+	// DeterministicOrder reproduces.
+	ref := make([]float32, len(inputs[0]))
+	work := make([][]float32, len(inputs))
+	for w, in := range inputs {
+		if len(in) != len(ref) {
+			return nil, fmt.Errorf("core: worker %d input length %d != %d", w, len(in), len(ref))
+		}
+		work[w] = append([]float32(nil), in...)
+		for i, v := range in {
+			ref[i] += v
+		}
+	}
+
+	fabric := transport.NewChaosFabric(sc)
+	nw := transport.NewNetwork(cfg.Workers, 4096)
+	var aggs []*Aggregator
+	var conns []transport.Conn
+	aggErr := make(chan error, len(cfg.Aggregators))
+	for _, id := range cfg.Aggregators {
+		conn := fabric.Wrap(nw.AddNode(id))
+		agg, err := NewAggregator(conn, cfg)
+		if err != nil {
+			return nil, err
+		}
+		aggs = append(aggs, agg)
+		conns = append(conns, conn)
+		go func(a *Aggregator) { aggErr <- a.Run() }(agg)
+	}
+	workers := make([]*Worker, cfg.Workers)
+	for i := range workers {
+		conn := fabric.Wrap(nw.Conn(i))
+		w, err := NewWorker(conn, cfg)
+		if err != nil {
+			return nil, err
+		}
+		workers[i] = w
+		conns = append(conns, conn)
+	}
+
+	start := time.Now()
+	errs := make(chan error, cfg.Workers)
+	for i, w := range workers {
+		go func(i int, w *Worker) { errs <- w.AllReduce(work[i]) }(i, w)
+	}
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	var firstErr error
+	for i := 0; i < cfg.Workers; i++ {
+		select {
+		case err := <-errs:
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		case <-timer.C:
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, fmt.Errorf("core: chaos scenario deadline (%v) exceeded", deadline)
+		}
+	}
+	elapsed := time.Since(start)
+	for _, c := range conns {
+		c.Close()
+	}
+	// Aggregator stats are written by the Run goroutines; wait for them.
+	for range aggs {
+		if err := <-aggErr; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	rep := &ChaosReport{
+		Exact:        true,
+		Events:       fabric.Counts(),
+		WindowEvents: fabric.WindowEvents(),
+		Elapsed:      elapsed,
+	}
+	for w := range work {
+		for i := range ref {
+			if work[w][i] != ref[i] {
+				rep.Exact = false
+			}
+			d := float64(work[w][i]) - float64(ref[i])
+			if d < 0 {
+				d = -d
+			}
+			if d > rep.MaxAbsErr {
+				rep.MaxAbsErr = d
+			}
+		}
+	}
+	for _, w := range workers {
+		rep.WorkerStats = append(rep.WorkerStats, w.Stats.Snapshot())
+	}
+	for _, a := range aggs {
+		rep.AggStats = append(rep.AggStats, a.Stats)
+	}
+	return rep, nil
+}

@@ -45,9 +45,25 @@ type Config struct {
 	// Reliable indicates the transport delivers every message in order
 	// (channel/TCP). When false, Algorithm 2 loss recovery is active.
 	Reliable bool
-	// RetransmitTimeout is the worker's per-packet loss-detection timer
-	// (unreliable mode only). Default 20ms.
+	// RetransmitTimeout is the worker's initial per-packet loss-detection
+	// timer (unreliable mode only). Default 20ms.
 	RetransmitTimeout time.Duration
+	// RetransmitBackoff multiplies a stream's timeout after every
+	// retransmission (exponential backoff), so a worker facing a long
+	// outage — a partition, a dead aggregator — backs off instead of
+	// flooding the fabric at a fixed rate. The timeout resets to
+	// RetransmitTimeout as soon as a result arrives. Default 2; must be
+	// >= 1 when set.
+	RetransmitBackoff float64
+	// RetransmitCeiling caps the backed-off timeout. Default
+	// 16*RetransmitTimeout.
+	RetransmitCeiling time.Duration
+	// RetransmitJitter is the fractional random jitter applied to every
+	// backed-off timeout, in [0, 1): each retransmission waits
+	// timeout*(1 ± jitter) to de-synchronize workers that lost the same
+	// multicast. Drawn from a per-worker deterministic source, so runs
+	// remain reproducible. Default 0.1.
+	RetransmitJitter float64
 	// MaxRetries bounds per-packet retransmissions in unreliable mode;
 	// exceeding it fails the collective with an error (e.g. the
 	// aggregator is gone). Zero means retry forever.
@@ -87,6 +103,15 @@ func (c Config) withDefaults() Config {
 	if c.RetransmitTimeout == 0 {
 		c.RetransmitTimeout = 20 * time.Millisecond
 	}
+	if c.RetransmitBackoff == 0 {
+		c.RetransmitBackoff = 2
+	}
+	if c.RetransmitCeiling == 0 {
+		c.RetransmitCeiling = 16 * c.RetransmitTimeout
+	}
+	if c.RetransmitJitter == 0 {
+		c.RetransmitJitter = 0.1
+	}
 	return c
 }
 
@@ -103,6 +128,15 @@ func (c Config) Validate() error {
 	}
 	if c.QuantizeScale < 0 {
 		return fmt.Errorf("core: QuantizeScale must be non-negative")
+	}
+	if c.RetransmitBackoff != 0 && c.RetransmitBackoff < 1 {
+		return fmt.Errorf("core: RetransmitBackoff must be >= 1, got %v", c.RetransmitBackoff)
+	}
+	if c.RetransmitJitter < 0 || c.RetransmitJitter >= 1 {
+		return fmt.Errorf("core: RetransmitJitter must be in [0, 1), got %v", c.RetransmitJitter)
+	}
+	if c.RetransmitCeiling < 0 || (c.RetransmitCeiling > 0 && c.RetransmitCeiling < c.RetransmitTimeout) {
+		return fmt.Errorf("core: RetransmitCeiling %v below RetransmitTimeout %v", c.RetransmitCeiling, c.RetransmitTimeout)
 	}
 	return nil
 }

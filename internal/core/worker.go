@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"omnireduce/internal/metrics"
 	"omnireduce/internal/tensor"
 	"omnireduce/internal/transport"
 	"omnireduce/internal/wire"
@@ -41,9 +43,11 @@ type Stats struct {
 	BlocksSent   int64 // non-bootstrap data blocks transmitted
 	PacketsSent  int64
 	BytesSent    int64 // encoded packet bytes, including retransmissions
-	Retransmits  int64
+	Retransmits  int64 // timer-driven resends, distinct from PacketsSent
 	AcksSent     int64 // empty payload packets (unreliable mode)
 	ResultsRecvd int64
+	StaleResults int64 // duplicate or out-of-round results filtered out
+	Backoffs     int64 // retransmissions sent at a backed-off (>base) timeout
 }
 
 // Snapshot returns an atomic-read copy of the counters.
@@ -55,7 +59,22 @@ func (s *Stats) Snapshot() Stats {
 		Retransmits:  atomic.LoadInt64(&s.Retransmits),
 		AcksSent:     atomic.LoadInt64(&s.AcksSent),
 		ResultsRecvd: atomic.LoadInt64(&s.ResultsRecvd),
+		StaleResults: atomic.LoadInt64(&s.StaleResults),
+		Backoffs:     atomic.LoadInt64(&s.Backoffs),
 	}
+}
+
+// RecoveryCounters exports the loss-recovery subset of the counters as a
+// metrics counter set (one named counter per recovery event kind), ready
+// for rendering or merging across workers.
+func (s *Stats) RecoveryCounters() *metrics.Counters {
+	snap := s.Snapshot()
+	c := metrics.NewCounters()
+	c.Add("retransmits", snap.Retransmits)
+	c.Add("backoffs", snap.Backoffs)
+	c.Add("acks_sent", snap.AcksSent)
+	c.Add("stale_results_filtered", snap.StaleResults)
+	return c
 }
 
 // NewWorker creates a worker bound to conn; conn.LocalID() must be in
@@ -173,7 +192,8 @@ type wStream struct {
 	done    bool
 	last    []byte // last transmitted packet, for retransmission
 	sentAt  time.Time
-	retries int // retransmissions of the current packet
+	retries int           // retransmissions of the current packet
+	timeout time.Duration // current loss-detection timer (backs off)
 }
 
 // AllReduce sums data element-wise across all workers; on return, data
@@ -277,10 +297,14 @@ func (w *Worker) runAllReduce(data []float32, tid uint32, msgCh chan transport.M
 
 	var ticker *time.Ticker
 	var tickCh <-chan time.Time
+	var jitterRng *rand.Rand
 	if !w.cfg.Reliable {
 		ticker = time.NewTicker(w.cfg.RetransmitTimeout / 2)
 		defer ticker.Stop()
 		tickCh = ticker.C
+		// Jitter is deterministic per (worker, tensor): reruns of the same
+		// job schedule the same retransmission pattern.
+		jitterRng = rand.New(rand.NewSource(int64(w.id)<<32 ^ int64(tid)))
 	}
 
 	for active > 0 {
@@ -311,21 +335,45 @@ func (w *Worker) runAllReduce(data []float32, tid uint32, msgCh chan transport.M
 				if st == nil || st.done || st.last == nil {
 					continue
 				}
-				if now.Sub(st.sentAt) >= w.cfg.RetransmitTimeout {
+				if now.Sub(st.sentAt) >= st.timeout {
 					if w.cfg.MaxRetries > 0 && st.retries >= w.cfg.MaxRetries {
 						return fmt.Errorf("core: worker %d stream %d: no response after %d retransmissions",
 							w.id, st.idx, st.retries)
 					}
 					st.retries++
-					atomic.AddInt64(&w.Stats.Retransmits, 1)
 					if err := w.resend(st); err != nil {
 						return err
 					}
+					w.backoff(st, jitterRng)
 				}
 			}
 		}
 	}
 	return nil
+}
+
+// backoff grows a stream's retransmission timeout exponentially with
+// jitter, up to the configured ceiling, after a timer expiry. A fixed
+// timer under sustained loss retransmits into the same congested or
+// partitioned link at full rate; backing off (and jittering, so workers
+// that lost the same multicast do not resynchronize) is the standard
+// hardening the paper's fixed-timer description leaves out.
+func (w *Worker) backoff(st *wStream, rng *rand.Rand) {
+	next := time.Duration(float64(st.timeout) * w.cfg.RetransmitBackoff)
+	if next > w.cfg.RetransmitCeiling {
+		next = w.cfg.RetransmitCeiling
+	}
+	if j := w.cfg.RetransmitJitter; j > 0 && rng != nil {
+		f := 1 + j*(2*rng.Float64()-1)
+		next = time.Duration(float64(next) * f)
+	}
+	if next < w.cfg.RetransmitTimeout {
+		next = w.cfg.RetransmitTimeout
+	}
+	if next > st.timeout {
+		atomic.AddInt64(&w.Stats.Backoffs, 1)
+	}
+	st.timeout = next
 }
 
 func (w *Worker) decodeResult(m transport.Message, streams []*wStream, tid uint32) (*wStream, *wire.Packet, error) {
@@ -337,6 +385,7 @@ func (w *Worker) decodeResult(m transport.Message, streams []*wStream, tid uint3
 		return nil, nil, fmt.Errorf("core: worker decode: %w", err)
 	}
 	if p.TensorID != tid {
+		atomic.AddInt64(&w.Stats.StaleResults, 1)
 		return nil, nil, nil // stale result from a previous tensor
 	}
 	if int(p.Slot) >= len(streams) || streams[p.Slot] == nil {
@@ -344,9 +393,11 @@ func (w *Worker) decodeResult(m transport.Message, streams []*wStream, tid uint3
 	}
 	st := streams[p.Slot]
 	if st.done {
+		atomic.AddInt64(&w.Stats.StaleResults, 1)
 		return nil, nil, nil // duplicate final result
 	}
 	if !w.cfg.Reliable && p.Version != st.ver {
+		atomic.AddInt64(&w.Stats.StaleResults, 1)
 		return nil, nil, nil // duplicate of an already-processed round
 	}
 	return st, p, nil
@@ -421,14 +472,19 @@ func (w *Worker) sendStream(st *wStream, p *wire.Packet) error {
 	st.last = wire.AppendPacket(st.last[:0], p)
 	st.sentAt = time.Now()
 	st.retries = 0
+	st.timeout = w.cfg.RetransmitTimeout // fresh packet: reset backoff
 	atomic.AddInt64(&w.Stats.PacketsSent, 1)
 	atomic.AddInt64(&w.Stats.BytesSent, int64(len(st.last)))
 	return w.conn.Send(w.cfg.aggregatorFor(st.idx), st.last)
 }
 
+// resend retransmits the stream's last packet. It counts toward both
+// PacketsSent (wire traffic) and the dedicated Retransmits recovery
+// metric, so loss analyses can separate first transmissions from repairs.
 func (w *Worker) resend(st *wStream) error {
 	st.sentAt = time.Now()
 	atomic.AddInt64(&w.Stats.PacketsSent, 1)
+	atomic.AddInt64(&w.Stats.Retransmits, 1)
 	atomic.AddInt64(&w.Stats.BytesSent, int64(len(st.last)))
 	return w.conn.Send(w.cfg.aggregatorFor(st.idx), st.last)
 }

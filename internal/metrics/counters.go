@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+)
+
+// Counters is a small set of named monotonic event counters, safe for
+// concurrent use. The protocol layers use it to expose per-event recovery
+// metrics (retransmissions, replays, filtered duplicates) in a form the
+// reporting toolkit can render and merge across nodes.
+type Counters struct {
+	mu    sync.Mutex
+	order []string
+	vals  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{vals: make(map[string]int64)}
+}
+
+// Add increments the named counter by delta, creating it at zero first.
+// Counter creation order is remembered for rendering.
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.vals[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.vals[name] += delta
+}
+
+// Get returns the named counter's value (zero if absent).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vals[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.vals))
+	for k, v := range c.vals {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge adds every counter of other into c, preserving other's creation
+// order for counters c does not yet have.
+func (c *Counters) Merge(other *Counters) {
+	names := other.Names()
+	snap := other.Snapshot()
+	for _, name := range names {
+		c.Add(name, snap[name])
+	}
+}
+
+// Total returns the sum of all counters.
+func (c *Counters) Total() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t int64
+	for _, v := range c.vals {
+		t += v
+	}
+	return t
+}
+
+// Names returns the counter names in creation order.
+func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.order...)
+}
+
+// Table renders the counters as a two-column table in creation order.
+func (c *Counters) Table(title string) *Table {
+	c.mu.Lock()
+	names := append([]string(nil), c.order...)
+	vals := make([]int64, len(names))
+	for i, n := range names {
+		vals[i] = c.vals[n]
+	}
+	c.mu.Unlock()
+	t := NewTable(title, "event", "count")
+	for i, n := range names {
+		t.AddRow(n, vals[i])
+	}
+	return t
+}
+
+// SortedNames returns the counter names sorted lexicographically.
+func (c *Counters) SortedNames() []string {
+	n := c.Names()
+	sort.Strings(n)
+	return n
+}

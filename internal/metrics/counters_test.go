@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters()
+	c.Add("retransmits", 3)
+	c.Add("backoffs", 1)
+	c.Add("retransmits", 2)
+	if got := c.Get("retransmits"); got != 5 {
+		t.Fatalf("retransmits = %d", got)
+	}
+	if got := c.Get("missing"); got != 0 {
+		t.Fatalf("missing = %d", got)
+	}
+	if got := c.Total(); got != 6 {
+		t.Fatalf("total = %d", got)
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "retransmits" || names[1] != "backoffs" {
+		t.Fatalf("creation order lost: %v", names)
+	}
+	sorted := c.SortedNames()
+	if sorted[0] != "backoffs" || sorted[1] != "retransmits" {
+		t.Fatalf("sorted = %v", sorted)
+	}
+}
+
+func TestCountersMergePreservesOrder(t *testing.T) {
+	a := NewCounters()
+	a.Add("x", 1)
+	b := NewCounters()
+	b.Add("y", 2)
+	b.Add("z", 3)
+	b.Add("x", 10)
+	a.Merge(b)
+	if got := a.Get("x"); got != 11 {
+		t.Fatalf("x = %d", got)
+	}
+	names := a.Names()
+	if len(names) != 3 || names[0] != "x" || names[1] != "y" || names[2] != "z" {
+		t.Fatalf("merge order = %v", names)
+	}
+	snap := a.Snapshot()
+	snap["x"] = 0 // snapshot is a copy
+	if a.Get("x") != 11 {
+		t.Fatal("snapshot aliased internal state")
+	}
+}
+
+func TestCountersTable(t *testing.T) {
+	c := NewCounters()
+	c.Add("dups_filtered", 7)
+	c.Add("stale_rounds", 0)
+	out := c.Table("recovery").String()
+	if !strings.Contains(out, "dups_filtered") || !strings.Contains(out, "7") {
+		t.Fatalf("table missing rows:\n%s", out)
+	}
+	if c.Table("recovery").Rows() != 2 {
+		t.Fatal("zero-valued counters must still render")
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1_000; i++ {
+				c.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("n"); got != 8_000 {
+		t.Fatalf("n = %d", got)
+	}
+}

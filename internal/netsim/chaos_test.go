@@ -1,0 +1,142 @@
+package netsim
+
+import "testing"
+
+// Tests for the simulator's failure models: Gilbert–Elliott burst loss,
+// one-way partitions, and latency jitter, mirroring the live chaos fabric
+// in internal/transport but running in virtual time.
+
+func chaosPair(latency float64, seed int64) (*Net, *Node, *Node, *int) {
+	n := NewNet(latency, 0, seed)
+	a := n.AddNode(0, Gbps(10), Gbps(10))
+	b := n.AddNode(1, Gbps(10), Gbps(10))
+	got := new(int)
+	b.Handler = func(Message) { *got++ }
+	a.Handler = func(Message) {}
+	return n, a, b, got
+}
+
+func TestBurstLossClusters(t *testing.T) {
+	n, a, _, got := chaosPair(1e-6, 42)
+	n.SetBurstLoss(0.02, 0.25, 0, 0.95)
+	const msgs = 20_000
+	// Track drop runs by sending one message per event and reading the
+	// counter delta.
+	runs, cur := []int{}, 0
+	for i := 0; i < msgs; i++ {
+		before := n.BurstDrops
+		a.Send(1, 100, nil)
+		n.Sim.Run()
+		if n.BurstDrops > before {
+			cur++
+		} else if cur > 0 {
+			runs = append(runs, cur)
+			cur = 0
+		}
+	}
+	if *got == msgs {
+		t.Fatal("burst loss dropped nothing")
+	}
+	rate := float64(n.BurstDrops) / msgs
+	// Stationary bad-state probability 0.02/(0.02+0.25) ~ 0.074, times
+	// DropBad 0.95 ~ 7% expected loss.
+	if rate < 0.02 || rate > 0.2 {
+		t.Fatalf("burst loss rate %v outside plausible band", rate)
+	}
+	var sum int
+	for _, r := range runs {
+		sum += r
+	}
+	if len(runs) == 0 || float64(sum)/float64(len(runs)) < 1.5 {
+		t.Fatalf("losses did not cluster: %d runs, mean length %v",
+			len(runs), float64(sum)/float64(len(runs)))
+	}
+}
+
+func TestOneWayPartition(t *testing.T) {
+	n, a, b, got := chaosPair(1e-6, 1)
+	backGot := 0
+	a.Handler = func(Message) { backGot++ }
+	n.PartitionLink(0, 1)
+	for i := 0; i < 10; i++ {
+		a.Send(1, 100, nil)
+		b.Send(0, 100, nil)
+	}
+	n.Sim.Run()
+	if *got != 0 {
+		t.Fatalf("partitioned direction delivered %d messages", *got)
+	}
+	if backGot != 10 {
+		t.Fatalf("reverse direction lost messages: %d/10", backGot)
+	}
+	if n.Partitioned != 10 {
+		t.Fatalf("Partitioned = %d", n.Partitioned)
+	}
+	n.HealLink(0, 1)
+	a.Send(1, 100, nil)
+	n.Sim.Run()
+	if *got != 1 {
+		t.Fatal("healed link did not deliver")
+	}
+}
+
+func TestPartitionWildcard(t *testing.T) {
+	n := NewNet(1e-6, 0, 1)
+	agg := n.AddNode(2, Gbps(10), Gbps(10))
+	aggGot := 0
+	agg.Handler = func(Message) { aggGot++ }
+	w0 := n.AddNode(0, Gbps(10), Gbps(10))
+	w1 := n.AddNode(1, Gbps(10), Gbps(10))
+	n.PartitionLink(-1, 2) // every node -> aggregator
+	w0.Send(2, 100, nil)
+	w1.Send(2, 100, nil)
+	n.Sim.Run()
+	if aggGot != 0 {
+		t.Fatalf("wildcard partition delivered %d", aggGot)
+	}
+}
+
+func TestJitterPerturbsArrival(t *testing.T) {
+	n, a, _, got := chaosPair(1e-3, 7)
+	n.SetJitter(5e-3)
+	var arrivals []float64
+	nodeB := n.Node(1)
+	nodeB.Handler = func(Message) { arrivals = append(arrivals, n.Sim.Now()) }
+	for i := 0; i < 50; i++ {
+		a.Send(1, 10, nil)
+	}
+	n.Sim.Run()
+	_ = got
+	if len(arrivals) != 50 {
+		t.Fatalf("jitter lost messages: %d/50", len(arrivals))
+	}
+	// With 5ms jitter over 1ms base latency the spread must exceed the
+	// serialization spacing of back-to-back tiny messages.
+	min, max := arrivals[0], arrivals[0]
+	for _, v := range arrivals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max-min < 1e-3 {
+		t.Fatalf("arrival spread %v too small for 5ms jitter", max-min)
+	}
+}
+
+func TestUniformLossStillCounts(t *testing.T) {
+	n, a, _, got := chaosPair(1e-6, 11)
+	n.Loss = 0.5
+	for i := 0; i < 1_000; i++ {
+		a.Send(1, 100, nil)
+	}
+	n.Sim.Run()
+	if n.Dropped == 0 || *got == 0 {
+		t.Fatalf("dropped %d delivered %d", n.Dropped, *got)
+	}
+	if int(n.Dropped)+*got != 1_000 {
+		t.Fatalf("accounting mismatch: %d + %d != 1000", n.Dropped, *got)
+	}
+}

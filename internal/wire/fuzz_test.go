@@ -1,7 +1,11 @@
 package wire
 
 import (
+	"bytes"
+	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 	"testing"
 	"testing/quick"
 )
@@ -73,6 +77,145 @@ func TestDecodePacketBitflips(t *testing.T) {
 	}
 }
 
+// seedPackets are valid encodings of representative packets, used both as
+// fuzz seeds and by the corpus generator.
+func seedPackets() [][]byte {
+	ps := []*Packet{
+		{Type: TypeData, Version: 1, Slot: 3, WID: 2, TensorID: 9, BlockSize: 8,
+			Nexts:  []uint32{16, Inf(1)},
+			Blocks: []Block{{Index: 4, Data: []float32{1, 2, 3, 4, 5, 6, 7, 8}}}},
+		{Type: TypeResult, Version: 200, Slot: 0, WID: 0, TensorID: 1, BlockSize: 4,
+			Nexts:  []uint32{Inf(0), Inf(1), Inf(2), Inf(3)},
+			Blocks: nil}, // pure ack / completion
+		{Type: TypeData, DType: DTypeF16, Version: 7, Slot: 1, WID: 5, TensorID: 3,
+			BlockSize: 2, Nexts: []uint32{8, 9, 10},
+			Blocks: []Block{
+				{Index: 3, Data: []float32{0.5, -2}},
+				{Index: 4, Data: []float32{65504, 0}},
+				{Index: 5, Data: []float32{1}}, // short tail block
+			}},
+	}
+	var out [][]byte
+	for _, p := range ps {
+		out = append(out, AppendPacket(nil, p))
+	}
+	out = append(out, AppendSparsePacket(nil, &SparsePacket{
+		Type: TypeSparseData, WID: 1, TensorID: 2, NextKey: 77,
+		Keys: []uint32{3, 9, 40}, Values: []float32{1, -1, 0.25},
+	}))
+	out = append(out, AppendSparsePacket(nil, &SparsePacket{
+		Type: TypeSparseResult, WID: 0, TensorID: 2, NextKey: InfKey,
+	}))
+	return out
+}
+
+// chaosMutations derives deterministic corruptions of buf — the same
+// damage the chaos fabric and a hostile network inflict: truncation,
+// duplication (datagram concatenation), and bit flips.
+func chaosMutations(buf []byte) [][]byte {
+	var muts [][]byte
+	for _, cut := range []int{0, 1, len(buf) / 2, len(buf) - 1} {
+		if cut >= 0 && cut <= len(buf) {
+			muts = append(muts, buf[:cut])
+		}
+	}
+	muts = append(muts, append(append([]byte(nil), buf...), buf...))
+	for i := 0; i < len(buf); i += 1 + len(buf)/16 {
+		m := append([]byte(nil), buf...)
+		m[i] ^= 1 << uint(i%8)
+		muts = append(muts, m)
+	}
+	return muts
+}
+
+// reencodable reports whether a decoded packet may be passed back to
+// AppendPacket: the encoder panics (by contract) unless blocks arrive in
+// strictly ascending column order, a property corrupted indices can break.
+func reencodable(p *Packet) bool {
+	if len(p.Nexts) == 0 || len(p.Nexts) > MaxCols {
+		return false
+	}
+	prev := -1
+	for _, b := range p.Blocks {
+		col := int(b.Index) % len(p.Nexts)
+		if col <= prev {
+			return false
+		}
+		prev = col
+	}
+	return true
+}
+
+// FuzzDecodePacket exercises the dense decoder on arbitrary and mutated
+// inputs: no panics ever, and any buffer that decodes must survive an
+// encode/decode round trip (byte-exact for float32 payloads).
+func FuzzDecodePacket(f *testing.F) {
+	for _, seed := range seedPackets() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		check := func(b []byte) {
+			p, err := DecodePacket(b)
+			if err != nil {
+				return
+			}
+			if !reencodable(p) {
+				return
+			}
+			enc := AppendPacket(nil, p)
+			q, err := DecodePacket(enc)
+			if err != nil {
+				t.Fatalf("re-decode of re-encoded packet failed: %v", err)
+			}
+			if p.DType == DTypeF32 {
+				// Float32 payloads are bit-transparent, so encoding the
+				// decoded packet must be idempotent.
+				if enc2 := AppendPacket(nil, q); !bytes.Equal(enc, enc2) {
+					t.Fatalf("f32 round trip not idempotent:\n  %x\n  %x", enc, enc2)
+				}
+			} else if len(q.Blocks) != len(p.Blocks) || q.Cols() != p.Cols() {
+				// Half precision may renormalize NaN payloads; structure
+				// must still survive.
+				t.Fatalf("f16 round trip changed structure: %d/%d blocks, %d/%d cols",
+					len(q.Blocks), len(p.Blocks), q.Cols(), p.Cols())
+			}
+		}
+		check(buf)
+		for _, m := range chaosMutations(buf) {
+			check(m)
+		}
+	})
+}
+
+// FuzzDecodeSparsePacket is the key-value analogue; sparse payloads are
+// always float32, so the round trip must be byte-exact whenever the
+// original buffer has no trailing garbage.
+func FuzzDecodeSparsePacket(f *testing.F) {
+	for _, seed := range seedPackets() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		check := func(b []byte) {
+			p, err := DecodeSparsePacket(b)
+			if err != nil {
+				return
+			}
+			enc := AppendSparsePacket(nil, p)
+			q, err := DecodeSparsePacket(enc)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if enc2 := AppendSparsePacket(nil, q); !bytes.Equal(enc, enc2) {
+				t.Fatalf("sparse round trip not idempotent:\n  %x\n  %x", enc, enc2)
+			}
+		}
+		check(buf)
+		for _, m := range chaosMutations(buf) {
+			check(m)
+		}
+	})
+}
+
 // Huge declared lengths must fail cleanly rather than allocating wildly:
 // a corrupted block-length field is bounded by the buffer check.
 func TestDecodePacketHugeDeclaredLength(t *testing.T) {
@@ -87,5 +230,67 @@ func TestDecodePacketHugeDeclaredLength(t *testing.T) {
 	buf[off+3] = 0x7F
 	if _, err := DecodePacket(buf); err == nil {
 		t.Fatal("accepted packet with 2^31 declared block length")
+	}
+}
+
+// TestRegenerateFuzzCorpus rewrites the checked-in regression corpus under
+// testdata/fuzz from seedPackets and their chaos mutations. Run with
+// WIRE_CORPUS_GEN=1 after changing the wire format; normally it only
+// verifies every corpus entry still parses without panicking.
+func TestRegenerateFuzzCorpus(t *testing.T) {
+	targets := []string{"FuzzDecodePacket", "FuzzDecodeSparsePacket"}
+	if os.Getenv("WIRE_CORPUS_GEN") != "" {
+		for _, target := range targets {
+			dir := "testdata/fuzz/" + target
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			i := 0
+			emit := func(buf []byte) {
+				body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(buf)) + ")\n"
+				name := fmt.Sprintf("%s/seed-%03d", dir, i)
+				i++
+				if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, seed := range seedPackets() {
+				emit(seed)
+				for _, m := range chaosMutations(seed) {
+					emit(m)
+				}
+			}
+		}
+		return
+	}
+	for _, target := range targets {
+		dir := "testdata/fuzz/" + target
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("regression corpus missing (regenerate with WIRE_CORPUS_GEN=1): %v", err)
+		}
+		if len(entries) == 0 {
+			t.Fatalf("empty corpus in %s", dir)
+		}
+		for _, e := range entries {
+			raw, err := os.ReadFile(dir + "/" + e.Name())
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines := bytes.SplitN(raw, []byte("\n"), 3)
+			if len(lines) < 2 || string(lines[0]) != "go test fuzz v1" {
+				t.Fatalf("%s/%s: not a go fuzz corpus file", dir, e.Name())
+			}
+			body := string(lines[1])
+			if len(body) < len("[]byte(\"\")") || body[:7] != "[]byte(" {
+				t.Fatalf("%s/%s: unexpected corpus entry %q", dir, e.Name(), body)
+			}
+			s, err := strconv.Unquote(body[7 : len(body)-1])
+			if err != nil {
+				t.Fatalf("%s/%s: %v", dir, e.Name(), err)
+			}
+			_, _ = DecodePacket([]byte(s))
+			_, _ = DecodeSparsePacket([]byte(s))
+		}
 	}
 }

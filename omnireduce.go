@@ -139,19 +139,27 @@ func (w *Worker) Stats() Stats {
 		PacketsSent:  s.PacketsSent,
 		BytesSent:    s.BytesSent,
 		Retransmits:  s.Retransmits,
+		Backoffs:     s.Backoffs,
 		AcksSent:     s.AcksSent,
 		ResultsRecvd: s.ResultsRecvd,
+		StaleResults: s.StaleResults,
 	}
 }
 
-// Stats mirrors the protocol counters.
+// Stats mirrors the protocol counters. Retransmits counts timer-driven
+// re-sends only (PacketsSent counts every transmission including those);
+// Backoffs counts retransmission-timeout increases under sustained loss;
+// StaleResults counts received result packets discarded as duplicates or
+// stale versions.
 type Stats struct {
 	BlocksSent   int64
 	PacketsSent  int64
 	BytesSent    int64
 	Retransmits  int64
+	Backoffs     int64
 	AcksSent     int64
 	ResultsRecvd int64
+	StaleResults int64
 }
 
 // SparseTensor is a coordinate-list sparse tensor: Keys strictly
