@@ -1,9 +1,10 @@
 # Development targets. `make tier1` is the gate every change must keep
-# green; `make race` is the heavier concurrency tier CI runs on top.
+# green; `make race` is the heavier concurrency tier CI runs on top, and
+# `make drift` guards live-cluster/simulator protocol equivalence.
 
 GO ?= go
 
-.PHONY: all tier1 vet race short-race fuzz chaos bench clean
+.PHONY: all tier1 vet race short-race fuzz chaos bench drift clean
 
 all: tier1
 
@@ -36,6 +37,13 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Drift tier: the substrate-equivalence test (live channel cluster vs the
+# discrete-event simulator must produce identical per-worker packet,
+# block, and byte counts and bit-identical results), plus vet.
+drift:
+	$(GO) vet ./...
+	$(GO) test -run 'TestSubstrateEquivalence' -v ./internal/netsim/simproto/
 
 clean:
 	$(GO) clean -testcache

@@ -1,54 +1,28 @@
 package core
 
 import (
+	"errors"
 	"fmt"
-	"math"
-	"sort"
 
 	"omnireduce/internal/metrics"
+	"omnireduce/internal/protocol"
 	"omnireduce/internal/transport"
 	"omnireduce/internal/wire"
 )
 
-// slotKey identifies one tensor's aggregation state on one stream slot:
-// several tensors may be in flight concurrently (AllReduceAsync bucket
-// pipelining), each with independent slot state.
-type slotKey struct {
-	slot     uint16
-	tensorID uint32
-}
-
-// Internal next-offset encoding: nextUnknown is Algorithm 1's -infinity
-// initial value (the aggregator has not heard from this worker yet);
-// nextDone means the worker/column has no further non-zero blocks.
-const (
-	nextUnknown int64 = -1
-	nextDone    int64 = math.MaxInt64
-)
-
 // Aggregator is one aggregator node: it owns the slots of every stream
-// mapped to it and runs the block aggregation of Algorithms 1 and 2 plus
+// mapped to it and serves the block aggregation of Algorithms 1 and 2 plus
 // the key-value aggregation of Algorithm 3. Create with NewAggregator and
 // drive with Run.
+//
+// The aggregation logic lives in protocol.AggregatorMachine; the
+// Aggregator is its I/O driver: it decodes inbound transport messages,
+// feeds them to the machine, and encodes and transmits the machine's
+// emits. Result multicasts are encoded once and fanned out.
 type Aggregator struct {
 	conn transport.Conn
 	cfg  Config
-
-	slots  map[slotKey]*aggSlot
-	sparse map[uint32]*sparseAgg
-
-	// archive keeps, per slot, the encoded final result of recently
-	// finished tensors so a lost final multicast can be replayed to a
-	// retransmitting worker even after the slot moved on (unreliable
-	// mode). Bounded to the two most recent tensors per slot.
-	archive map[uint16]map[uint32][]byte
-	// finished tracks exactly which tensor IDs have completed per slot
-	// (compactly: a completed prefix plus out-of-order exceptions), so
-	// stale packets cannot resurrect zombie slot state after their
-	// archive entry was evicted. Concurrent tensors may finish out of
-	// order, so a simple high-water mark would wrongly drop bootstraps of
-	// lower-numbered tensors still in flight.
-	finished map[uint16]*finishedTracker
+	m    *protocol.AggregatorMachine
 
 	encBuf []byte
 
@@ -62,7 +36,8 @@ type Aggregator struct {
 // counters distinguish the three fates of a non-live packet: a duplicate
 // of the current round (filtered), a packet from an old round (answered
 // with a replay when possible), and a packet for a tensor that finished
-// long enough ago that its archived result was evicted (dropped).
+// long enough ago that its archived result was evicted (dropped). It
+// mirrors protocol.AggStats field for field.
 type AggStats struct {
 	PacketsRecvd     int64
 	BlocksAggregated int64
@@ -93,18 +68,17 @@ func NewAggregator(conn transport.Conn, cfg Config) (*Aggregator, error) {
 		return nil, err
 	}
 	return &Aggregator{
-		conn:     conn,
-		cfg:      cfg,
-		slots:    make(map[slotKey]*aggSlot),
-		sparse:   make(map[uint32]*sparseAgg),
-		archive:  make(map[uint16]map[uint32][]byte),
-		finished: make(map[uint16]*finishedTracker),
+		conn: conn,
+		cfg:  cfg,
+		m:    protocol.NewAggregatorMachine(cfg.proto(), conn.LocalID()),
 	}, nil
 }
 
 // Run processes packets until the connection closes. It returns nil on
 // orderly shutdown (transport.ErrClosed) and the underlying error
-// otherwise.
+// otherwise. A close racing with an in-flight reply (the connection went
+// away between receiving a packet and transmitting its response) is also
+// orderly shutdown.
 func (a *Aggregator) Run() error {
 	for {
 		m, err := a.conn.Recv()
@@ -114,452 +88,59 @@ func (a *Aggregator) Run() error {
 			}
 			return err
 		}
-		a.Stats.PacketsRecvd++
 		if err := a.handle(m); err != nil {
+			if errors.Is(err, transport.ErrClosed) {
+				return nil
+			}
 			return err
 		}
 	}
 }
 
+// handle decodes one inbound message, runs it through the machine, and
+// transmits the machine's emits.
 func (a *Aggregator) handle(m transport.Message) error {
+	var msg protocol.Msg
 	switch wire.PeekType(m.Data) {
 	case wire.TypeData:
 		p, err := wire.DecodePacket(m.Data)
 		if err != nil {
 			return fmt.Errorf("core: aggregator decode: %w", err)
 		}
-		return a.handleDense(p)
+		msg.Dense = p
 	case wire.TypeSparseData:
 		p, err := wire.DecodeSparsePacket(m.Data)
 		if err != nil {
 			return fmt.Errorf("core: aggregator decode sparse: %w", err)
 		}
-		return a.handleSparse(p)
+		msg.Sparse = p
 	default:
 		return fmt.Errorf("core: aggregator received unexpected message type %d", wire.PeekType(m.Data))
 	}
-}
-
-// aggSlot is the per-stream aggregation state. Column arrays are indexed
-// by the fusion column (§3.2).
-//
-// Loss recovery generalizes Algorithm 2's two-way slot versioning to a
-// mod-256 round counter carried in the packet's Version byte: the paper's
-// single version bit cannot distinguish a retransmitted duplicate delayed
-// by two rounds from a current-round packet (tolerable on the paper's
-// single-switch fabric, not under arbitrary reordering), while a byte
-// gives 256 rounds of reordering slack. A packet for an older round is
-// answered with the previous round's result, which is exactly what a
-// straggling worker is missing.
-type aggSlot struct {
-	tensorID  uint32
-	blockSize int
-	cols      int
-	dtype     uint8
-
-	// cur[c] is the block index currently being aggregated for column c
-	// (nextUnknown until the first packet reveals it, nextDone when the
-	// column is finished).
-	cur []int64
-
-	// nexts[c][wid] is the latest "next non-zero block" report from each
-	// worker (reliable mode: persists across rounds because
-	// non-contributors stay silent).
-	nexts [][]int64
-
-	// Current-round aggregation state.
-	acc      []*accum // per column
-	minNext  []int64  // per-round min next (unreliable mode)
-	seen     []bool
-	count    int
-	round    uint8  // current round number mod 256 (unreliable mode)
-	lastRes  []byte // encoded result of the latest completed round
-	finished bool
-}
-
-func (a *Aggregator) newSlot(p *wire.Packet) *aggSlot {
-	cols := p.Cols()
-	s := &aggSlot{
-		tensorID:  p.TensorID,
-		blockSize: int(p.BlockSize),
-		cols:      cols,
-		dtype:     p.DType,
-		cur:       make([]int64, cols),
-		nexts:     make([][]int64, cols),
-	}
-	for c := range s.cur {
-		s.cur[c] = nextUnknown
-		s.nexts[c] = make([]int64, a.cfg.Workers)
-		for w := range s.nexts[c] {
-			s.nexts[c][w] = nextUnknown
-		}
-	}
-	s.acc = make([]*accum, cols)
-	for c := range s.acc {
-		s.acc[c] = newAccum(a.cfg)
-	}
-	s.minNext = make([]int64, cols)
-	for c := range s.minNext {
-		s.minNext[c] = nextDone
-	}
-	s.seen = make([]bool, a.cfg.Workers)
-	return s
-}
-
-// decodeNext converts a wire next-offset to the internal encoding.
-func decodeNext(v uint32) int64 {
-	if wire.IsInf(v) {
-		return nextDone
-	}
-	return int64(v)
-}
-
-func (a *Aggregator) handleDense(p *wire.Packet) error {
-	if int(p.WID) >= a.cfg.Workers {
-		return fmt.Errorf("core: packet from unknown worker %d", p.WID)
-	}
-	key := slotKey{p.Slot, p.TensorID}
-	sl := a.slots[key]
-	if sl == nil {
-		if done, ok := a.archive[p.Slot][p.TensorID]; ok {
-			// Stale retransmission for a finished tensor: replay the
-			// final result to the sender (Algorithm 2 replay path).
-			a.Stats.Replays++
-			return a.conn.Send(int(p.WID), done)
-		}
-		if a.isFinished(p.Slot, p.TensorID) {
-			// A finished tensor already evicted from the archive: cannot
-			// replay, but must not resurrect state either.
-			a.Stats.StaleFinished++
-			return nil
-		}
-		sl = a.newSlot(p)
-		a.slots[key] = sl
-	}
-	if p.Cols() != sl.cols || int(p.BlockSize) != sl.blockSize || p.DType != sl.dtype {
-		return fmt.Errorf("core: slot %d: inconsistent geometry from worker %d", p.Slot, p.WID)
-	}
-
-	if a.cfg.Reliable {
-		return a.processReliable(p, sl)
-	}
-	return a.processVersioned(p, sl)
-}
-
-// finishedTracker records a set of finished tensor IDs compactly: every
-// ID <= upTo has finished, plus the out-of-order exceptions above it.
-// Tensor IDs are allocated densely (1, 2, 3, ...) by the workers, so the
-// exception set stays bounded by the number of concurrent operations.
-type finishedTracker struct {
-	upTo   uint32
-	except map[uint32]bool
-}
-
-func (f *finishedTracker) add(tid uint32) {
-	if tid <= f.upTo {
-		return
-	}
-	if f.except == nil {
-		f.except = make(map[uint32]bool)
-	}
-	f.except[tid] = true
-	for f.except[f.upTo+1] {
-		delete(f.except, f.upTo+1)
-		f.upTo++
-	}
-}
-
-func (f *finishedTracker) has(tid uint32) bool {
-	return tid <= f.upTo || f.except[tid]
-}
-
-// isFinished reports whether tensorID already completed on this slot.
-func (a *Aggregator) isFinished(slot uint16, tensorID uint32) bool {
-	f := a.finished[slot]
-	return f != nil && f.has(tensorID)
-}
-
-func (a *Aggregator) markFinished(slot uint16, tensorID uint32) {
-	f := a.finished[slot]
-	if f == nil {
-		f = &finishedTracker{}
-		a.finished[slot] = f
-	}
-	f.add(tensorID)
-}
-
-// processReliable implements Algorithm 1 (+ Block Fusion): silent workers,
-// min-based completion.
-func (a *Aggregator) processReliable(p *wire.Packet, sl *aggSlot) error {
-	wid := int(p.WID)
-	if err := sl.merge(p, wid); err != nil {
+	emits, err := a.m.HandlePacket(msg)
+	a.Stats = AggStats(a.m.Stats())
+	if err != nil {
 		return err
 	}
-	for c := 0; c < sl.cols; c++ {
-		sl.nexts[c][wid] = decodeNext(p.Nexts[c])
-	}
-	// Completion: every column's current block is strictly below the
-	// global minimum next (line 22 of Algorithm 1, per column).
-	for c := 0; c < sl.cols; c++ {
-		if sl.cur[c] == nextDone {
-			continue
-		}
-		min := minOf(sl.nexts[c])
-		if min == nextUnknown || min <= sl.cur[c] {
-			return nil // column still collecting
-		}
-		// An uninitialized column (cur == nextUnknown) completes only
-		// once every worker reported, which min > nextUnknown implies.
-	}
-	concluded := sl.round
-	sl.round++
-	return a.finishRound(sl, p.Slot, concluded, func(c int) int64 { return minOf(sl.nexts[c]) })
+	return a.send(emits)
 }
 
-// processVersioned implements Algorithm 2 with the round-counter
-// extension: every worker sends exactly one packet (data or empty ack)
-// per round; duplicates within the current round are ignored; packets for
-// earlier rounds indicate the sender missed a result, which is replayed
-// unicast (the paper's lines 47-49 generalized).
-func (a *Aggregator) processVersioned(p *wire.Packet, sl *aggSlot) error {
-	wid := int(p.WID)
-	if p.Version != sl.round {
-		// An old-round packet (retransmission or reordered duplicate):
-		// the sender is at most one result behind a live round, and that
-		// missing result is lastRes. Deeper-stale duplicates receive a
-		// result their worker will discard by version mismatch.
-		a.Stats.StaleRounds++
-		if sl.lastRes != nil {
-			a.Stats.Replays++
-			return a.conn.Send(wid, sl.lastRes)
+// send encodes and transmits emits. Consecutive emits sharing one packet
+// (a result multicast) are encoded once.
+func (a *Aggregator) send(emits []protocol.Emit) error {
+	var lastPkt *wire.Packet
+	var lastSparse *wire.SparsePacket
+	encoded := false
+	for i := range emits {
+		e := &emits[i]
+		if !encoded || e.Packet != lastPkt || e.Sparse != lastSparse {
+			a.encBuf = e.Encode(a.encBuf[:0])
+			lastPkt, lastSparse = e.Packet, e.Sparse
+			encoded = true
 		}
-		return nil
-	}
-	if sl.seen[wid] {
-		a.Stats.DupsFiltered++
-		return nil // duplicate within the live round; original counted
-	}
-	sl.seen[wid] = true
-	sl.count++
-	if err := sl.merge(p, wid); err != nil {
-		return err
-	}
-	for c := 0; c < sl.cols; c++ {
-		n := decodeNext(p.Nexts[c])
-		if n < sl.minNext[c] {
-			sl.minNext[c] = n
-		}
-	}
-	if sl.count < a.cfg.Workers {
-		return nil
-	}
-	mins := append([]int64(nil), sl.minNext...)
-	// Advance the round before emitting so the result carries the round
-	// it concludes while new state is clean for the next one.
-	sl.count = 0
-	for i := range sl.seen {
-		sl.seen[i] = false
-	}
-	concluded := sl.round
-	sl.round++
-	return a.finishRound(sl, p.Slot, concluded, func(c int) int64 { return mins[c] })
-}
-
-// merge accumulates the packet's blocks into the slot's accumulators and
-// initializes column cursors from the block indices.
-func (sl *aggSlot) merge(p *wire.Packet, wid int) error {
-	for _, b := range p.Blocks {
-		c := colOf(b.Index, sl.cols)
-		if sl.cur[c] == nextUnknown {
-			sl.cur[c] = int64(b.Index)
-		}
-		if int64(b.Index) != sl.cur[c] {
-			return fmt.Errorf("core: worker %d sent block %d for column %d, expected %d",
-				wid, b.Index, c, sl.cur[c])
-		}
-		sl.acc[c].add(wid, b.Data)
-	}
-	return nil
-}
-
-// finishRound emits the multicast result for a completed round and
-// advances or finishes the slot. minFor(c) yields the new global next for
-// column c; round is the concluded round's number.
-func (a *Aggregator) finishRound(sl *aggSlot, slot uint16, round uint8, minFor func(int) int64) error {
-	res := &wire.Packet{
-		Type:      wire.TypeResult,
-		Version:   round,
-		DType:     sl.dtype,
-		Slot:      slot,
-		WID:       uint16(a.conn.LocalID() & 0xFFFF),
-		TensorID:  sl.tensorID,
-		BlockSize: uint32(sl.blockSize),
-		Nexts:     make([]uint32, sl.cols),
-	}
-	allDone := true
-	for c := 0; c < sl.cols; c++ {
-		if sl.cur[c] != nextUnknown && sl.cur[c] != nextDone {
-			res.Blocks = append(res.Blocks, wire.Block{
-				Index: uint32(sl.cur[c]),
-				Data:  sl.acc[c].result(),
-			})
-		}
-		min := minFor(c)
-		if sl.cur[c] == nextDone {
-			min = nextDone
-		}
-		if min == nextDone {
-			res.Nexts[c] = wire.Inf(c)
-			sl.cur[c] = nextDone
-		} else {
-			res.Nexts[c] = uint32(min)
-			sl.cur[c] = min
-			allDone = false
-		}
-		sl.acc[c].reset()
-		sl.minNext[c] = nextDone
-	}
-	a.encBuf = wire.AppendPacket(a.encBuf[:0], res)
-	enc := make([]byte, len(a.encBuf))
-	copy(enc, a.encBuf)
-	sl.lastRes = enc
-	if allDone {
-		sl.finished = true
-		a.archiveResult(slot, sl.tensorID, enc)
-		delete(a.slots, slotKey{slot, sl.tensorID})
-	}
-	a.Stats.RoundsCompleted++
-	a.Stats.BlocksAggregated += int64(len(res.Blocks))
-	for w := 0; w < a.cfg.Workers; w++ {
-		if err := a.conn.Send(w, enc); err != nil {
+		if err := a.conn.Send(e.Dst, a.encBuf); err != nil {
 			return err
 		}
-		a.Stats.ResultsSent++
 	}
 	return nil
-}
-
-// archiveDepth bounds the per-slot final-result archive; it must exceed
-// the number of concurrently outstanding tensors so a straggler can
-// always recover a lost final multicast.
-const archiveDepth = 16
-
-func (a *Aggregator) archiveResult(slot uint16, tensorID uint32, enc []byte) {
-	m := a.archive[slot]
-	if m == nil {
-		m = make(map[uint32][]byte)
-		a.archive[slot] = m
-	}
-	m[tensorID] = enc
-	a.markFinished(slot, tensorID)
-	// Bound the archive to the most recent tensor IDs.
-	if len(m) > archiveDepth {
-		ids := make([]uint32, 0, len(m))
-		for id := range m {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids[:len(ids)-archiveDepth] {
-			delete(m, id)
-		}
-	}
-}
-
-func minOf(v []int64) int64 {
-	m := v[0]
-	for _, x := range v[1:] {
-		if x < m {
-			m = x
-		}
-	}
-	return m
-}
-
-// accum accumulates one block-sized unit of aggregation, supporting plain
-// float32 summation, fixed-point (switch-mode) summation, and
-// deterministic worker-ID-ordered reduction.
-type accum struct {
-	det   bool
-	scale float64
-	f     []float32
-	q     []int64
-	per   map[int][]float32
-}
-
-func newAccum(cfg Config) *accum {
-	a := &accum{det: cfg.DeterministicOrder, scale: cfg.QuantizeScale}
-	if a.det {
-		a.per = make(map[int][]float32)
-	}
-	return a
-}
-
-func (a *accum) add(wid int, data []float32) {
-	if a.det {
-		c := make([]float32, len(data))
-		copy(c, data)
-		a.per[wid] = c
-		return
-	}
-	if a.scale != 0 {
-		if len(a.q) < len(data) {
-			a.q = append(a.q, make([]int64, len(data)-len(a.q))...)
-		}
-		for i, v := range data {
-			a.q[i] += int64(math.RoundToEven(float64(v) * a.scale))
-		}
-		return
-	}
-	if len(a.f) < len(data) {
-		a.f = append(a.f, make([]float32, len(data)-len(a.f))...)
-	}
-	for i, v := range data {
-		a.f[i] += v
-	}
-}
-
-func (a *accum) result() []float32 {
-	if a.det {
-		wids := make([]int, 0, len(a.per))
-		for w := range a.per {
-			wids = append(wids, w)
-		}
-		sort.Ints(wids)
-		var out []float32
-		for _, w := range wids {
-			d := a.per[w]
-			if len(out) < len(d) {
-				out = append(out, make([]float32, len(d)-len(out))...)
-			}
-			if a.scale != 0 {
-				// Deterministic + quantized: quantize each contribution.
-				for i, v := range d {
-					out[i] += float32(math.RoundToEven(float64(v)*a.scale) / a.scale)
-				}
-			} else {
-				for i, v := range d {
-					out[i] += v
-				}
-			}
-		}
-		return out
-	}
-	if a.scale != 0 {
-		out := make([]float32, len(a.q))
-		for i, v := range a.q {
-			out[i] = float32(float64(v) / a.scale)
-		}
-		return out
-	}
-	out := make([]float32, len(a.f))
-	copy(out, a.f)
-	return out
-}
-
-func (a *accum) reset() {
-	a.f = a.f[:0]
-	a.q = a.q[:0]
-	if a.det {
-		clear(a.per)
-	}
 }

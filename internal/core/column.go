@@ -1,70 +1,31 @@
 package core
 
 import (
+	"omnireduce/internal/protocol"
 	"omnireduce/internal/tensor"
-	"omnireduce/internal/wire"
 )
 
 // Column layout (§3.2): within a stream's shard [lo, hi) of global block
-// indices, column c holds the blocks b with b % width == c. The per-column
-// "rows" are those blocks in ascending order. This file holds the shared
-// shard/column arithmetic used by both worker and aggregator.
-
-// colOf returns the column of global block index b under fusion width w.
-func colOf(b uint32, w int) int { return int(b) % w }
+// indices, column c holds the blocks b with b % width == c. The shared
+// shard/column arithmetic lives in internal/protocol, where both the
+// worker and aggregator machines consume it; these wrappers keep the
+// package-local names used by core's unit tests.
 
 // firstInColumn returns the first global block index in [lo, hi) congruent
 // to c mod w, or -1 if the column is empty.
 func firstInColumn(lo, hi, c, w int) int {
-	// Smallest b >= lo with b % w == c.
-	r := lo % w
-	b := lo + ((c-r)%w+w)%w
-	if b >= hi {
-		return -1
-	}
-	return b
+	return protocol.FirstInColumn(lo, hi, c, w)
 }
 
 // nextNonZeroInColumn scans the bitmap for the next set block strictly
 // after `after` within [lo, hi) staying in column c (stride w). A negative
 // `after` starts the scan at the column's first block.
 func nextNonZeroInColumn(bm *tensor.Bitmap, after, lo, hi, c, w int) int {
-	start := firstInColumn(lo, hi, c, w)
-	if start < 0 {
-		return -1
-	}
-	b := start
-	if after >= start {
-		// Advance to the first column slot strictly after `after`.
-		b = after + w
-	}
-	for ; b < hi; b += w {
-		if bm.Get(b) {
-			return b
-		}
-	}
-	return -1
-}
-
-// nextOffsetWire converts a block index (or -1 for none) to the wire
-// next-offset encoding for column c.
-func nextOffsetWire(b, c int) uint32 {
-	if b < 0 {
-		return wire.Inf(c)
-	}
-	return uint32(b)
+	return protocol.NextNonZeroInColumn(bm.Get, after, lo, hi, c, w)
 }
 
 // blockLen returns the element count of global block b for a tensor of n
 // elements and block size bs (the final block may be short).
 func blockLen(b, bs, n int) int {
-	lo := b * bs
-	hi := lo + bs
-	if hi > n {
-		hi = n
-	}
-	if hi < lo {
-		return 0
-	}
-	return hi - lo
+	return protocol.BlockLen(b, bs, n)
 }

@@ -1,5 +1,16 @@
-// Package core implements the OmniReduce protocol: streaming sparse
-// AllReduce via coordinated block aggregation (SIGCOMM '21, §3).
+// Package core is the live-substrate driver of the OmniReduce protocol:
+// streaming sparse AllReduce via coordinated block aggregation
+// (SIGCOMM '21, §3).
+//
+// The protocol itself — Algorithm 1 streaming, §3.1.1 slot/stream
+// scheduling, §3.2 Block Fusion, Algorithm 2 loss recovery, and
+// Algorithm 3 sparse key-value mode — lives in internal/protocol as pure
+// event-driven state machines. This package owns only the I/O: it pumps
+// real transport.Conn messages and wall-clock retransmission ticks through
+// the machines, encodes their emitted packets, and mirrors their counters
+// into the public Stats surfaces. The discrete-event simulator
+// (internal/netsim/simproto) drives the same machines in virtual time, so
+// the two substrates cannot diverge.
 //
 // The tensor is split into blocks of Config.BlockSize elements. Workers
 // transmit only non-zero blocks; one or more aggregators coordinate, each
@@ -21,8 +32,9 @@
 package core
 
 import (
-	"fmt"
 	"time"
+
+	"omnireduce/internal/protocol"
 )
 
 // Config parameterizes workers and aggregators. Every participant in a
@@ -89,79 +101,54 @@ type Config struct {
 	QuantizeScale float64
 }
 
-// withDefaults fills zero fields with paper defaults.
+// proto converts to the protocol-machine configuration, field for field.
+func (c Config) proto() protocol.Config {
+	return protocol.Config{
+		Workers:            c.Workers,
+		Aggregators:        c.Aggregators,
+		BlockSize:          c.BlockSize,
+		FusionWidth:        c.FusionWidth,
+		Streams:            c.Streams,
+		Reliable:           c.Reliable,
+		RetransmitTimeout:  c.RetransmitTimeout,
+		RetransmitBackoff:  c.RetransmitBackoff,
+		RetransmitCeiling:  c.RetransmitCeiling,
+		RetransmitJitter:   c.RetransmitJitter,
+		MaxRetries:         c.MaxRetries,
+		DeterministicOrder: c.DeterministicOrder,
+		HalfPrecision:      c.HalfPrecision,
+		ForceDense:         c.ForceDense,
+		QuantizeScale:      c.QuantizeScale,
+	}
+}
+
+// withDefaults fills zero fields from protocol.Defaults, the single
+// source of paper-default parameters shared with the simulator.
 func (c Config) withDefaults() Config {
-	if c.BlockSize == 0 {
-		c.BlockSize = 256
-	}
-	if c.FusionWidth == 0 {
-		c.FusionWidth = 8
-	}
-	if c.Streams == 0 {
-		c.Streams = 4
-	}
-	if c.RetransmitTimeout == 0 {
-		c.RetransmitTimeout = 20 * time.Millisecond
-	}
-	if c.RetransmitBackoff == 0 {
-		c.RetransmitBackoff = 2
-	}
-	if c.RetransmitCeiling == 0 {
-		c.RetransmitCeiling = 16 * c.RetransmitTimeout
-	}
-	if c.RetransmitJitter == 0 {
-		c.RetransmitJitter = 0.1
-	}
+	p := c.proto().WithDefaults()
+	c.BlockSize = p.BlockSize
+	c.FusionWidth = p.FusionWidth
+	c.Streams = p.Streams
+	c.RetransmitTimeout = p.RetransmitTimeout
+	c.RetransmitBackoff = p.RetransmitBackoff
+	c.RetransmitCeiling = p.RetransmitCeiling
+	c.RetransmitJitter = p.RetransmitJitter
 	return c
 }
 
 // Validate reports configuration errors.
 func (c Config) Validate() error {
-	if c.Workers <= 0 {
-		return fmt.Errorf("core: Workers must be positive, got %d", c.Workers)
-	}
-	if len(c.Aggregators) == 0 {
-		return fmt.Errorf("core: at least one aggregator required")
-	}
-	if c.BlockSize < 0 || c.FusionWidth < 0 || c.FusionWidth > 64 || c.Streams < 0 {
-		return fmt.Errorf("core: invalid block/fusion/stream parameters")
-	}
-	if c.QuantizeScale < 0 {
-		return fmt.Errorf("core: QuantizeScale must be non-negative")
-	}
-	if c.RetransmitBackoff != 0 && c.RetransmitBackoff < 1 {
-		return fmt.Errorf("core: RetransmitBackoff must be >= 1, got %v", c.RetransmitBackoff)
-	}
-	if c.RetransmitJitter < 0 || c.RetransmitJitter >= 1 {
-		return fmt.Errorf("core: RetransmitJitter must be in [0, 1), got %v", c.RetransmitJitter)
-	}
-	if c.RetransmitCeiling < 0 || (c.RetransmitCeiling > 0 && c.RetransmitCeiling < c.RetransmitTimeout) {
-		return fmt.Errorf("core: RetransmitCeiling %v below RetransmitTimeout %v", c.RetransmitCeiling, c.RetransmitTimeout)
-	}
-	return nil
-}
-
-// aggregatorFor returns the node ID serving stream s.
-func (c Config) aggregatorFor(s int) int {
-	return c.Aggregators[s%len(c.Aggregators)]
+	return c.proto().Validate()
 }
 
 // shard returns the global block range [lo, hi) owned by stream s when the
 // tensor has nb blocks total and eff streams are active.
 func shard(s, eff, nb int) (lo, hi int) {
-	lo = s * nb / eff
-	hi = (s + 1) * nb / eff
-	return lo, hi
+	return protocol.Shard(s, eff, nb)
 }
 
 // effectiveStreams caps the stream count so every stream owns at least one
 // block.
 func effectiveStreams(streams, nb int) int {
-	if nb < streams {
-		if nb == 0 {
-			return 1
-		}
-		return nb
-	}
-	return streams
+	return protocol.EffectiveStreams(streams, nb)
 }

@@ -1,107 +1,80 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
-	"sync/atomic"
 
+	"omnireduce/internal/protocol"
 	"omnireduce/internal/tensor"
 	"omnireduce/internal/wire"
 )
 
-// This file implements the sparse (key-value) block format extension of
-// §3.3 / Algorithm 3. The input is a COO tensor; workers stream blocks of
-// BlockSize key-value pairs in key order, each packet carrying the key of
-// the sender's next non-zero value. The aggregator tracks every worker's
-// next key and flushes the aggregated prefix below the global minimum to
-// all workers, which assembles the full reduced tensor in key order.
-//
-// As in the paper, this mode targets reliable transports (the paper leaves
-// a lossy realization as future work); AllReduceSparse returns an error if
-// the configuration is not Reliable.
-//
-// Keys must be < 0xFFFFFFFE: 0xFFFFFFFF is the "no more keys" sentinel and
-// 0xFFFFFFFE marks non-final chunks of the final flush.
-
-const moreComing = wire.InfKey - 1
+// Sparse (key-value) mode, §3.3 / Algorithm 3. The streaming logic lives
+// in protocol.SparseWorkerMachine (worker side) and
+// protocol.AggregatorMachine (aggregator side, reached through the same
+// Run loop as dense traffic); this file is the worker-side driver.
 
 // AllReduceSparse sums COO tensors across workers and returns the global
 // result (also in COO form, keys ascending). All workers must call it
 // collectively. The result may be denser than any input.
+//
+// As in the paper, sparse mode targets reliable transports (the paper
+// leaves a lossy realization as future work); AllReduceSparse returns an
+// error if the configuration is not Reliable.
 func (w *Worker) AllReduceSparse(in *tensor.COO) (*tensor.COO, error) {
-	if !w.cfg.Reliable {
-		return nil, fmt.Errorf("core: sparse mode requires a reliable transport")
-	}
-	for _, k := range in.Keys {
-		if uint32(k) >= moreComing {
-			return nil, fmt.Errorf("core: sparse key %d out of range", k)
-		}
-	}
 	tid, msgCh, err := w.beginOp()
 	if err != nil {
 		return nil, err
 	}
 	defer w.endOp(tid)
-	bs := w.cfg.BlockSize
-	agg := w.cfg.Aggregators[0]
-	out := tensor.NewCOO(in.Dim)
-	var encBuf []byte
 
-	// Send the first block of pairs (Algorithm 3 lines 2-7).
-	idx := 0
-	send := func() error {
-		hi := idx + bs
-		if hi > in.Len() {
-			hi = in.Len()
-		}
-		p := &wire.SparsePacket{
-			Type:     wire.TypeSparseData,
-			WID:      uint16(w.id),
-			TensorID: tid,
-			NextKey:  wire.InfKey,
-		}
-		for i := idx; i < hi; i++ {
-			p.Keys = append(p.Keys, uint32(in.Keys[i]))
-			p.Values = append(p.Values, in.Values[i])
-		}
-		idx = hi
-		if idx < in.Len() {
-			p.NextKey = uint32(in.Keys[idx])
-		}
-		atomic.AddInt64(&w.Stats.PacketsSent, 1)
-		encBuf = wire.AppendSparsePacket(encBuf[:0], p)
-		atomic.AddInt64(&w.Stats.BytesSent, int64(len(encBuf)))
-		return w.conn.Send(agg, encBuf)
-	}
-	if err := send(); err != nil {
+	m, err := protocol.NewSparseWorkerMachine(w.cfg.proto(), w.id, tid, in)
+	if err != nil {
 		return nil, err
 	}
 
-	for {
-		select {
-		case m := <-msgCh:
-			if wire.PeekType(m.Data) != wire.TypeSparseResult {
-				return nil, fmt.Errorf("core: worker %d: unexpected message type %d in sparse mode", w.id, wire.PeekType(m.Data))
+	var published protocol.WorkerStats
+	sync := func() {
+		cur := m.Stats()
+		w.Stats.add(cur, published)
+		published = cur
+	}
+	defer sync()
+
+	var encBuf []byte
+	dispatch := func(emits []protocol.Emit) error {
+		for i := range emits {
+			e := &emits[i]
+			encBuf = e.Encode(encBuf[:0])
+			if err := w.conn.Send(e.Dst, encBuf); err != nil {
+				return err
 			}
-			p, err := wire.DecodeSparsePacket(m.Data)
+		}
+		return nil
+	}
+
+	emits := m.Start()
+	sync()
+	if err := dispatch(emits); err != nil {
+		return nil, err
+	}
+
+	for !m.Done() {
+		select {
+		case msg := <-msgCh:
+			if wire.PeekType(msg.Data) != wire.TypeSparseResult {
+				return nil, fmt.Errorf("core: worker %d: unexpected message type %d in sparse mode", w.id, wire.PeekType(msg.Data))
+			}
+			p, err := wire.DecodeSparsePacket(msg.Data)
 			if err != nil {
 				return nil, err
 			}
-			if p.TensorID != tid {
-				continue // stale
+			emits, err := m.HandlePacket(p)
+			sync()
+			if err != nil {
+				return nil, err
 			}
-			for i, k := range p.Keys {
-				out.Append(int32(k), p.Values[i])
-			}
-			if p.NextKey == wire.InfKey {
-				return out, nil
-			}
-			// Send the next block when the global progress has reached
-			// our next unsent key (Algorithm 3 line 10).
-			if idx < in.Len() && p.NextKey != moreComing && int64(p.NextKey) >= int64(in.Keys[idx]) {
-				if err := send(); err != nil {
-					return nil, err
-				}
+			if err := dispatch(emits); err != nil {
+				return nil, err
 			}
 		case <-w.closed:
 			w.mu.Lock()
@@ -110,130 +83,5 @@ func (w *Worker) AllReduceSparse(in *tensor.COO) (*tensor.COO, error) {
 			return nil, fmt.Errorf("core: worker %d receive: %w", w.id, err)
 		}
 	}
-}
-
-// sparseAgg is the aggregator-side state of Algorithm 3.
-type sparseAgg struct {
-	tensorID uint32
-	values   map[uint32]float32
-	pending  keyHeap // aggregated keys not yet flushed
-	nextKey  []int64 // per-worker next key; -1 unknown, maxInt64 done
-	sent     int64   // smallest unflushed key
-	finished bool
-}
-
-type keyHeap []uint32
-
-func (h keyHeap) Len() int            { return len(h) }
-func (h keyHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h keyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *keyHeap) Push(x interface{}) { *h = append(*h, x.(uint32)) }
-func (h *keyHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
-func (a *Aggregator) handleSparse(p *wire.SparsePacket) error {
-	// Sparse operations are keyed by tensor ID, so several may be in
-	// flight concurrently.
-	sa := a.sparse[p.TensorID]
-	if sa == nil {
-		sa = &sparseAgg{
-			tensorID: p.TensorID,
-			values:   make(map[uint32]float32),
-			nextKey:  make([]int64, a.cfg.Workers),
-			sent:     0,
-		}
-		for i := range sa.nextKey {
-			sa.nextKey[i] = -1
-		}
-		a.sparse[p.TensorID] = sa
-	}
-	if sa.finished {
-		return nil
-	}
-	wid := int(p.WID)
-	if wid >= a.cfg.Workers {
-		return fmt.Errorf("core: sparse packet from unknown worker %d", p.WID)
-	}
-	// Merge pairs (Algorithm 3 line 25).
-	for i, k := range p.Keys {
-		if _, ok := sa.values[k]; !ok {
-			heap.Push(&sa.pending, k)
-		}
-		sa.values[k] += p.Values[i]
-	}
-	if p.NextKey == wire.InfKey {
-		sa.nextKey[wid] = nextDone
-	} else {
-		sa.nextKey[wid] = int64(p.NextKey)
-	}
-	min := minOf(sa.nextKey)
-	if min == -1 {
-		return nil // not all workers reported yet
-	}
-	if min == nextDone {
-		// Final flush: everything pending, last chunk marked InfKey.
-		if err := a.flushSparse(sa, nextDone); err != nil {
-			return err
-		}
-		sa.finished = true
-		delete(a.sparse, p.TensorID)
-		return nil
-	}
-	if min > sa.sent {
-		if err := a.flushSparse(sa, min); err != nil {
-			return err
-		}
-		sa.sent = min
-	}
-	return nil
-}
-
-// flushSparse multicasts aggregated pairs with key < upTo, chunked into
-// BlockSize-pair packets. upTo == nextDone flushes everything and marks
-// the final chunk with InfKey.
-func (a *Aggregator) flushSparse(sa *sparseAgg, upTo int64) error {
-	bs := a.cfg.BlockSize
-	var keys []uint32
-	for sa.pending.Len() > 0 && int64(sa.pending[0]) < upTo {
-		keys = append(keys, heap.Pop(&sa.pending).(uint32))
-	}
-	final := upTo == nextDone
-	// Always send at least one packet: the flush is also the flow-control
-	// clock for the workers (it announces the new global next key).
-	for first := true; first || len(keys) > 0; first = false {
-		n := len(keys)
-		if n > bs {
-			n = bs
-		}
-		p := &wire.SparsePacket{
-			Type:     wire.TypeSparseResult,
-			WID:      uint16(a.conn.LocalID() & 0xFFFF),
-			TensorID: sa.tensorID,
-			Keys:     keys[:n],
-		}
-		for _, k := range p.Keys {
-			p.Values = append(p.Values, sa.values[k])
-		}
-		keys = keys[n:]
-		switch {
-		case len(keys) > 0:
-			p.NextKey = moreComing
-		case final:
-			p.NextKey = wire.InfKey
-		default:
-			p.NextKey = uint32(upTo)
-		}
-		enc := wire.AppendSparsePacket(nil, p)
-		for w := 0; w < a.cfg.Workers; w++ {
-			if err := a.conn.Send(w, enc); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return m.Result(), nil
 }

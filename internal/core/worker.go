@@ -2,13 +2,12 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"omnireduce/internal/metrics"
-	"omnireduce/internal/tensor"
+	"omnireduce/internal/protocol"
 	"omnireduce/internal/transport"
 	"omnireduce/internal/wire"
 )
@@ -21,6 +20,10 @@ import (
 // (e.g. DDP gradient buckets) in flight at once, exactly as the paper's
 // PyTorch integration overlaps bucket aggregation with backpropagation.
 // The blocking AllReduce is AllReduceAsync + Wait.
+//
+// The protocol logic lives in protocol.WorkerMachine; the Worker is its
+// I/O driver: one goroutine per operation pumps transport messages and
+// retransmission ticks through the machine and transmits its emits.
 type Worker struct {
 	conn transport.Conn
 	cfg  Config
@@ -38,7 +41,9 @@ type Worker struct {
 	Stats Stats
 }
 
-// Stats counts protocol traffic for analysis and tests.
+// Stats counts protocol traffic for analysis and tests. It mirrors
+// protocol.WorkerStats field for field; the driver folds machine counters
+// in atomically as events are processed.
 type Stats struct {
 	BlocksSent   int64 // non-bootstrap data blocks transmitted
 	PacketsSent  int64
@@ -75,6 +80,19 @@ func (s *Stats) RecoveryCounters() *metrics.Counters {
 	c.Add("acks_sent", snap.AcksSent)
 	c.Add("stale_results_filtered", snap.StaleResults)
 	return c
+}
+
+// add folds the delta between two machine-counter snapshots into the
+// shared atomic counters, keeping Stats live while operations run.
+func (s *Stats) add(cur, prev protocol.WorkerStats) {
+	atomic.AddInt64(&s.BlocksSent, cur.BlocksSent-prev.BlocksSent)
+	atomic.AddInt64(&s.PacketsSent, cur.PacketsSent-prev.PacketsSent)
+	atomic.AddInt64(&s.BytesSent, cur.BytesSent-prev.BytesSent)
+	atomic.AddInt64(&s.Retransmits, cur.Retransmits-prev.Retransmits)
+	atomic.AddInt64(&s.AcksSent, cur.AcksSent-prev.AcksSent)
+	atomic.AddInt64(&s.ResultsRecvd, cur.ResultsRecvd-prev.ResultsRecvd)
+	atomic.AddInt64(&s.StaleResults, cur.StaleResults-prev.StaleResults)
+	atomic.AddInt64(&s.Backoffs, cur.Backoffs-prev.Backoffs)
 }
 
 // NewWorker creates a worker bound to conn; conn.LocalID() must be in
@@ -182,20 +200,6 @@ func (p *Pending) Wait() error {
 	return p.err
 }
 
-// wStream is the per-stream worker state for one AllReduce.
-type wStream struct {
-	idx     int
-	lo, hi  int // global block range (shard)
-	cols    int
-	next    []int // per-column next unsent non-zero global block (-1 none)
-	ver     uint8 // round number mod 256 of the last sent packet
-	done    bool
-	last    []byte // last transmitted packet, for retransmission
-	sentAt  time.Time
-	retries int           // retransmissions of the current packet
-	timeout time.Duration // current loss-detection timer (backs off)
-}
-
 // AllReduce sums data element-wise across all workers; on return, data
 // holds the global sum on every worker. Every worker must call AllReduce
 // with equal-length inputs.
@@ -230,99 +234,68 @@ func (w *Worker) AllReduceAsync(data []float32) (*Pending, error) {
 	return p, nil
 }
 
-// runAllReduce drives one collective to completion.
+// runAllReduce drives one collective to completion: it pumps transport
+// messages and retransmission ticks through a protocol.WorkerMachine and
+// transmits the machine's emits.
 func (w *Worker) runAllReduce(data []float32, tid uint32, msgCh chan transport.Message) error {
-	bs := w.cfg.BlockSize
-	t := tensor.FromSlice(data)
-	nb := t.NumBlocks(bs)
-	var bm *tensor.Bitmap
-	if w.cfg.ForceDense {
-		bm = tensor.NewBitmap(nb)
-		for b := 0; b < nb; b++ {
-			bm.Set(b)
-		}
-	} else {
-		bm = tensor.ComputeBitmap(t, bs)
+	m := protocol.NewWorkerMachine(w.cfg.proto(), w.id, tid)
+	view := protocol.NewDenseView(data, w.cfg.BlockSize, w.cfg.ForceDense)
+	start := time.Now()
+
+	// Mirror machine counters into the shared atomic Stats after every
+	// machine interaction (including error exits) so concurrent Snapshot
+	// readers stay current.
+	var published protocol.WorkerStats
+	sync := func() {
+		cur := m.Stats()
+		w.Stats.add(cur, published)
+		published = cur
 	}
-	eff := effectiveStreams(w.cfg.Streams, nb)
+	defer sync()
 
-	streams := make([]*wStream, eff)
-	active := 0
-	for s := 0; s < eff; s++ {
-		lo, hi := shard(s, eff, nb)
-		cols := w.cfg.FusionWidth
-		if hi-lo < cols {
-			cols = hi - lo
-		}
-		if cols == 0 {
-			continue // empty shard (cannot happen after effectiveStreams)
-		}
-		st := &wStream{idx: s, lo: lo, hi: hi, cols: cols, next: make([]int, cols)}
-		streams[s] = st
-		active++
-
-		// Bootstrap packet: the first block of every column is sent
-		// unconditionally (Algorithm 1 line 5 generalized to fusion), with
-		// the per-column next non-zero offsets.
-		p := &wire.Packet{
-			Type:      wire.TypeData,
-			DType:     w.dtype(),
-			Slot:      uint16(s),
-			WID:       uint16(w.id),
-			TensorID:  tid,
-			BlockSize: uint32(bs),
-			Nexts:     make([]uint32, cols),
-		}
-		for c := 0; c < cols; c++ {
-			first := firstInColumn(lo, hi, c, cols)
-			if first < 0 {
-				st.next[c] = -1
-				p.Nexts[c] = wire.Inf(c)
-				continue
+	var encBuf []byte
+	dispatch := func(emits []protocol.Emit) error {
+		for i := range emits {
+			e := &emits[i]
+			encBuf = e.Encode(encBuf[:0])
+			if err := w.conn.Send(e.Dst, encBuf); err != nil {
+				return err
 			}
-			p.Blocks = append(p.Blocks, wire.Block{
-				Index: uint32(first),
-				Data:  t.Block(first, bs),
-			})
-			st.next[c] = nextNonZeroInColumn(bm, first, lo, hi, c, cols)
-			p.Nexts[c] = nextOffsetWire(st.next[c], c)
 		}
-		if err := w.sendStream(st, p); err != nil {
-			return err
-		}
-	}
-	if active == 0 {
 		return nil
+	}
+
+	emits := m.Start(view, 0)
+	sync()
+	if err := dispatch(emits); err != nil {
+		return err
 	}
 
 	var ticker *time.Ticker
 	var tickCh <-chan time.Time
-	var jitterRng *rand.Rand
 	if !w.cfg.Reliable {
 		ticker = time.NewTicker(w.cfg.RetransmitTimeout / 2)
 		defer ticker.Stop()
 		tickCh = ticker.C
-		// Jitter is deterministic per (worker, tensor): reruns of the same
-		// job schedule the same retransmission pattern.
-		jitterRng = rand.New(rand.NewSource(int64(w.id)<<32 ^ int64(tid)))
 	}
 
-	for active > 0 {
+	for !m.Done() {
 		select {
-		case m := <-msgCh:
-			st, p, err := w.decodeResult(m, streams, tid)
+		case msg := <-msgCh:
+			if wire.PeekType(msg.Data) != wire.TypeResult {
+				return fmt.Errorf("core: worker %d: unexpected message type %d", w.id, wire.PeekType(msg.Data))
+			}
+			p, err := wire.DecodePacket(msg.Data)
+			if err != nil {
+				return fmt.Errorf("core: worker decode: %w", err)
+			}
+			emits, err := m.HandlePacket(p, time.Since(start))
+			sync()
 			if err != nil {
 				return err
 			}
-			if st == nil {
-				continue // stale or duplicate
-			}
-			nowDone, err := w.processResult(st, p, t, bm, bs, tid)
-			if err != nil {
+			if err := dispatch(emits); err != nil {
 				return err
-			}
-			if nowDone {
-				active--
 			}
 		case <-w.closed:
 			w.mu.Lock()
@@ -330,171 +303,19 @@ func (w *Worker) runAllReduce(data []float32, tid uint32, msgCh chan transport.M
 			w.mu.Unlock()
 			return fmt.Errorf("core: worker %d receive: %w", w.id, err)
 		case <-tickCh:
-			now := time.Now()
-			for _, st := range streams {
-				if st == nil || st.done || st.last == nil {
-					continue
-				}
-				if now.Sub(st.sentAt) >= st.timeout {
-					if w.cfg.MaxRetries > 0 && st.retries >= w.cfg.MaxRetries {
-						return fmt.Errorf("core: worker %d stream %d: no response after %d retransmissions",
-							w.id, st.idx, st.retries)
-					}
-					st.retries++
-					if err := w.resend(st); err != nil {
-						return err
-					}
-					w.backoff(st, jitterRng)
-				}
+			emits, err := m.HandleTimeout(time.Since(start))
+			sync()
+			// Transmit the resends accumulated before any MaxRetries
+			// failure, then surface the error.
+			if derr := dispatch(emits); derr != nil {
+				return derr
+			}
+			if err != nil {
+				return err
 			}
 		}
 	}
 	return nil
-}
-
-// backoff grows a stream's retransmission timeout exponentially with
-// jitter, up to the configured ceiling, after a timer expiry. A fixed
-// timer under sustained loss retransmits into the same congested or
-// partitioned link at full rate; backing off (and jittering, so workers
-// that lost the same multicast do not resynchronize) is the standard
-// hardening the paper's fixed-timer description leaves out.
-func (w *Worker) backoff(st *wStream, rng *rand.Rand) {
-	next := time.Duration(float64(st.timeout) * w.cfg.RetransmitBackoff)
-	if next > w.cfg.RetransmitCeiling {
-		next = w.cfg.RetransmitCeiling
-	}
-	if j := w.cfg.RetransmitJitter; j > 0 && rng != nil {
-		f := 1 + j*(2*rng.Float64()-1)
-		next = time.Duration(float64(next) * f)
-	}
-	if next < w.cfg.RetransmitTimeout {
-		next = w.cfg.RetransmitTimeout
-	}
-	if next > st.timeout {
-		atomic.AddInt64(&w.Stats.Backoffs, 1)
-	}
-	st.timeout = next
-}
-
-func (w *Worker) decodeResult(m transport.Message, streams []*wStream, tid uint32) (*wStream, *wire.Packet, error) {
-	if wire.PeekType(m.Data) != wire.TypeResult {
-		return nil, nil, fmt.Errorf("core: worker %d: unexpected message type %d", w.id, wire.PeekType(m.Data))
-	}
-	p, err := wire.DecodePacket(m.Data)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: worker decode: %w", err)
-	}
-	if p.TensorID != tid {
-		atomic.AddInt64(&w.Stats.StaleResults, 1)
-		return nil, nil, nil // stale result from a previous tensor
-	}
-	if int(p.Slot) >= len(streams) || streams[p.Slot] == nil {
-		return nil, nil, fmt.Errorf("core: worker %d: result for unknown stream %d", w.id, p.Slot)
-	}
-	st := streams[p.Slot]
-	if st.done {
-		atomic.AddInt64(&w.Stats.StaleResults, 1)
-		return nil, nil, nil // duplicate final result
-	}
-	if !w.cfg.Reliable && p.Version != st.ver {
-		atomic.AddInt64(&w.Stats.StaleResults, 1)
-		return nil, nil, nil // duplicate of an already-processed round
-	}
-	return st, p, nil
-}
-
-// processResult applies an aggregator result to the local tensor and sends
-// the next request's blocks. It reports whether the stream finished.
-func (w *Worker) processResult(st *wStream, p *wire.Packet, t *tensor.Dense, bm *tensor.Bitmap, bs int, tid uint32) (bool, error) {
-	atomic.AddInt64(&w.Stats.ResultsRecvd, 1)
-	for _, b := range p.Blocks {
-		t.SetBlock(int(b.Index)*bs, b.Data)
-	}
-	if p.Done() {
-		st.done = true
-		st.last = nil
-		return true, nil
-	}
-
-	// Build the response round: contribute every column whose requested
-	// next block equals our local next non-zero block.
-	resp := &wire.Packet{
-		Type:      wire.TypeData,
-		Version:   st.ver + 1, // round counter, wraps mod 256
-		DType:     w.dtype(),
-		Slot:      p.Slot,
-		WID:       uint16(w.id),
-		TensorID:  tid,
-		BlockSize: uint32(bs),
-		Nexts:     make([]uint32, st.cols),
-	}
-	st.ver = resp.Version
-	contributes := false
-	for c := 0; c < st.cols; c++ {
-		req := p.Nexts[c]
-		if wire.IsInf(req) {
-			resp.Nexts[c] = wire.Inf(c)
-			continue
-		}
-		if st.next[c] >= 0 && int(req) == st.next[c] {
-			blk := st.next[c]
-			resp.Blocks = append(resp.Blocks, wire.Block{
-				Index: uint32(blk),
-				Data:  t.Block(blk, bs),
-			})
-			st.next[c] = nextNonZeroInColumn(bm, blk, st.lo, st.hi, c, st.cols)
-			contributes = true
-			atomic.AddInt64(&w.Stats.BlocksSent, 1)
-		} else if st.next[c] >= 0 && int(req) > st.next[c] {
-			return false, fmt.Errorf("core: worker %d stream %d col %d: aggregator requested %d past local next %d",
-				w.id, st.idx, c, req, st.next[c])
-		}
-		resp.Nexts[c] = nextOffsetWire(st.next[c], c)
-	}
-	if w.cfg.Reliable {
-		if contributes {
-			return false, w.sendStream(st, resp)
-		}
-		// Silent round: the aggregator advances without us (Algorithm 1's
-		// "otherwise the worker awaits a further packet").
-		st.last = nil
-		return false, nil
-	}
-	// Unreliable mode: always respond, with an empty ack if we have no
-	// block to contribute (Algorithm 2 lines 18-21).
-	if !contributes {
-		atomic.AddInt64(&w.Stats.AcksSent, 1)
-	}
-	return false, w.sendStream(st, resp)
-}
-
-func (w *Worker) sendStream(st *wStream, p *wire.Packet) error {
-	st.last = wire.AppendPacket(st.last[:0], p)
-	st.sentAt = time.Now()
-	st.retries = 0
-	st.timeout = w.cfg.RetransmitTimeout // fresh packet: reset backoff
-	atomic.AddInt64(&w.Stats.PacketsSent, 1)
-	atomic.AddInt64(&w.Stats.BytesSent, int64(len(st.last)))
-	return w.conn.Send(w.cfg.aggregatorFor(st.idx), st.last)
-}
-
-// resend retransmits the stream's last packet. It counts toward both
-// PacketsSent (wire traffic) and the dedicated Retransmits recovery
-// metric, so loss analyses can separate first transmissions from repairs.
-func (w *Worker) resend(st *wStream) error {
-	st.sentAt = time.Now()
-	atomic.AddInt64(&w.Stats.PacketsSent, 1)
-	atomic.AddInt64(&w.Stats.Retransmits, 1)
-	atomic.AddInt64(&w.Stats.BytesSent, int64(len(st.last)))
-	return w.conn.Send(w.cfg.aggregatorFor(st.idx), st.last)
-}
-
-// dtype returns the configured wire element encoding.
-func (w *Worker) dtype() uint8 {
-	if w.cfg.HalfPrecision {
-		return wire.DTypeF16
-	}
-	return wire.DTypeF32
 }
 
 // Broadcast distributes root's data to every worker: non-root inputs are

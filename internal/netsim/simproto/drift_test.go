@@ -1,0 +1,186 @@
+package simproto_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"omnireduce/internal/core"
+	"omnireduce/internal/netsim/simproto"
+	"omnireduce/internal/protocol"
+	"omnireduce/internal/transport"
+)
+
+// Substrate-equivalence drift test: the live channel cluster and the
+// discrete-event simulator drive the same protocol machines, so for
+// identical inputs and configuration they must produce identical
+// per-worker packet/block/byte counts, identical aggregator round counts,
+// and bit-identical results. Any divergence means one substrate's driver
+// drifted from the shared protocol engine.
+
+// blockSparseInputs builds per-worker inputs where each block is zero with
+// probability sparsity, deterministically from seed.
+func blockSparseInputs(workers, blocks, bs int, sparsity float64, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float32, workers)
+	for w := range out {
+		d := make([]float32, blocks*bs)
+		for b := 0; b < blocks; b++ {
+			if rng.Float64() < sparsity {
+				continue
+			}
+			for i := 0; i < bs; i++ {
+				d[b*bs+i] = float32(rng.NormFloat64())
+			}
+		}
+		out[w] = d
+	}
+	return out
+}
+
+// liveRun executes one AllReduce per worker over the in-process channel
+// transport and returns the reduced tensors plus both sides' counters.
+func liveRun(t *testing.T, cfg core.Config, inputs [][]float32) ([][]float32, []protocol.WorkerStats, []core.AggStats) {
+	t.Helper()
+	nw := transport.NewNetwork(cfg.Workers, 4096)
+	var aggs []*core.Aggregator
+	var aggWG sync.WaitGroup
+	var conns []transport.Conn
+	for _, id := range cfg.Aggregators {
+		conn := nw.AddNode(id)
+		conns = append(conns, conn)
+		a, err := core.NewAggregator(conn, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggs = append(aggs, a)
+		aggWG.Add(1)
+		go func(a *core.Aggregator) {
+			defer aggWG.Done()
+			if err := a.Run(); err != nil {
+				t.Errorf("aggregator: %v", err)
+			}
+		}(a)
+	}
+	work := make([][]float32, len(inputs))
+	workers := make([]*core.Worker, len(inputs))
+	for w := range inputs {
+		work[w] = append([]float32(nil), inputs[w]...)
+		conn := nw.Conn(w)
+		conns = append(conns, conn)
+		wk, err := core.NewWorker(conn, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[w] = wk
+	}
+	var wg sync.WaitGroup
+	for w := range workers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := workers[w].AllReduce(work[w]); err != nil {
+				t.Errorf("worker %d: %v", w, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var ws []protocol.WorkerStats
+	for _, wk := range workers {
+		s := wk.Stats.Snapshot()
+		ws = append(ws, protocol.WorkerStats{
+			BlocksSent:   s.BlocksSent,
+			PacketsSent:  s.PacketsSent,
+			BytesSent:    s.BytesSent,
+			Retransmits:  s.Retransmits,
+			AcksSent:     s.AcksSent,
+			ResultsRecvd: s.ResultsRecvd,
+			StaleResults: s.StaleResults,
+			Backoffs:     s.Backoffs,
+		})
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	aggWG.Wait()
+	var as []core.AggStats
+	for _, a := range aggs {
+		as = append(as, a.Stats)
+	}
+	return work, ws, as
+}
+
+func TestSubstrateEquivalence(t *testing.T) {
+	const blocks, bs = 48, 16
+	grid := []struct {
+		workers  int
+		aggs     int
+		sparsity float64
+		fusion   int
+		streams  int
+	}{
+		{workers: 2, aggs: 1, sparsity: 0, fusion: 1, streams: 1},
+		{workers: 2, aggs: 1, sparsity: 0.5, fusion: 4, streams: 2},
+		{workers: 3, aggs: 1, sparsity: 0.9, fusion: 4, streams: 2},
+		{workers: 3, aggs: 2, sparsity: 0.5, fusion: 8, streams: 4},
+		{workers: 4, aggs: 1, sparsity: 0.7, fusion: 2, streams: 3},
+	}
+	for i, g := range grid {
+		name := fmt.Sprintf("w%d_a%d_s%.0f%%_f%d", g.workers, g.aggs, g.sparsity*100, g.fusion)
+		t.Run(name, func(t *testing.T) {
+			inputs := blockSparseInputs(g.workers, blocks, bs, g.sparsity, int64(1000+i))
+
+			// Live cluster: dedicated aggregator nodes after the workers,
+			// matching the simulator's non-colocated layout.
+			var aggIDs []int
+			for a := 0; a < g.aggs; a++ {
+				aggIDs = append(aggIDs, g.workers+a)
+			}
+			cfg := core.Config{
+				Workers:            g.workers,
+				Aggregators:        aggIDs,
+				BlockSize:          bs,
+				FusionWidth:        g.fusion,
+				Streams:            g.streams,
+				Reliable:           true,
+				DeterministicOrder: true,
+			}
+			liveRes, liveWS, liveAS := liveRun(t, cfg, inputs)
+
+			cl := simproto.Testbed10G(g.workers, g.aggs)
+			sim := simproto.SimOmniReduceTensors(cl, inputs, protocol.Config{
+				BlockSize:          bs,
+				FusionWidth:        g.fusion,
+				Streams:            g.streams,
+				Reliable:           true,
+				DeterministicOrder: true,
+			}, simproto.OmniOpts{FusionWidth: g.fusion, Streams: g.streams})
+
+			if sim.Time <= 0 {
+				t.Fatalf("sim did not complete: time %g", sim.Time)
+			}
+			for w := 0; w < g.workers; w++ {
+				if sim.WorkerStats[w] != liveWS[w] {
+					t.Errorf("worker %d counters drifted:\n sim  %+v\n live %+v",
+						w, sim.WorkerStats[w], liveWS[w])
+				}
+				for e := range liveRes[w] {
+					if sim.Results[w][e] != liveRes[w][e] {
+						t.Fatalf("worker %d elem %d: sim %v != live %v",
+							w, e, sim.Results[w][e], liveRes[w][e])
+					}
+				}
+			}
+			if len(sim.AggStats) != len(liveAS) {
+				t.Fatalf("aggregator count: sim %d live %d", len(sim.AggStats), len(liveAS))
+			}
+			for a := range liveAS {
+				if sim.AggStats[a] != protocol.AggStats(liveAS[a]) {
+					t.Errorf("aggregator %d counters drifted:\n sim  %+v\n live %+v",
+						a, sim.AggStats[a], liveAS[a])
+				}
+			}
+		})
+	}
+}

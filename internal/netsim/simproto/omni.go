@@ -1,18 +1,44 @@
 package simproto
 
 import (
+	"fmt"
+	"time"
+
 	"omnireduce/internal/netsim"
+	"omnireduce/internal/protocol"
 	"omnireduce/internal/tensor"
+	"omnireduce/internal/wire"
 )
+
+// This file is the virtual-time driver of the OmniReduce protocol: it runs
+// the same protocol.WorkerMachine / protocol.AggregatorMachine state
+// machines that internal/core drives over real transports, but feeds them
+// from the netsim discrete-event loop. Messages are delivered as decoded
+// packets by reference and charged to the simulated fabric at their exact
+// wire-encoded size (Emit.Size, computed by internal/wire). There is no
+// simulator-private round schedule or packet-size formula: whatever the
+// machines emit is what the fabric carries.
+
+// SimStreams is the simulator's default pipeline depth. It intentionally
+// overrides protocol.Defaults().Streams (4, the live default sized for
+// in-process transports): the paper's implementation keeps 256 outstanding
+// packets per worker (§5), and with 8 fused blocks per packet, 32 streams
+// give a comparable pipeline depth against the simulated 10/100 Gbps
+// fabrics. Pass OmniOpts.Streams explicitly to reconcile the substrates
+// (the substrate-equivalence drift test does).
+const SimStreams = 32
 
 // OmniOpts parameterizes the simulated OmniReduce protocol.
 type OmniOpts struct {
-	FusionWidth int // blocks fused per packet (§3.2); default 8
-	Streams     int // parallel slot streams (§3.1.1); default 8
+	FusionWidth int // blocks fused per packet (§3.2); default protocol.Defaults
+	Streams     int // parallel slot streams (§3.1.1); default SimStreams
 	ForceDense  bool
-	// Lossy enables the Algorithm 2 model: per-round acks from every
+	// Lossy enables the Algorithm 2 machinery: per-round acks from every
 	// worker, retransmission timers, result replay.
-	Lossy             bool
+	Lossy bool
+	// RetransmitTimeout is the worker loss-detection timer in simulated
+	// seconds; default 1ms (virtual-time RTTs are microseconds, so the
+	// live 20ms default would be absurdly conservative here).
 	RetransmitTimeout float64
 	// SwitchAgg models the P4 switch aggregator of Fig 18: negligible
 	// per-packet processing at the aggregator.
@@ -22,14 +48,12 @@ type OmniOpts struct {
 }
 
 func (o OmniOpts) withDefaults() OmniOpts {
+	d := protocol.Defaults()
 	if o.FusionWidth == 0 {
-		o.FusionWidth = 8
+		o.FusionWidth = d.FusionWidth
 	}
 	if o.Streams == 0 {
-		// The paper keeps 256 outstanding packets per worker (§5); with 8
-		// fused blocks per packet, 32 streams give a comparable pipeline
-		// depth.
-		o.Streams = 32
+		o.Streams = SimStreams // documented override of d.Streams
 	}
 	if o.RetransmitTimeout == 0 {
 		o.RetransmitTimeout = 1e-3
@@ -37,130 +61,75 @@ func (o OmniOpts) withDefaults() OmniOpts {
 	return o
 }
 
-// packetMeta is the per-packet metadata overhead in bytes: header plus one
-// next-offset per fused column (§3.2).
-func packetMeta(cols int) float64 { return 24 + 4*float64(cols) }
-
-// omniRound is one precomputed aggregation round of one stream.
-type omniRound struct {
-	// blocksByWorker[w] = number of blocks worker w contributes.
-	blocksByWorker []int
-	contributors   int
-	resultBlocks   int
+// aggregatorIDs returns the simulated aggregator node IDs: the worker
+// nodes themselves when colocated, dedicated nodes numbered after the
+// workers otherwise.
+func aggregatorIDs(c Cluster) []int {
+	n := c.Workers
+	if c.Colocated {
+		ids := make([]int, n)
+		for w := range ids {
+			ids[w] = w
+		}
+		return ids
+	}
+	m := c.Aggregators
+	if m < 1 {
+		m = 1
+	}
+	ids := make([]int, m)
+	for a := range ids {
+		ids[a] = n + a
+	}
+	return ids
 }
 
-// buildRounds derives the per-stream round schedule from the block
-// occupancy, mirroring internal/core's column layout: stream s owns a
-// contiguous shard, columns are block-index residues, rounds advance every
-// column through the union non-zero sequence in lockstep.
-func buildRounds(spec *BlockSpec, workers, streams, width int, dense bool) [][]omniRound {
-	nb := spec.Blocks
-	if streams > nb {
-		streams = nb
-	}
-	if streams < 1 {
-		streams = 1
-	}
-	union := tensor.NewBitmap(nb)
-	if dense {
-		for b := 0; b < nb; b++ {
-			union.Set(b)
-		}
-	} else {
-		for _, bm := range spec.PerWorker {
-			union.Or(bm)
-		}
-	}
-	owns := func(w, b int) bool {
-		if dense {
-			return true
-		}
-		return spec.PerWorker[w].Get(b)
-	}
-
-	all := make([][]omniRound, streams)
-	for s := 0; s < streams; s++ {
-		lo := s * nb / streams
-		hi := (s + 1) * nb / streams
-		cols := width
-		if hi-lo < cols {
-			cols = hi - lo
-		}
-		if cols == 0 {
-			continue
-		}
-		// Per-column sequences of union non-zero blocks after the first.
-		first := make([]int, cols)
-		seqs := make([][]int, cols)
-		for c := 0; c < cols; c++ {
-			first[c] = -1
-			for b := lo; b < hi; b++ {
-				if b%cols != c {
-					continue
-				}
-				if first[c] == -1 {
-					first[c] = b
-					continue
-				}
-				if union.Get(b) {
-					seqs[c] = append(seqs[c], b)
-				}
-			}
-		}
-		// Round 0: bootstrap, every worker sends the first block of every
-		// column unconditionally.
-		rounds := []omniRound{{
-			blocksByWorker: uniformContribution(workers, cols),
-			contributors:   workers,
-			resultBlocks:   cols,
-		}}
-		maxLen := 0
-		for _, q := range seqs {
-			if len(q) > maxLen {
-				maxLen = len(q)
-			}
-		}
-		for r := 0; r < maxLen; r++ {
-			rd := omniRound{blocksByWorker: make([]int, workers)}
-			for c := 0; c < cols; c++ {
-				if r >= len(seqs[c]) {
-					continue
-				}
-				b := seqs[c][r]
-				rd.resultBlocks++
-				for w := 0; w < workers; w++ {
-					if owns(w, b) {
-						rd.blocksByWorker[w]++
-					}
-				}
-			}
-			for _, k := range rd.blocksByWorker {
-				if k > 0 {
-					rd.contributors++
-				}
-			}
-			if rd.resultBlocks > 0 {
-				rounds = append(rounds, rd)
-			}
-		}
-		all[s] = rounds
-	}
-	return all
+// protoConfig assembles the machine configuration for a simulated run.
+// The simulator pins the retransmission timer to a fixed cadence
+// (backoff 1, no jitter): the live default's adaptive backoff defends
+// against real congestion collapse, but the fabric model drops packets
+// i.i.d., so backing off only inflates Algorithm 2's detection latency
+// and distorts the loss-recovery figures it exists to measure.
+func (o OmniOpts) protoConfig(c Cluster, blockElems int) protocol.Config {
+	return protocol.Config{
+		Workers:           c.Workers,
+		Aggregators:       aggregatorIDs(c),
+		BlockSize:         blockElems,
+		FusionWidth:       o.FusionWidth,
+		Streams:           o.Streams,
+		Reliable:          !o.Lossy,
+		ForceDense:        o.ForceDense,
+		RetransmitTimeout: time.Duration(o.RetransmitTimeout * float64(time.Second)),
+		RetransmitBackoff: 1,
+		RetransmitJitter:  -1, // negative = disabled (0 would mean "default")
+	}.WithDefaults()
 }
 
-func uniformContribution(workers, k int) []int {
-	out := make([]int, workers)
-	for w := range out {
-		out[w] = k
-	}
-	return out
+// specView is the simulator's TensorView over a block-occupancy spec: it
+// reports the spec's bitmap and hands out a shared zero-filled payload, so
+// the machines run the real schedule without real data.
+type specView struct {
+	blocks int
+	bm     *tensor.Bitmap
+	zeros  []float32
 }
 
-type omniMsg struct {
-	stream int
-	round  int
-	worker int // -1 for results
-	resend bool
+func (v *specView) NumBlocks() int          { return v.blocks }
+func (v *specView) NonZero(b int) bool      { return v.bm.Get(b) }
+func (v *specView) Block(b int) []float32   { return v.zeros }
+func (v *specView) SetBlock(int, []float32) {}
+
+// OmniRun is the full outcome of one simulated collective: completion
+// time plus the protocol machines' own traffic counters, for
+// substrate-equivalence checks against the live implementation.
+type OmniRun struct {
+	Time        float64
+	WorkerStats []protocol.WorkerStats
+	// AggStats is indexed in aggregatorIDs order.
+	AggStats []protocol.AggStats
+	// Results holds each worker's reduced tensor for tensor-backed runs
+	// (SimOmniReduceTensors); nil for spec-driven runs.
+	Results [][]float32
 }
 
 // SimOmniReduce runs the block-aggregation protocol on the simulator and
@@ -168,8 +137,54 @@ type omniMsg struct {
 // result and, if modeled, the staging copy has drained).
 func SimOmniReduce(c Cluster, spec *BlockSpec, opts OmniOpts) float64 {
 	opts = opts.withDefaults()
+	bs := int(spec.BlockBytes / 4)
+	if bs < 1 {
+		bs = 1
+	}
+	zeros := make([]float32, bs)
+	views := make([]protocol.TensorView, c.Workers)
+	for w := range views {
+		bm := spec.PerWorker[w]
+		views[w] = &specView{blocks: spec.Blocks, bm: bm, zeros: zeros}
+	}
+	return runOmni(c, views, opts.protoConfig(c, bs), opts, spec.TotalBytes()).Time
+}
+
+// SimOmniReduceTensors runs the protocol machines over real per-worker
+// tensors in virtual time: the same data path as the live cluster, on the
+// simulated fabric. Topology comes from c (which must agree with
+// len(inputs)); protocol parameters from cfg (zero fields filled from
+// protocol.Defaults; aggregator IDs from the cluster layout). The inputs
+// are not modified; Results holds the reduced tensors.
+func SimOmniReduceTensors(c Cluster, inputs [][]float32, cfg protocol.Config, opts OmniOpts) *OmniRun {
+	opts = opts.withDefaults()
+	c.Workers = len(inputs)
+	cfg.Workers = len(inputs)
+	cfg.Aggregators = aggregatorIDs(c)
+	cfg.Reliable = !opts.Lossy
+	cfg = cfg.WithDefaults()
+	views := make([]protocol.TensorView, len(inputs))
+	results := make([][]float32, len(inputs))
+	var copyBytes float64
+	for w := range inputs {
+		d := append([]float32(nil), inputs[w]...)
+		results[w] = d
+		views[w] = protocol.NewDenseView(d, cfg.BlockSize, cfg.ForceDense)
+		copyBytes = float64(4 * len(d))
+	}
+	run := runOmni(c, views, cfg, opts, copyBytes)
+	run.Results = results
+	return run
+}
+
+// runOmni is the shared discrete-event driver: it wires worker and
+// aggregator machines onto netsim nodes, routes their emits as simulated
+// messages, and arms virtual-time retransmission timers from the worker
+// machines' deadline requests.
+func runOmni(c Cluster, views []protocol.TensorView, cfg protocol.Config, opts OmniOpts, copyBytes float64) *OmniRun {
 	n := netsim.NewNet(c.Latency, c.Loss, c.Seed)
 	N := c.Workers
+	nsPerSec := float64(time.Second)
 
 	workers := make([]*netsim.Node, N)
 	for w := 0; w < N; w++ {
@@ -179,19 +194,10 @@ func SimOmniReduce(c Cluster, spec *BlockSpec, opts OmniOpts) float64 {
 			workers[w].CopyBW = c.CopyBW
 		}
 	}
-	M := c.Aggregators
-	if M < 1 {
-		M = 1
-	}
-	aggNode := func(s int) int {
-		if c.Colocated {
-			return s % N
-		}
-		return N + s%M
-	}
+	aggIDs := cfg.Aggregators
 	if !c.Colocated {
-		for a := 0; a < M; a++ {
-			nd := n.AddNode(N+a, c.AggBW, c.AggBW)
+		for _, id := range aggIDs {
+			nd := n.AddNode(id, c.AggBW, c.AggBW)
 			nd.CPUPerMsg = c.CPUPerMsg
 			if opts.SwitchAgg {
 				nd.CPUPerMsg = 50e-9
@@ -199,202 +205,134 @@ func SimOmniReduce(c Cluster, spec *BlockSpec, opts OmniOpts) float64 {
 		}
 	}
 
-	rounds := buildRounds(spec, N, opts.Streams, opts.FusionWidth, opts.ForceDense)
+	wm := make([]*protocol.WorkerMachine, N)
+	for w := 0; w < N; w++ {
+		wm[w] = protocol.NewWorkerMachine(cfg, w, 1)
+	}
+	am := make(map[int]*protocol.AggregatorMachine, len(aggIDs))
+	for _, id := range aggIDs {
+		am[id] = protocol.NewAggregatorMachine(cfg, id)
+	}
 
-	// Aggregator per-stream state.
-	type aggState struct {
-		round   int
-		pending int
-		seen    []bool
-	}
-	aggSt := make([]*aggState, len(rounds))
-	// Worker per-stream state.
-	type wState struct {
-		resultRound int // last result round received
-	}
-	wSt := make([][]*wState, N)
-	for w := range wSt {
-		wSt[w] = make([]*wState, len(rounds))
-		for s := range wSt[w] {
-			wSt[w][s] = &wState{resultRound: -1}
+	now := func() time.Duration { return time.Duration(n.Sim.Now() * nsPerSec) }
+	route := func(src int, emits []protocol.Emit) {
+		nd := n.Node(src)
+		for i := range emits {
+			nd.Send(emits[i].Dst, float64(emits[i].Size), emits[i].Packet)
 		}
 	}
 
-	activeStreams := 0
 	done := 0
-	var finishedAt float64
-
-	cols := func(s int) int {
-		if len(rounds[s]) == 0 {
-			return 0
-		}
-		return rounds[s][0].resultBlocks
-	}
-
-	workerPacketBytes := func(s, r, w int) float64 {
-		return float64(rounds[s][r].blocksByWorker[w])*spec.BlockBytes + packetMeta(cols(s))
-	}
-	resultBytes := func(s, r int) float64 {
-		return float64(rounds[s][r].resultBlocks)*spec.BlockBytes + packetMeta(cols(s))
-	}
-
-	var sendWorkerPacket func(w, s, r int)
-	var handleAgg func(nodeID int, m netsim.Message)
-	var handleWorker func(w int, m netsim.Message)
-
-	// mustSend reports whether worker w transmits in round r of stream s:
-	// contributors always; in lossy mode, everyone (acks).
-	mustSend := func(s, r, w int) bool {
-		return opts.Lossy || rounds[s][r].blocksByWorker[w] > 0
-	}
-
-	sendWorkerPacket = func(w, s, r int) {
-		bytes := workerPacketBytes(s, r, w)
-		if !mustSend(s, r, w) {
-			return
-		}
-		if rounds[s][r].blocksByWorker[w] == 0 {
-			bytes = packetMeta(cols(s)) // empty ack
-		}
-		workers[w].Send(aggNode(s), bytes, omniMsg{stream: s, round: r, worker: w})
-		if opts.Lossy {
-			// Retransmission timer: if the result for this round has not
-			// arrived by the deadline, resend.
-			var arm func()
-			arm = func() {
-				n.Sim.After(opts.RetransmitTimeout, func() {
-					st := wSt[w][s]
-					if st.resultRound >= r || done >= activeStreams*N {
-						return
-					}
-					workers[w].Send(aggNode(s), bytes, omniMsg{stream: s, round: r, worker: w, resend: true})
-					arm()
-				})
-			}
-			arm()
-		}
-	}
-
-	expected := func(s, r int) int {
-		if opts.Lossy {
-			return N
-		}
-		return rounds[s][r].contributors
-	}
-
-	multicastResult := func(s, r int) {
-		nd := n.Node(aggNode(s))
-		for w := 0; w < N; w++ {
-			nd.Send(w, resultBytes(s, r), omniMsg{stream: s, round: r, worker: -1})
-		}
-	}
-
-	handleAgg = func(nodeID int, m netsim.Message) {
-		msg := m.Payload.(omniMsg)
-		st := aggSt[msg.stream]
-		switch {
-		case msg.round < st.round:
-			// Stale retransmission of a completed round: replay result.
-			if opts.Lossy {
-				n.Node(nodeID).Send(msg.worker, resultBytes(msg.stream, msg.round), omniMsg{stream: msg.stream, round: msg.round, worker: -1})
-			}
-		case msg.round == st.round:
-			if st.seen[msg.worker] {
-				return // duplicate within the round
-			}
-			st.seen[msg.worker] = true
-			st.pending--
-			if st.pending == 0 {
-				multicastResult(msg.stream, st.round)
-				st.round++
-				if st.round < len(rounds[msg.stream]) {
-					st.pending = expected(msg.stream, st.round)
-					for i := range st.seen {
-						st.seen[i] = false
-					}
-				}
-			}
-		default:
-			// A future-round packet cannot arrive before the result that
-			// clocks it was multicast; panic to catch model bugs.
-			panic("simproto: packet for future round")
-		}
-	}
-
-	handleWorker = func(w int, m netsim.Message) {
-		msg := m.Payload.(omniMsg)
-		st := wSt[w][msg.stream]
-		if msg.worker != -1 || msg.round <= st.resultRound {
-			return // duplicate result
-		}
-		if msg.round != st.resultRound+1 {
-			// Results are per-sender ordered on a reliable fabric; with
-			// loss the replay path keeps rounds consecutive.
-			panic("simproto: result round gap")
-		}
-		st.resultRound = msg.round
-		next := msg.round + 1
-		if next < len(rounds[msg.stream]) {
-			sendWorkerPacket(w, msg.stream, next)
-		} else {
+	finishedAt := 0.0
+	workerDone := make([]bool, N)
+	checkDone := func(w int) {
+		if !workerDone[w] && wm[w].Done() {
+			workerDone[w] = true
 			done++
-			if done == activeStreams*N {
+			if done == N {
 				finishedAt = n.Sim.Now()
 			}
 		}
 	}
 
-	// Wire up handlers. Aggregator nodes may be worker nodes (colocated):
-	// dispatch on the payload's worker field.
+	// Retransmission timers (unreliable mode): each worker machine
+	// publishes its earliest deadline; we keep at most one useful pending
+	// wakeup per worker. Spurious wakeups are harmless — HandleTimeout
+	// re-checks every stream's deadline.
+	armed := make([]float64, N) // earliest pending wakeup; 0 = none
+	var arm func(w int)
+	arm = func(w int) {
+		d, ok := wm[w].NextTimeout()
+		if !ok {
+			return
+		}
+		t := float64(d) / nsPerSec
+		if armed[w] != 0 && armed[w] >= n.Sim.Now() && armed[w] <= t {
+			return // an earlier-or-equal wakeup is already pending
+		}
+		armed[w] = t
+		n.Sim.At(t, func() {
+			if armed[w] == t {
+				armed[w] = 0
+			}
+			// This wakeup was armed for the machine-clock deadline d; the
+			// float64 seconds<->Duration round trip can land the virtual
+			// clock a nanosecond short of it, which would make the machine
+			// judge the deadline not yet due and the driver re-arm at the
+			// same frozen instant forever. Clamp the clock up to d.
+			tm := now()
+			if tm < d {
+				tm = d
+			}
+			emits, err := wm[w].HandleTimeout(tm)
+			if err != nil {
+				panic(fmt.Sprintf("simproto: worker %d: %v", w, err))
+			}
+			route(w, emits)
+			arm(w)
+		})
+	}
+
+	runAgg := func(nodeID int, p *wire.Packet) {
+		emits, err := am[nodeID].HandlePacket(protocol.Msg{Dense: p})
+		if err != nil {
+			panic(fmt.Sprintf("simproto: aggregator %d: %v", nodeID, err))
+		}
+		route(nodeID, emits)
+	}
+
 	for w := 0; w < N; w++ {
 		w := w
 		workers[w].Handler = func(m netsim.Message) {
-			msg := m.Payload.(omniMsg)
-			if msg.worker >= 0 {
-				handleAgg(w, m) // colocated aggregator shard
-			} else {
-				handleWorker(w, m)
+			p := m.Payload.(*wire.Packet)
+			if p.Type == wire.TypeData {
+				runAgg(w, p) // colocated aggregator shard
+				return
 			}
+			emits, err := wm[w].HandlePacket(p, now())
+			if err != nil {
+				panic(fmt.Sprintf("simproto: worker %d: %v", w, err))
+			}
+			route(w, emits)
+			checkDone(w)
+			arm(w)
 		}
 	}
 	if !c.Colocated {
-		for a := 0; a < M; a++ {
-			id := N + a
-			n.Node(id).Handler = func(m netsim.Message) { handleAgg(id, m) }
+		for _, id := range aggIDs {
+			id := id
+			n.Node(id).Handler = func(m netsim.Message) {
+				runAgg(id, m.Payload.(*wire.Packet))
+			}
 		}
 	}
 
 	// Launch: staging copy plus bootstrap packets for every stream.
-	copyDone := 0
 	copyFinished := 0.0
-	for s := range rounds {
-		if len(rounds[s]) == 0 {
-			continue
-		}
-		activeStreams++
-		aggSt[s] = &aggState{pending: expected(s, 0), seen: make([]bool, N)}
-	}
 	for w := 0; w < N; w++ {
-		w := w
-		workers[w].Copy(spec.TotalBytes(), func() {
-			copyDone++
+		workers[w].Copy(copyBytes, func() {
 			if t := n.Sim.Now(); t > copyFinished {
 				copyFinished = t
 			}
 		})
-		for s := range rounds {
-			if len(rounds[s]) == 0 {
-				continue
-			}
-			sendWorkerPacket(w, s, 0)
-		}
+		route(w, wm[w].Start(views[w], 0))
+		checkDone(w)
+		arm(w)
 	}
 
 	n.Sim.Run()
 	if copyFinished > finishedAt {
 		finishedAt = copyFinished
 	}
-	return finishedAt
+
+	run := &OmniRun{Time: finishedAt, WorkerStats: make([]protocol.WorkerStats, N)}
+	for w := 0; w < N; w++ {
+		run.WorkerStats[w] = wm[w].Stats()
+	}
+	for _, id := range aggIDs {
+		run.AggStats = append(run.AggStats, am[id].Stats())
+	}
+	return run
 }
 
 // SimSwitchML models the SwitchML-style dense streaming aggregation

@@ -1,0 +1,509 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"omnireduce/internal/wire"
+)
+
+// AggStats counts aggregator-side protocol activity. The recovery
+// counters distinguish the three fates of a non-live packet: a duplicate
+// of the current round (filtered), a packet from an old round (answered
+// with a replay when possible), and a packet for a tensor that finished
+// long enough ago that its archived result was evicted (dropped).
+type AggStats struct {
+	PacketsRecvd     int64
+	BlocksAggregated int64
+	RoundsCompleted  int64
+	ResultsSent      int64
+	Replays          int64 // unicast result retransmissions (Algorithm 2)
+	DupsFiltered     int64 // same-round duplicates discarded
+	StaleRounds      int64 // packets arriving for an already-concluded round
+	StaleFinished    int64 // packets for finished tensors past the archive
+}
+
+// slotKey identifies one tensor's aggregation state on one stream slot:
+// several tensors may be in flight concurrently (bucket pipelining), each
+// with independent slot state.
+type slotKey struct {
+	slot     uint16
+	tensorID uint32
+}
+
+// archived is a finished tensor's final result retained for replay.
+type archived struct {
+	pkt  *wire.Packet
+	size int
+}
+
+// AggregatorMachine is one aggregator node's protocol state: it owns the
+// slots of every stream mapped to it and runs the block aggregation of
+// Algorithms 1 and 2 plus the key-value aggregation of Algorithm 3.
+//
+// The machine is purely event-driven: HandlePacket consumes one decoded
+// inbound message and returns the messages to transmit. It requests no
+// timers (the aggregator side of the protocol is passive). Methods must
+// not be called concurrently.
+type AggregatorMachine struct {
+	cfg Config
+	// localID is stamped as the WID of emitted results (the aggregator
+	// shard identity, matching the live driver's transport node ID).
+	localID int
+
+	slots  map[slotKey]*aggSlot
+	sparse map[uint32]*sparseAgg
+
+	// archive keeps, per slot, the final result of recently finished
+	// tensors so a lost final multicast can be replayed to a
+	// retransmitting worker even after the slot moved on (unreliable
+	// mode). Bounded to the archiveDepth most recent tensors per slot.
+	archive map[uint16]map[uint32]*archived
+	// finished tracks exactly which tensor IDs have completed per slot
+	// (compactly: a completed prefix plus out-of-order exceptions), so
+	// stale packets cannot resurrect zombie slot state after their
+	// archive entry was evicted. Concurrent tensors may finish out of
+	// order, so a simple high-water mark would wrongly drop bootstraps of
+	// lower-numbered tensors still in flight.
+	finished map[uint16]*finishedTracker
+
+	stats AggStats
+}
+
+// NewAggregatorMachine creates an aggregator machine; localID is the node
+// ID stamped on emitted results.
+func NewAggregatorMachine(cfg Config, localID int) *AggregatorMachine {
+	return &AggregatorMachine{
+		cfg:      cfg.WithDefaults(),
+		localID:  localID,
+		slots:    make(map[slotKey]*aggSlot),
+		sparse:   make(map[uint32]*sparseAgg),
+		archive:  make(map[uint16]map[uint32]*archived),
+		finished: make(map[uint16]*finishedTracker),
+	}
+}
+
+// Stats returns a copy of the machine's traffic counters.
+func (m *AggregatorMachine) Stats() AggStats { return m.stats }
+
+// HandlePacket processes one decoded inbound message (dense data or
+// sparse key-value) and returns the messages to transmit. Emitted result
+// packets are never mutated afterwards, so drivers may encode once and
+// fan out, or multicast the decoded packet by reference.
+func (m *AggregatorMachine) HandlePacket(msg Msg) ([]Emit, error) {
+	m.stats.PacketsRecvd++
+	switch {
+	case msg.Dense != nil:
+		return m.handleDense(msg.Dense)
+	case msg.Sparse != nil:
+		return m.handleSparse(msg.Sparse)
+	default:
+		return nil, fmt.Errorf("protocol: aggregator received empty message")
+	}
+}
+
+// aggSlot is the per-stream aggregation state. Column arrays are indexed
+// by the fusion column (§3.2).
+//
+// Loss recovery generalizes Algorithm 2's two-way slot versioning to a
+// mod-256 round counter carried in the packet's Version byte: the paper's
+// single version bit cannot distinguish a retransmitted duplicate delayed
+// by two rounds from a current-round packet (tolerable on the paper's
+// single-switch fabric, not under arbitrary reordering), while a byte
+// gives 256 rounds of reordering slack. A packet for an older round is
+// answered with the previous round's result, which is exactly what a
+// straggling worker is missing.
+type aggSlot struct {
+	tensorID  uint32
+	blockSize int
+	cols      int
+	dtype     uint8
+
+	// cur[c] is the block index currently being aggregated for column c
+	// (nextUnknown until the first packet reveals it, nextDone when the
+	// column is finished).
+	cur []int64
+
+	// nexts[c][wid] is the latest "next non-zero block" report from each
+	// worker (reliable mode: persists across rounds because
+	// non-contributors stay silent).
+	nexts [][]int64
+
+	// Current-round aggregation state.
+	acc         []*accum // per column
+	minNext     []int64  // per-round min next (unreliable mode)
+	seen        []bool
+	count       int
+	round       uint8 // current round number mod 256 (unreliable mode)
+	lastRes     *wire.Packet
+	lastResSize int
+	finished    bool
+}
+
+func (m *AggregatorMachine) newSlot(p *wire.Packet) *aggSlot {
+	cols := p.Cols()
+	s := &aggSlot{
+		tensorID:  p.TensorID,
+		blockSize: int(p.BlockSize),
+		cols:      cols,
+		dtype:     p.DType,
+		cur:       make([]int64, cols),
+		nexts:     make([][]int64, cols),
+	}
+	for c := range s.cur {
+		s.cur[c] = nextUnknown
+		s.nexts[c] = make([]int64, m.cfg.Workers)
+		for w := range s.nexts[c] {
+			s.nexts[c][w] = nextUnknown
+		}
+	}
+	s.acc = make([]*accum, cols)
+	for c := range s.acc {
+		s.acc[c] = newAccum(m.cfg)
+	}
+	s.minNext = make([]int64, cols)
+	for c := range s.minNext {
+		s.minNext[c] = nextDone
+	}
+	s.seen = make([]bool, m.cfg.Workers)
+	return s
+}
+
+func (m *AggregatorMachine) handleDense(p *wire.Packet) ([]Emit, error) {
+	if int(p.WID) >= m.cfg.Workers {
+		return nil, fmt.Errorf("protocol: packet from unknown worker %d", p.WID)
+	}
+	key := slotKey{p.Slot, p.TensorID}
+	sl := m.slots[key]
+	if sl == nil {
+		if ar, ok := m.archive[p.Slot][p.TensorID]; ok {
+			// Stale retransmission for a finished tensor: replay the
+			// final result to the sender (Algorithm 2 replay path).
+			m.stats.Replays++
+			return []Emit{{Dst: int(p.WID), Packet: ar.pkt, Size: ar.size}}, nil
+		}
+		if m.isFinished(p.Slot, p.TensorID) {
+			// A finished tensor already evicted from the archive: cannot
+			// replay, but must not resurrect state either.
+			m.stats.StaleFinished++
+			return nil, nil
+		}
+		sl = m.newSlot(p)
+		m.slots[key] = sl
+	}
+	if p.Cols() != sl.cols || int(p.BlockSize) != sl.blockSize || p.DType != sl.dtype {
+		return nil, fmt.Errorf("protocol: slot %d: inconsistent geometry from worker %d", p.Slot, p.WID)
+	}
+
+	if m.cfg.Reliable {
+		return m.processReliable(p, sl)
+	}
+	return m.processVersioned(p, sl)
+}
+
+// finishedTracker records a set of finished tensor IDs compactly: every
+// ID <= upTo has finished, plus the out-of-order exceptions above it.
+// Tensor IDs are allocated densely (1, 2, 3, ...) by the workers, so the
+// exception set stays bounded by the number of concurrent operations.
+type finishedTracker struct {
+	upTo   uint32
+	except map[uint32]bool
+}
+
+func (f *finishedTracker) add(tid uint32) {
+	if tid <= f.upTo {
+		return
+	}
+	if f.except == nil {
+		f.except = make(map[uint32]bool)
+	}
+	f.except[tid] = true
+	for f.except[f.upTo+1] {
+		delete(f.except, f.upTo+1)
+		f.upTo++
+	}
+}
+
+func (f *finishedTracker) has(tid uint32) bool {
+	return tid <= f.upTo || f.except[tid]
+}
+
+// isFinished reports whether tensorID already completed on this slot.
+func (m *AggregatorMachine) isFinished(slot uint16, tensorID uint32) bool {
+	f := m.finished[slot]
+	return f != nil && f.has(tensorID)
+}
+
+func (m *AggregatorMachine) markFinished(slot uint16, tensorID uint32) {
+	f := m.finished[slot]
+	if f == nil {
+		f = &finishedTracker{}
+		m.finished[slot] = f
+	}
+	f.add(tensorID)
+}
+
+// processReliable implements Algorithm 1 (+ Block Fusion): silent workers,
+// min-based completion.
+func (m *AggregatorMachine) processReliable(p *wire.Packet, sl *aggSlot) ([]Emit, error) {
+	wid := int(p.WID)
+	if err := sl.merge(p, wid); err != nil {
+		return nil, err
+	}
+	for c := 0; c < sl.cols; c++ {
+		sl.nexts[c][wid] = decodeNext(p.Nexts[c])
+	}
+	// Completion: every column's current block is strictly below the
+	// global minimum next (line 22 of Algorithm 1, per column).
+	for c := 0; c < sl.cols; c++ {
+		if sl.cur[c] == nextDone {
+			continue
+		}
+		min := minOf(sl.nexts[c])
+		if min == nextUnknown || min <= sl.cur[c] {
+			return nil, nil // column still collecting
+		}
+		// An uninitialized column (cur == nextUnknown) completes only
+		// once every worker reported, which min > nextUnknown implies.
+	}
+	concluded := sl.round
+	sl.round++
+	return m.finishRound(sl, p.Slot, concluded, func(c int) int64 { return minOf(sl.nexts[c]) })
+}
+
+// processVersioned implements Algorithm 2 with the round-counter
+// extension: every worker sends exactly one packet (data or empty ack)
+// per round; duplicates within the current round are ignored; packets for
+// earlier rounds indicate the sender missed a result, which is replayed
+// unicast (the paper's lines 47-49 generalized).
+func (m *AggregatorMachine) processVersioned(p *wire.Packet, sl *aggSlot) ([]Emit, error) {
+	wid := int(p.WID)
+	if p.Version != sl.round {
+		// An old-round packet (retransmission or reordered duplicate):
+		// the sender is at most one result behind a live round, and that
+		// missing result is lastRes. Deeper-stale duplicates receive a
+		// result their worker will discard by version mismatch.
+		m.stats.StaleRounds++
+		if sl.lastRes != nil {
+			m.stats.Replays++
+			return []Emit{{Dst: wid, Packet: sl.lastRes, Size: sl.lastResSize}}, nil
+		}
+		return nil, nil
+	}
+	if sl.seen[wid] {
+		m.stats.DupsFiltered++
+		return nil, nil // duplicate within the live round; original counted
+	}
+	sl.seen[wid] = true
+	sl.count++
+	if err := sl.merge(p, wid); err != nil {
+		return nil, err
+	}
+	for c := 0; c < sl.cols; c++ {
+		n := decodeNext(p.Nexts[c])
+		if n < sl.minNext[c] {
+			sl.minNext[c] = n
+		}
+	}
+	if sl.count < m.cfg.Workers {
+		return nil, nil
+	}
+	mins := append([]int64(nil), sl.minNext...)
+	// Advance the round before emitting so the result carries the round
+	// it concludes while new state is clean for the next one.
+	sl.count = 0
+	for i := range sl.seen {
+		sl.seen[i] = false
+	}
+	concluded := sl.round
+	sl.round++
+	return m.finishRound(sl, p.Slot, concluded, func(c int) int64 { return mins[c] })
+}
+
+// merge accumulates the packet's blocks into the slot's accumulators and
+// initializes column cursors from the block indices.
+func (sl *aggSlot) merge(p *wire.Packet, wid int) error {
+	for _, b := range p.Blocks {
+		c := ColOf(b.Index, sl.cols)
+		if sl.cur[c] == nextUnknown {
+			sl.cur[c] = int64(b.Index)
+		}
+		if int64(b.Index) != sl.cur[c] {
+			return fmt.Errorf("protocol: worker %d sent block %d for column %d, expected %d",
+				wid, b.Index, c, sl.cur[c])
+		}
+		sl.acc[c].add(wid, b.Data)
+	}
+	return nil
+}
+
+// finishRound emits the multicast result for a completed round and
+// advances or finishes the slot. minFor(c) yields the new global next for
+// column c; round is the concluded round's number.
+func (m *AggregatorMachine) finishRound(sl *aggSlot, slot uint16, round uint8, minFor func(int) int64) ([]Emit, error) {
+	res := &wire.Packet{
+		Type:      wire.TypeResult,
+		Version:   round,
+		DType:     sl.dtype,
+		Slot:      slot,
+		WID:       uint16(m.localID & 0xFFFF),
+		TensorID:  sl.tensorID,
+		BlockSize: uint32(sl.blockSize),
+		Nexts:     make([]uint32, sl.cols),
+	}
+	allDone := true
+	for c := 0; c < sl.cols; c++ {
+		if sl.cur[c] != nextUnknown && sl.cur[c] != nextDone {
+			res.Blocks = append(res.Blocks, wire.Block{
+				Index: uint32(sl.cur[c]),
+				Data:  sl.acc[c].result(),
+			})
+		}
+		min := minFor(c)
+		if sl.cur[c] == nextDone {
+			min = nextDone
+		}
+		if min == nextDone {
+			res.Nexts[c] = wire.Inf(c)
+			sl.cur[c] = nextDone
+		} else {
+			res.Nexts[c] = uint32(min)
+			sl.cur[c] = min
+			allDone = false
+		}
+		sl.acc[c].reset()
+		sl.minNext[c] = nextDone
+	}
+	size := wire.EncodedPacketSize(res)
+	sl.lastRes = res
+	sl.lastResSize = size
+	if allDone {
+		sl.finished = true
+		m.archiveResult(slot, sl.tensorID, res, size)
+		delete(m.slots, slotKey{slot, sl.tensorID})
+	}
+	m.stats.RoundsCompleted++
+	m.stats.BlocksAggregated += int64(len(res.Blocks))
+	emits := make([]Emit, 0, m.cfg.Workers)
+	for w := 0; w < m.cfg.Workers; w++ {
+		emits = append(emits, Emit{Dst: w, Packet: res, Size: size})
+		m.stats.ResultsSent++
+	}
+	return emits, nil
+}
+
+// archiveDepth bounds the per-slot final-result archive; it must exceed
+// the number of concurrently outstanding tensors so a straggler can
+// always recover a lost final multicast.
+const archiveDepth = 16
+
+func (m *AggregatorMachine) archiveResult(slot uint16, tensorID uint32, res *wire.Packet, size int) {
+	am := m.archive[slot]
+	if am == nil {
+		am = make(map[uint32]*archived)
+		m.archive[slot] = am
+	}
+	am[tensorID] = &archived{pkt: res, size: size}
+	m.markFinished(slot, tensorID)
+	// Bound the archive to the most recent tensor IDs.
+	if len(am) > archiveDepth {
+		ids := make([]uint32, 0, len(am))
+		for id := range am {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids[:len(ids)-archiveDepth] {
+			delete(am, id)
+		}
+	}
+}
+
+// accum accumulates one block-sized unit of aggregation, supporting plain
+// float32 summation, fixed-point (switch-mode) summation, and
+// deterministic worker-ID-ordered reduction.
+type accum struct {
+	det   bool
+	scale float64
+	f     []float32
+	q     []int64
+	per   map[int][]float32
+}
+
+func newAccum(cfg Config) *accum {
+	a := &accum{det: cfg.DeterministicOrder, scale: cfg.QuantizeScale}
+	if a.det {
+		a.per = make(map[int][]float32)
+	}
+	return a
+}
+
+func (a *accum) add(wid int, data []float32) {
+	if a.det {
+		c := make([]float32, len(data))
+		copy(c, data)
+		a.per[wid] = c
+		return
+	}
+	if a.scale != 0 {
+		if len(a.q) < len(data) {
+			a.q = append(a.q, make([]int64, len(data)-len(a.q))...)
+		}
+		for i, v := range data {
+			a.q[i] += int64(math.RoundToEven(float64(v) * a.scale))
+		}
+		return
+	}
+	if len(a.f) < len(data) {
+		a.f = append(a.f, make([]float32, len(data)-len(a.f))...)
+	}
+	for i, v := range data {
+		a.f[i] += v
+	}
+}
+
+func (a *accum) result() []float32 {
+	if a.det {
+		wids := make([]int, 0, len(a.per))
+		for w := range a.per {
+			wids = append(wids, w)
+		}
+		sort.Ints(wids)
+		var out []float32
+		for _, w := range wids {
+			d := a.per[w]
+			if len(out) < len(d) {
+				out = append(out, make([]float32, len(d)-len(out))...)
+			}
+			if a.scale != 0 {
+				// Deterministic + quantized: quantize each contribution.
+				for i, v := range d {
+					out[i] += float32(math.RoundToEven(float64(v)*a.scale) / a.scale)
+				}
+			} else {
+				for i, v := range d {
+					out[i] += v
+				}
+			}
+		}
+		return out
+	}
+	if a.scale != 0 {
+		out := make([]float32, len(a.q))
+		for i, v := range a.q {
+			out[i] = float32(float64(v) / a.scale)
+		}
+		return out
+	}
+	out := make([]float32, len(a.f))
+	copy(out, a.f)
+	return out
+}
+
+func (a *accum) reset() {
+	a.f = a.f[:0]
+	a.q = a.q[:0]
+	if a.det {
+		clear(a.per)
+	}
+}

@@ -1,0 +1,95 @@
+package protocol
+
+import (
+	"omnireduce/internal/tensor"
+	"omnireduce/internal/wire"
+)
+
+// Msg is one decoded inbound message for a machine: exactly one of Dense
+// or Sparse is non-nil. Drivers decode bytes (or pass simulator payloads
+// through) before handing messages to a machine; machines never see
+// encoded buffers.
+type Msg struct {
+	Dense  *wire.Packet
+	Sparse *wire.SparsePacket
+}
+
+// Emit is one outbound message requested by a machine: a decoded packet,
+// its destination node ID, and the exact number of bytes the wire encoding
+// occupies (per internal/wire's encoders). Real drivers call Encode and
+// transmit; the simulator charges Size bytes to the virtual fabric and
+// delivers the decoded packet by reference.
+//
+// Machines never mutate a packet after emitting it and never mutate
+// received packets, so a single packet value may safely be multicast by
+// reference (the simulator) or encoded once and sent N times (the real
+// driver).
+type Emit struct {
+	Dst    int
+	Packet *wire.Packet
+	Sparse *wire.SparsePacket
+	Size   int
+	// Retransmit marks timer-driven resends (loss-recovery traffic),
+	// distinguishing repairs from first transmissions in driver accounting.
+	Retransmit bool
+}
+
+// Encode appends the emit's wire encoding to dst and returns the extended
+// slice.
+func (e *Emit) Encode(dst []byte) []byte {
+	if e.Packet != nil {
+		return wire.AppendPacket(dst, e.Packet)
+	}
+	return wire.AppendSparsePacket(dst, e.Sparse)
+}
+
+// TensorView is the machines' window onto tensor data. The live driver
+// backs it with a real tensor and its non-zero bitmap; the simulator backs
+// it with a block-occupancy spec and shared zero-filled payloads, so the
+// same machine code runs in both substrates.
+type TensorView interface {
+	// NumBlocks is the number of BlockSize-element blocks covering the
+	// tensor (the final block may be short).
+	NumBlocks() int
+	// NonZero reports whether block b has any non-zero element.
+	NonZero(b int) bool
+	// Block returns block b's values; its length is the block's true
+	// element count.
+	Block(b int) []float32
+	// SetBlock overwrites block b with aggregated result values.
+	SetBlock(b int, data []float32)
+}
+
+// DenseView adapts a dense float32 tensor (plus its block-occupancy
+// bitmap) to the TensorView interface. It is the live substrate's view; it
+// mutates the underlying slice in place as results arrive.
+type DenseView struct {
+	t  *tensor.Dense
+	bm *tensor.Bitmap
+	bs int
+	nb int
+}
+
+// NewDenseView wraps data with block size bs. When forceDense is set the
+// occupancy bitmap is skipped entirely: NonZero must not be consulted (the
+// machines do not when Config.ForceDense is set).
+func NewDenseView(data []float32, bs int, forceDense bool) *DenseView {
+	t := tensor.FromSlice(data)
+	v := &DenseView{t: t, bs: bs, nb: t.NumBlocks(bs)}
+	if !forceDense {
+		v.bm = tensor.ComputeBitmap(t, bs)
+	}
+	return v
+}
+
+// NumBlocks implements TensorView.
+func (v *DenseView) NumBlocks() int { return v.nb }
+
+// NonZero implements TensorView.
+func (v *DenseView) NonZero(b int) bool { return v.bm.Get(b) }
+
+// Block implements TensorView.
+func (v *DenseView) Block(b int) []float32 { return v.t.Block(b, v.bs) }
+
+// SetBlock implements TensorView.
+func (v *DenseView) SetBlock(b int, data []float32) { v.t.SetBlock(b*v.bs, data) }

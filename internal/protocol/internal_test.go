@@ -1,0 +1,120 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+
+	"omnireduce/internal/wire"
+)
+
+// Unit tests for package internals: the accumulator modes, the result
+// archive, and the finished-tensor tracker. (Machine-level behavior is
+// covered by the trace tests in machine_test.go.)
+
+func TestAccumFloat(t *testing.T) {
+	a := newAccum(Config{})
+	a.add(1, []float32{1, 2})
+	a.add(0, []float32{10, 20, 30}) // longer contribution grows the slot
+	got := a.result()
+	if len(got) != 3 || got[0] != 11 || got[1] != 22 || got[2] != 30 {
+		t.Fatalf("result = %v", got)
+	}
+	a.reset()
+	a.add(0, []float32{5})
+	if got := a.result(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("after reset: %v", got)
+	}
+}
+
+func TestAccumQuantized(t *testing.T) {
+	a := newAccum(Config{QuantizeScale: 4}) // quarter resolution
+	a.add(0, []float32{0.1})                // 0.1*4 = 0.4 rounds to 0
+	a.add(1, []float32{0.5})                // 0.5*4 = 2
+	got := a.result()
+	if len(got) != 1 {
+		t.Fatalf("result = %v", got)
+	}
+	if got[0] != 0.5 { // (0 + 2)/4
+		t.Fatalf("quantized sum = %v, want 0.5", got[0])
+	}
+}
+
+func TestAccumDeterministicOrder(t *testing.T) {
+	// Floating-point addition is not associative; the deterministic
+	// accumulator must reduce in ascending worker-ID order regardless of
+	// arrival order.
+	mk := func(order []int) []float32 {
+		a := newAccum(Config{DeterministicOrder: true})
+		vals := map[int][]float32{
+			0: {1e8}, 1: {-1e8}, 2: {1}, 3: {0.5},
+		}
+		for _, w := range order {
+			a.add(w, vals[w])
+		}
+		return a.result()
+	}
+	r1 := mk([]int{0, 1, 2, 3})
+	r2 := mk([]int{3, 2, 1, 0})
+	r3 := mk([]int{2, 0, 3, 1})
+	if r1[0] != r2[0] || r2[0] != r3[0] {
+		t.Fatalf("order-dependent results: %v %v %v", r1, r2, r3)
+	}
+}
+
+func TestAccumDeterministicQuantized(t *testing.T) {
+	a := newAccum(Config{DeterministicOrder: true, QuantizeScale: 1 << 10})
+	a.add(1, []float32{0.25})
+	a.add(0, []float32{0.5})
+	got := a.result()
+	if math.Abs(float64(got[0])-0.75) > 1e-3 {
+		t.Fatalf("det+quant = %v", got)
+	}
+}
+
+func TestArchiveEviction(t *testing.T) {
+	cfg := Config{Workers: 1, Aggregators: []int{1}, Reliable: true}.WithDefaults()
+	a := NewAggregatorMachine(cfg, 1)
+	for tid := uint32(1); tid <= 40; tid++ {
+		res := &wire.Packet{Type: wire.TypeResult, TensorID: tid, BlockSize: 4}
+		a.archiveResult(0, tid, res, wire.EncodedPacketSize(res))
+	}
+	m := a.archive[0]
+	if len(m) != archiveDepth {
+		t.Fatalf("archive holds %d entries, want %d", len(m), archiveDepth)
+	}
+	if _, ok := m[40]; !ok {
+		t.Fatal("archive lost the newest tensor")
+	}
+	if _, ok := m[40-archiveDepth]; ok {
+		t.Fatal("archive kept an evicted tensor")
+	}
+	if !a.isFinished(0, 3) {
+		t.Fatal("isFinished should report evicted tensor 3")
+	}
+	if a.isFinished(0, 41) {
+		t.Fatal("isFinished must not report future tensor")
+	}
+}
+
+func TestFinishedTrackerOutOfOrder(t *testing.T) {
+	f := &finishedTracker{}
+	f.add(3)
+	if f.has(1) || f.has(2) || !f.has(3) {
+		t.Fatal("out-of-order add wrong")
+	}
+	f.add(1)
+	if !f.has(1) || f.has(2) {
+		t.Fatal("prefix tracking wrong")
+	}
+	f.add(2)
+	if f.upTo != 3 {
+		t.Fatalf("prefix did not collapse: upTo=%d except=%v", f.upTo, f.except)
+	}
+	if len(f.except) != 0 {
+		t.Fatalf("exceptions not drained: %v", f.except)
+	}
+	f.add(2) // re-add below prefix: no-op
+	if f.upTo != 3 {
+		t.Fatal("re-add changed prefix")
+	}
+}

@@ -1,0 +1,386 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"omnireduce/internal/tensor"
+	"omnireduce/internal/wire"
+)
+
+// Trace tests for the sans-I/O machines: a tiny synchronous pump feeds
+// worker and aggregator machines from a FIFO queue — no transport, no
+// goroutines, no clocks. Each table entry perturbs the delivery schedule
+// (duplicates, reorders, drops + timeouts) and asserts the machines still
+// converge on the exact deterministic sum.
+
+const aggNode = 100 // dedicated aggregator node ID, distinct from worker IDs
+
+type tmsg struct {
+	src, dst int
+	pkt      *wire.Packet
+}
+
+// pump drives the machines to completion with deterministic, synchronous
+// delivery. tamper sees every enqueued message and returns the copies to
+// actually deliver (nil drops it); swapLinks additionally swaps adjacent
+// queue entries on distinct links to exercise cross-link reordering.
+type pump struct {
+	t         *testing.T
+	cfg       Config
+	wms       []*WorkerMachine
+	am        *AggregatorMachine
+	q         []tmsg
+	now       time.Duration
+	tamper    func(n int, m tmsg) []tmsg
+	swapLinks bool
+	seq       int
+}
+
+func newPump(t *testing.T, cfg Config, inputs [][]float32, tamper func(n int, m tmsg) []tmsg, swap bool) (*pump, [][]float32) {
+	t.Helper()
+	cfg.Workers = len(inputs)
+	cfg.Aggregators = []int{aggNode}
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := &pump{t: t, cfg: cfg, am: NewAggregatorMachine(cfg, aggNode),
+		tamper: tamper, swapLinks: swap}
+	work := make([][]float32, len(inputs))
+	for w := range inputs {
+		work[w] = append([]float32(nil), inputs[w]...)
+		p.wms = append(p.wms, NewWorkerMachine(cfg, w, 1))
+	}
+	for w, m := range p.wms {
+		view := NewDenseView(work[w], cfg.BlockSize, cfg.ForceDense)
+		p.push(w, m.Start(view, 0))
+	}
+	return p, work
+}
+
+func (p *pump) push(src int, emits []Emit) {
+	for i := range emits {
+		m := tmsg{src: src, dst: emits[i].Dst, pkt: emits[i].Packet}
+		out := []tmsg{m}
+		if p.tamper != nil {
+			out = p.tamper(p.seq, m)
+		}
+		p.seq++
+		p.q = append(p.q, out...)
+		if p.swapLinks && len(p.q) >= 2 {
+			a, b := &p.q[len(p.q)-2], &p.q[len(p.q)-1]
+			if a.src != b.src || a.dst != b.dst {
+				*a, *b = *b, *a // cross-link swap preserves per-link FIFO
+			}
+		}
+	}
+}
+
+// drain processes the queue to empty, panicking the test on machine errors.
+func (p *pump) drain() {
+	for len(p.q) > 0 {
+		m := p.q[0]
+		p.q = p.q[1:]
+		if m.dst == aggNode {
+			emits, err := p.am.HandlePacket(Msg{Dense: m.pkt})
+			if err != nil {
+				p.t.Fatalf("aggregator: %v", err)
+			}
+			p.push(aggNode, emits)
+			continue
+		}
+		emits, err := p.wms[m.dst].HandlePacket(m.pkt, p.now)
+		if err != nil {
+			p.t.Fatalf("worker %d: %v", m.dst, err)
+		}
+		p.push(m.dst, emits)
+	}
+}
+
+// tick advances virtual time past every pending deadline and fires the
+// timeout handler on all workers.
+func (p *pump) tick() {
+	var latest time.Duration
+	for _, m := range p.wms {
+		if d, ok := m.NextTimeout(); ok && d > latest {
+			latest = d
+		}
+	}
+	p.now = latest + time.Nanosecond
+	for w, m := range p.wms {
+		emits, err := m.HandleTimeout(p.now)
+		if err != nil {
+			p.t.Fatalf("worker %d timeout: %v", w, err)
+		}
+		p.push(w, emits)
+	}
+}
+
+func (p *pump) allDone() bool {
+	for _, m := range p.wms {
+		if !m.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// traceInputs builds three workers' inputs with distinct sparsity patterns
+// over 24 blocks of 4 elements each.
+func traceInputs() [][]float32 {
+	const blocks, bs = 24, 4
+	mk := func(wid int, nz func(b int) bool) []float32 {
+		d := make([]float32, blocks*bs)
+		for b := 0; b < blocks; b++ {
+			if !nz(b) {
+				continue
+			}
+			for i := 0; i < bs; i++ {
+				d[b*bs+i] = float32(wid*1000 + b*10 + i)
+			}
+		}
+		return d
+	}
+	return [][]float32{
+		mk(1, func(b int) bool { return b%2 == 0 }),
+		mk(2, func(b int) bool { return b%3 == 0 }),
+		mk(3, func(b int) bool { return b >= 16 }),
+	}
+}
+
+func refSum(inputs [][]float32) []float32 {
+	ref := make([]float32, len(inputs[0]))
+	for _, in := range inputs {
+		for i, v := range in {
+			ref[i] += v
+		}
+	}
+	return ref
+}
+
+func TestMachineTraces(t *testing.T) {
+	base := Config{
+		BlockSize:          4,
+		FusionWidth:        4,
+		Streams:            2,
+		DeterministicOrder: true,
+		RetransmitTimeout:  time.Millisecond,
+	}
+	cases := []struct {
+		name     string
+		reliable bool
+		tamper   func(n int, m tmsg) []tmsg
+		swap     bool
+		ticks    int // extra timeout rounds to recover dropped packets
+		check    func(t *testing.T, p *pump)
+	}{
+		{
+			name: "in-order-reliable", reliable: true,
+		},
+		{
+			name: "in-order-lossy",
+		},
+		{
+			// Every aggregator result delivered twice: the duplicate must be
+			// version-filtered (or done-filtered) by the worker machines.
+			name: "duplicated-results",
+			tamper: func(n int, m tmsg) []tmsg {
+				if m.src == aggNode {
+					return []tmsg{m, m}
+				}
+				return []tmsg{m}
+			},
+			check: func(t *testing.T, p *pump) {
+				var stale int64
+				for _, m := range p.wms {
+					stale += m.Stats().StaleResults
+				}
+				if stale == 0 {
+					t.Fatal("duplicated results not filtered")
+				}
+			},
+		},
+		{
+			// Every worker data packet delivered twice: the aggregator must
+			// filter same-round duplicates and replay to stale rounds without
+			// corrupting the sum.
+			name: "duplicated-data-stale-rounds",
+			tamper: func(n int, m tmsg) []tmsg {
+				if m.dst == aggNode {
+					return []tmsg{m, m}
+				}
+				return []tmsg{m}
+			},
+			check: func(t *testing.T, p *pump) {
+				s := p.am.Stats()
+				if s.DupsFiltered == 0 && s.StaleRounds == 0 {
+					t.Fatalf("duplicates neither filtered nor recognized stale: %+v", s)
+				}
+			},
+		},
+		{
+			// Adjacent messages on distinct links swapped: per-link FIFO
+			// holds (the protocol's only ordering assumption), cross-link
+			// order does not.
+			name: "reordered-across-links", reliable: true, swap: true,
+		},
+		{
+			name: "reordered-across-links-lossy", swap: true,
+		},
+		{
+			// Drop the first five worker packets (bootstraps among them);
+			// only the retransmission timer can recover the streams.
+			name: "timeout-before-result",
+			tamper: func(n int, m tmsg) []tmsg {
+				if m.dst == aggNode && n < 5 {
+					return nil
+				}
+				return []tmsg{m}
+			},
+			ticks: 32,
+			check: func(t *testing.T, p *pump) {
+				var retr int64
+				for _, m := range p.wms {
+					retr += m.Stats().Retransmits
+				}
+				if retr == 0 {
+					t.Fatal("drops recovered without retransmissions")
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			cfg.Reliable = tc.reliable
+			inputs := traceInputs()
+			p, work := newPump(t, cfg, inputs, tc.tamper, tc.swap)
+			p.drain()
+			for i := 0; i < tc.ticks && !p.allDone(); i++ {
+				p.tick()
+				p.drain()
+			}
+			if !p.allDone() {
+				t.Fatal("machines did not converge")
+			}
+			ref := refSum(inputs)
+			for w := range work {
+				for i, v := range work[w] {
+					if v != ref[i] {
+						t.Fatalf("worker %d elem %d: %v != %v", w, i, v, ref[i])
+					}
+				}
+			}
+			if tc.check != nil {
+				tc.check(t, p)
+			}
+		})
+	}
+}
+
+// TestWorkerMachineResultErrors exercises the worker machine's protocol
+// error paths directly: wrong message type, unknown stream, stale tensor.
+func TestWorkerMachineResultErrors(t *testing.T) {
+	// One stream, one column over three dense blocks: after the bootstrap
+	// sends block 0, the machine's local next is block 1.
+	cfg := Config{Workers: 1, Aggregators: []int{aggNode}, Reliable: true,
+		BlockSize: 4, FusionWidth: 1, Streams: 1}
+	m := NewWorkerMachine(cfg, 0, 1)
+	data := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	if emits := m.Start(NewDenseView(data, 4, false), 0); len(emits) != 1 {
+		t.Fatalf("bootstrap emits = %d", len(emits))
+	}
+	if _, err := m.HandlePacket(&wire.Packet{Type: wire.TypeData, TensorID: 1}, 0); err == nil || !strings.Contains(err.Error(), "unexpected message type") {
+		t.Fatalf("wrong type: err = %v", err)
+	}
+	if _, err := m.HandlePacket(&wire.Packet{Type: wire.TypeResult, TensorID: 1, Slot: 9, Nexts: []uint32{wire.Inf(0)}}, 0); err == nil || !strings.Contains(err.Error(), "unknown stream") {
+		t.Fatalf("unknown stream: err = %v", err)
+	}
+	// Stale tensor IDs are silently dropped and counted.
+	emits, err := m.HandlePacket(&wire.Packet{Type: wire.TypeResult, TensorID: 7, Nexts: []uint32{wire.Inf(0)}}, 0)
+	if err != nil || emits != nil {
+		t.Fatalf("stale result not dropped: %v %v", emits, err)
+	}
+	if m.Stats().StaleResults != 1 {
+		t.Fatalf("StaleResults = %d, want 1", m.Stats().StaleResults)
+	}
+	// A request past our local next (2 when we still hold block 1) is a
+	// protocol violation.
+	if _, err := m.HandlePacket(&wire.Packet{Type: wire.TypeResult, TensorID: 1, BlockSize: 4, Nexts: []uint32{2}}, 0); err == nil || !strings.Contains(err.Error(), "past local next") {
+		t.Fatalf("past-next: err = %v", err)
+	}
+}
+
+// TestSparseMachineTrace runs the Algorithm 3 key-value machines through
+// the same synchronous in-memory style: two workers with overlapping COO
+// tensors, one aggregator, in-order delivery.
+func TestSparseMachineTrace(t *testing.T) {
+	cfg := Config{Workers: 2, Aggregators: []int{aggNode}, Reliable: true, BlockSize: 2}.WithDefaults()
+	mk := func(pairs map[int32]float32) *tensor.COO {
+		c := tensor.NewCOO(100)
+		for k := int32(0); k < 100; k++ {
+			if v, ok := pairs[k]; ok {
+				c.Append(k, v)
+			}
+		}
+		return c
+	}
+	ins := []*tensor.COO{
+		mk(map[int32]float32{3: 1, 7: 2, 50: 3, 51: 4, 99: 5}),
+		mk(map[int32]float32{7: 10, 8: 11, 51: 12}),
+	}
+	am := NewAggregatorMachine(cfg, aggNode)
+	var wms []*SparseWorkerMachine
+	type smsg struct {
+		dst int
+		pkt *wire.SparsePacket
+	}
+	var q []smsg
+	push := func(emits []Emit) {
+		for i := range emits {
+			q = append(q, smsg{dst: emits[i].Dst, pkt: emits[i].Sparse})
+		}
+	}
+	for w := range ins {
+		m, err := NewSparseWorkerMachine(cfg, w, 1, ins[w])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wms = append(wms, m)
+		push(m.Start())
+	}
+	for len(q) > 0 {
+		m := q[0]
+		q = q[1:]
+		if m.dst == aggNode {
+			emits, err := am.HandlePacket(Msg{Sparse: m.pkt})
+			if err != nil {
+				t.Fatal(err)
+			}
+			push(emits)
+			continue
+		}
+		emits, err := wms[m.dst].HandlePacket(m.pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		push(emits)
+	}
+	want := map[int32]float32{3: 1, 7: 12, 8: 11, 50: 3, 51: 16, 99: 5}
+	for w, m := range wms {
+		if !m.Done() {
+			t.Fatalf("worker %d not done", w)
+		}
+		res := m.Result()
+		if res.Len() != len(want) {
+			t.Fatalf("worker %d: %d keys, want %d", w, res.Len(), len(want))
+		}
+		for i, k := range res.Keys {
+			if res.Values[i] != want[k] {
+				t.Fatalf("worker %d key %d: %v != %v", w, k, res.Values[i], want[k])
+			}
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package protocol
+
+import (
+	"container/heap"
+	"fmt"
+
+	"omnireduce/internal/tensor"
+	"omnireduce/internal/wire"
+)
+
+// This file implements the sparse (key-value) block format extension of
+// §3.3 / Algorithm 3. The input is a COO tensor; workers stream blocks of
+// BlockSize key-value pairs in key order, each packet carrying the key of
+// the sender's next non-zero value. The aggregator tracks every worker's
+// next key and flushes the aggregated prefix below the global minimum to
+// all workers, which assemble the full reduced tensor in key order.
+//
+// As in the paper, this mode targets reliable transports (the paper leaves
+// a lossy realization as future work), so the machine requests no timers.
+//
+// Keys must be < 0xFFFFFFFE: 0xFFFFFFFF is the "no more keys" sentinel and
+// 0xFFFFFFFE marks non-final chunks of the final flush.
+
+// MoreComing marks a sparse-result chunk that is not the last of its
+// flush: the receiving worker must not treat it as flow-control progress.
+const MoreComing = wire.InfKey - 1
+
+// SparseWorkerMachine is the worker side of one sparse AllReduce
+// (Algorithm 3): it streams blocks of key-value pairs in key order, flow
+// controlled by the aggregator's announced global next key, and assembles
+// the multicast result prefix into the output COO tensor.
+type SparseWorkerMachine struct {
+	cfg   Config
+	id    int
+	tid   uint32
+	in    *tensor.COO
+	out   *tensor.COO
+	idx   int // next unsent pair index into in
+	done  bool
+	stats WorkerStats
+}
+
+// NewSparseWorkerMachine validates the input tensor's key range and
+// creates the machine. Sparse mode requires a reliable transport.
+func NewSparseWorkerMachine(cfg Config, workerID int, tensorID uint32, in *tensor.COO) (*SparseWorkerMachine, error) {
+	cfg = cfg.WithDefaults()
+	if !cfg.Reliable {
+		return nil, fmt.Errorf("protocol: sparse mode requires a reliable transport")
+	}
+	for _, k := range in.Keys {
+		if uint32(k) >= MoreComing {
+			return nil, fmt.Errorf("protocol: sparse key %d out of range", k)
+		}
+	}
+	return &SparseWorkerMachine{
+		cfg: cfg,
+		id:  workerID,
+		tid: tensorID,
+		in:  in,
+		out: tensor.NewCOO(in.Dim),
+	}, nil
+}
+
+// Stats returns a copy of the machine's traffic counters.
+func (m *SparseWorkerMachine) Stats() WorkerStats { return m.stats }
+
+// Done reports whether the final result chunk has arrived.
+func (m *SparseWorkerMachine) Done() bool { return m.done }
+
+// Result returns the assembled global reduction; valid once Done.
+func (m *SparseWorkerMachine) Result() *tensor.COO { return m.out }
+
+// Start emits the first block of pairs (Algorithm 3 lines 2-7).
+func (m *SparseWorkerMachine) Start() []Emit {
+	return []Emit{m.sendNext()}
+}
+
+// sendNext builds and accounts the next BlockSize-pair packet.
+func (m *SparseWorkerMachine) sendNext() Emit {
+	bs := m.cfg.BlockSize
+	hi := m.idx + bs
+	if hi > m.in.Len() {
+		hi = m.in.Len()
+	}
+	p := &wire.SparsePacket{
+		Type:     wire.TypeSparseData,
+		WID:      uint16(m.id),
+		TensorID: m.tid,
+		NextKey:  wire.InfKey,
+	}
+	for i := m.idx; i < hi; i++ {
+		p.Keys = append(p.Keys, uint32(m.in.Keys[i]))
+		p.Values = append(p.Values, m.in.Values[i])
+	}
+	m.idx = hi
+	if m.idx < m.in.Len() {
+		p.NextKey = uint32(m.in.Keys[m.idx])
+	}
+	size := wire.EncodedSparsePacketSize(p)
+	m.stats.PacketsSent++
+	m.stats.BytesSent += int64(size)
+	return Emit{Dst: m.cfg.Aggregators[0], Sparse: p, Size: size}
+}
+
+// HandlePacket consumes one sparse result chunk: appends the flushed
+// prefix to the output and, when the global progress reaches our next
+// unsent key, emits the next block (Algorithm 3 line 10).
+func (m *SparseWorkerMachine) HandlePacket(p *wire.SparsePacket) ([]Emit, error) {
+	if p.Type != wire.TypeSparseResult {
+		return nil, fmt.Errorf("protocol: worker %d: unexpected message type %d in sparse mode", m.id, p.Type)
+	}
+	if p.TensorID != m.tid {
+		return nil, nil // stale
+	}
+	for i, k := range p.Keys {
+		m.out.Append(int32(k), p.Values[i])
+	}
+	if p.NextKey == wire.InfKey {
+		m.done = true
+		return nil, nil
+	}
+	if m.idx < m.in.Len() && p.NextKey != MoreComing && int64(p.NextKey) >= int64(m.in.Keys[m.idx]) {
+		return []Emit{m.sendNext()}, nil
+	}
+	return nil, nil
+}
+
+// sparseAgg is the aggregator-side state of Algorithm 3.
+type sparseAgg struct {
+	tensorID uint32
+	values   map[uint32]float32
+	pending  keyHeap // aggregated keys not yet flushed
+	nextKey  []int64 // per-worker next key; -1 unknown, maxInt64 done
+	sent     int64   // smallest unflushed key
+	finished bool
+}
+
+type keyHeap []uint32
+
+func (h keyHeap) Len() int            { return len(h) }
+func (h keyHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h keyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *keyHeap) Push(x interface{}) { *h = append(*h, x.(uint32)) }
+func (h *keyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (m *AggregatorMachine) handleSparse(p *wire.SparsePacket) ([]Emit, error) {
+	// Sparse operations are keyed by tensor ID, so several may be in
+	// flight concurrently.
+	sa := m.sparse[p.TensorID]
+	if sa == nil {
+		sa = &sparseAgg{
+			tensorID: p.TensorID,
+			values:   make(map[uint32]float32),
+			nextKey:  make([]int64, m.cfg.Workers),
+			sent:     0,
+		}
+		for i := range sa.nextKey {
+			sa.nextKey[i] = -1
+		}
+		m.sparse[p.TensorID] = sa
+	}
+	if sa.finished {
+		return nil, nil
+	}
+	wid := int(p.WID)
+	if wid >= m.cfg.Workers {
+		return nil, fmt.Errorf("protocol: sparse packet from unknown worker %d", p.WID)
+	}
+	// Merge pairs (Algorithm 3 line 25).
+	for i, k := range p.Keys {
+		if _, ok := sa.values[k]; !ok {
+			heap.Push(&sa.pending, k)
+		}
+		sa.values[k] += p.Values[i]
+	}
+	if p.NextKey == wire.InfKey {
+		sa.nextKey[wid] = nextDone
+	} else {
+		sa.nextKey[wid] = int64(p.NextKey)
+	}
+	min := minOf(sa.nextKey)
+	if min == -1 {
+		return nil, nil // not all workers reported yet
+	}
+	if min == nextDone {
+		// Final flush: everything pending, last chunk marked InfKey.
+		emits := m.flushSparse(sa, nextDone)
+		sa.finished = true
+		delete(m.sparse, p.TensorID)
+		return emits, nil
+	}
+	if min > sa.sent {
+		emits := m.flushSparse(sa, min)
+		sa.sent = min
+		return emits, nil
+	}
+	return nil, nil
+}
+
+// flushSparse multicasts aggregated pairs with key < upTo, chunked into
+// BlockSize-pair packets. upTo == nextDone flushes everything and marks
+// the final chunk with InfKey.
+func (m *AggregatorMachine) flushSparse(sa *sparseAgg, upTo int64) []Emit {
+	bs := m.cfg.BlockSize
+	var keys []uint32
+	for sa.pending.Len() > 0 && int64(sa.pending[0]) < upTo {
+		keys = append(keys, heap.Pop(&sa.pending).(uint32))
+	}
+	final := upTo == nextDone
+	var emits []Emit
+	// Always send at least one packet: the flush is also the flow-control
+	// clock for the workers (it announces the new global next key).
+	for first := true; first || len(keys) > 0; first = false {
+		n := len(keys)
+		if n > bs {
+			n = bs
+		}
+		p := &wire.SparsePacket{
+			Type:     wire.TypeSparseResult,
+			WID:      uint16(m.localID & 0xFFFF),
+			TensorID: sa.tensorID,
+			Keys:     keys[:n],
+		}
+		for _, k := range p.Keys {
+			p.Values = append(p.Values, sa.values[k])
+		}
+		keys = keys[n:]
+		switch {
+		case len(keys) > 0:
+			p.NextKey = MoreComing
+		case final:
+			p.NextKey = wire.InfKey
+		default:
+			p.NextKey = uint32(upTo)
+		}
+		size := wire.EncodedSparsePacketSize(p)
+		for w := 0; w < m.cfg.Workers; w++ {
+			emits = append(emits, Emit{Dst: w, Sparse: p, Size: size})
+		}
+	}
+	return emits
+}

@@ -1,0 +1,328 @@
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"omnireduce/internal/wire"
+)
+
+// WorkerStats counts one machine's protocol traffic. The driver is
+// responsible for publishing these (internal/core mirrors them into its
+// atomic Stats; the simulator reads them directly after the run).
+type WorkerStats struct {
+	BlocksSent   int64 // non-bootstrap data blocks transmitted
+	PacketsSent  int64
+	BytesSent    int64 // encoded packet bytes, including retransmissions
+	Retransmits  int64 // timer-driven resends, distinct from PacketsSent
+	AcksSent     int64 // empty payload packets (unreliable mode)
+	ResultsRecvd int64
+	StaleResults int64 // duplicate or out-of-round results filtered out
+	Backoffs     int64 // retransmissions sent at a backed-off (>base) timeout
+}
+
+// wStream is the per-stream worker state for one AllReduce.
+type wStream struct {
+	idx      int
+	lo, hi   int // global block range (shard)
+	cols     int
+	next     []int // per-column next unsent non-zero global block (-1 none)
+	ver      uint8 // round number mod 256 of the last sent packet
+	done     bool
+	last     *wire.Packet // last transmitted packet, for retransmission
+	lastSize int
+	sentAt   time.Duration
+	retries  int           // retransmissions of the current packet
+	timeout  time.Duration // current loss-detection timer (backs off)
+}
+
+// WorkerMachine is the worker side of one collective operation: Algorithm
+// 1's streaming (reliable mode) or Algorithm 2's versioned rounds with
+// acks and retransmission policy (unreliable mode), over the §3.1.1 stream
+// shards and §3.2 fused columns.
+//
+// The machine is purely event-driven: Start emits the bootstrap packets,
+// HandlePacket consumes one aggregator result and emits the next round's
+// packets, HandleTimeout retransmits overdue packets. All times are
+// driver-supplied durations from an arbitrary fixed origin (the live
+// driver uses time.Since(opStart); the simulator uses virtual time).
+// Methods must not be called concurrently.
+type WorkerMachine struct {
+	cfg     Config
+	id      int
+	tid     uint32
+	view    TensorView
+	streams []*wStream
+	active  int
+	started bool
+	rng     *rand.Rand // retransmission jitter; nil in reliable mode
+	stats   WorkerStats
+}
+
+// NewWorkerMachine creates the machine for worker workerID's participation
+// in collective tensorID. The jitter source is seeded deterministically
+// per (worker, tensor) so reruns of a job schedule identical
+// retransmission patterns.
+func NewWorkerMachine(cfg Config, workerID int, tensorID uint32) *WorkerMachine {
+	cfg = cfg.WithDefaults()
+	m := &WorkerMachine{cfg: cfg, id: workerID, tid: tensorID}
+	if !cfg.Reliable {
+		m.rng = rand.New(rand.NewSource(int64(workerID)<<32 ^ int64(tensorID)))
+	}
+	return m
+}
+
+// Stats returns a copy of the machine's traffic counters.
+func (m *WorkerMachine) Stats() WorkerStats { return m.stats }
+
+// Done reports whether every stream has received its final result.
+func (m *WorkerMachine) Done() bool { return m.started && m.active == 0 }
+
+func (m *WorkerMachine) dtype() uint8 {
+	if m.cfg.HalfPrecision {
+		return wire.DTypeF16
+	}
+	return wire.DTypeF32
+}
+
+func (m *WorkerMachine) nonZero(b int) bool {
+	if m.cfg.ForceDense {
+		return true
+	}
+	return m.view.NonZero(b)
+}
+
+// Start begins the collective over view, emitting one bootstrap packet per
+// stream: the first block of every column is sent unconditionally
+// (Algorithm 1 line 5 generalized to fusion), with the per-column next
+// non-zero offsets piggybacked.
+func (m *WorkerMachine) Start(view TensorView, now time.Duration) []Emit {
+	m.view = view
+	m.started = true
+	nb := view.NumBlocks()
+	if nb == 0 {
+		return nil
+	}
+	eff := EffectiveStreams(m.cfg.Streams, nb)
+	m.streams = make([]*wStream, eff)
+	var emits []Emit
+	for s := 0; s < eff; s++ {
+		lo, hi := Shard(s, eff, nb)
+		cols := m.cfg.FusionWidth
+		if hi-lo < cols {
+			cols = hi - lo
+		}
+		if cols == 0 {
+			continue // empty shard (cannot happen after EffectiveStreams)
+		}
+		st := &wStream{idx: s, lo: lo, hi: hi, cols: cols, next: make([]int, cols)}
+		m.streams[s] = st
+		m.active++
+
+		p := &wire.Packet{
+			Type:      wire.TypeData,
+			DType:     m.dtype(),
+			Slot:      uint16(s),
+			WID:       uint16(m.id),
+			TensorID:  m.tid,
+			BlockSize: uint32(m.cfg.BlockSize),
+			Nexts:     make([]uint32, cols),
+		}
+		for c := 0; c < cols; c++ {
+			first := FirstInColumn(lo, hi, c, cols)
+			if first < 0 {
+				st.next[c] = -1
+				p.Nexts[c] = wire.Inf(c)
+				continue
+			}
+			p.Blocks = append(p.Blocks, wire.Block{
+				Index: uint32(first),
+				Data:  view.Block(first),
+			})
+			st.next[c] = NextNonZeroInColumn(m.nonZero, first, lo, hi, c, cols)
+			p.Nexts[c] = NextOffsetWire(st.next[c], c)
+		}
+		emits = append(emits, m.send(st, p, now))
+	}
+	return emits
+}
+
+// HandlePacket consumes one aggregator result. Stale or duplicate results
+// are filtered (counted in StaleResults) with no emits; protocol
+// violations return an error.
+func (m *WorkerMachine) HandlePacket(p *wire.Packet, now time.Duration) ([]Emit, error) {
+	if p.Type != wire.TypeResult {
+		return nil, fmt.Errorf("protocol: worker %d: unexpected message type %d", m.id, p.Type)
+	}
+	if p.TensorID != m.tid {
+		m.stats.StaleResults++
+		return nil, nil // stale result from a previous tensor
+	}
+	if int(p.Slot) >= len(m.streams) || m.streams[p.Slot] == nil {
+		return nil, fmt.Errorf("protocol: worker %d: result for unknown stream %d", m.id, p.Slot)
+	}
+	st := m.streams[p.Slot]
+	if st.done {
+		m.stats.StaleResults++
+		return nil, nil // duplicate final result
+	}
+	if !m.cfg.Reliable && p.Version != st.ver {
+		m.stats.StaleResults++
+		return nil, nil // duplicate of an already-processed round
+	}
+	return m.processResult(st, p, now)
+}
+
+// processResult applies a result to the local view and builds the next
+// round: contribute every column whose requested next block equals our
+// local next non-zero block.
+func (m *WorkerMachine) processResult(st *wStream, p *wire.Packet, now time.Duration) ([]Emit, error) {
+	m.stats.ResultsRecvd++
+	for _, b := range p.Blocks {
+		m.view.SetBlock(int(b.Index), b.Data)
+	}
+	if p.Done() {
+		st.done = true
+		st.last = nil
+		m.active--
+		return nil, nil
+	}
+
+	resp := &wire.Packet{
+		Type:      wire.TypeData,
+		Version:   st.ver + 1, // round counter, wraps mod 256
+		DType:     m.dtype(),
+		Slot:      p.Slot,
+		WID:       uint16(m.id),
+		TensorID:  m.tid,
+		BlockSize: uint32(m.cfg.BlockSize),
+		Nexts:     make([]uint32, st.cols),
+	}
+	st.ver = resp.Version
+	contributes := false
+	for c := 0; c < st.cols; c++ {
+		req := p.Nexts[c]
+		if wire.IsInf(req) {
+			resp.Nexts[c] = wire.Inf(c)
+			continue
+		}
+		if st.next[c] >= 0 && int(req) == st.next[c] {
+			blk := st.next[c]
+			resp.Blocks = append(resp.Blocks, wire.Block{
+				Index: uint32(blk),
+				Data:  m.view.Block(blk),
+			})
+			st.next[c] = NextNonZeroInColumn(m.nonZero, blk, st.lo, st.hi, c, st.cols)
+			contributes = true
+			m.stats.BlocksSent++
+		} else if st.next[c] >= 0 && int(req) > st.next[c] {
+			return nil, fmt.Errorf("protocol: worker %d stream %d col %d: aggregator requested %d past local next %d",
+				m.id, st.idx, c, req, st.next[c])
+		}
+		resp.Nexts[c] = NextOffsetWire(st.next[c], c)
+	}
+	if m.cfg.Reliable {
+		if contributes {
+			return []Emit{m.send(st, resp, now)}, nil
+		}
+		// Silent round: the aggregator advances without us (Algorithm 1's
+		// "otherwise the worker awaits a further packet").
+		st.last = nil
+		return nil, nil
+	}
+	// Unreliable mode: always respond, with an empty ack if we have no
+	// block to contribute (Algorithm 2 lines 18-21).
+	if !contributes {
+		m.stats.AcksSent++
+	}
+	return []Emit{m.send(st, resp, now)}, nil
+}
+
+// HandleTimeout retransmits every stream whose loss-detection timer has
+// expired at time now, backing the timer off exponentially with jitter. It
+// returns an error when a stream exhausts MaxRetries.
+func (m *WorkerMachine) HandleTimeout(now time.Duration) ([]Emit, error) {
+	if m.cfg.Reliable {
+		return nil, nil
+	}
+	var emits []Emit
+	for _, st := range m.streams {
+		if st == nil || st.done || st.last == nil {
+			continue
+		}
+		if now-st.sentAt < st.timeout {
+			continue
+		}
+		if m.cfg.MaxRetries > 0 && st.retries >= m.cfg.MaxRetries {
+			return emits, fmt.Errorf("protocol: worker %d stream %d: no response after %d retransmissions",
+				m.id, st.idx, st.retries)
+		}
+		st.retries++
+		st.sentAt = now
+		m.stats.PacketsSent++
+		m.stats.Retransmits++
+		m.stats.BytesSent += int64(st.lastSize)
+		emits = append(emits, Emit{Dst: m.cfg.AggregatorFor(st.idx), Packet: st.last, Size: st.lastSize, Retransmit: true})
+		m.backoff(st)
+	}
+	return emits, nil
+}
+
+// NextTimeout returns the earliest pending retransmission deadline, if
+// any. Drivers arm their timer (or schedule a virtual-time event) for it;
+// a wakeup earlier than every deadline is harmless (HandleTimeout
+// re-checks). Reliable mode never requests timers.
+func (m *WorkerMachine) NextTimeout() (time.Duration, bool) {
+	if m.cfg.Reliable {
+		return 0, false
+	}
+	var earliest time.Duration
+	ok := false
+	for _, st := range m.streams {
+		if st == nil || st.done || st.last == nil {
+			continue
+		}
+		d := st.sentAt + st.timeout
+		if !ok || d < earliest {
+			earliest, ok = d, true
+		}
+	}
+	return earliest, ok
+}
+
+// backoff grows a stream's retransmission timeout exponentially with
+// jitter, up to the configured ceiling, after a timer expiry. A fixed
+// timer under sustained loss retransmits into the same congested or
+// partitioned link at full rate; backing off (and jittering, so workers
+// that lost the same multicast do not resynchronize) is the standard
+// hardening the paper's fixed-timer description leaves out.
+func (m *WorkerMachine) backoff(st *wStream) {
+	next := time.Duration(float64(st.timeout) * m.cfg.RetransmitBackoff)
+	if next > m.cfg.RetransmitCeiling {
+		next = m.cfg.RetransmitCeiling
+	}
+	if j := m.cfg.RetransmitJitter; j > 0 && m.rng != nil {
+		f := 1 + j*(2*m.rng.Float64()-1)
+		next = time.Duration(float64(next) * f)
+	}
+	if next < m.cfg.RetransmitTimeout {
+		next = m.cfg.RetransmitTimeout
+	}
+	if next > st.timeout {
+		m.stats.Backoffs++
+	}
+	st.timeout = next
+}
+
+// send records p as the stream's outstanding packet and returns its emit.
+func (m *WorkerMachine) send(st *wStream, p *wire.Packet, now time.Duration) Emit {
+	st.last = p
+	st.lastSize = wire.EncodedPacketSize(p)
+	st.sentAt = now
+	st.retries = 0
+	st.timeout = m.cfg.RetransmitTimeout // fresh packet: reset backoff
+	m.stats.PacketsSent++
+	m.stats.BytesSent += int64(st.lastSize)
+	return Emit{Dst: m.cfg.AggregatorFor(st.idx), Packet: p, Size: st.lastSize}
+}

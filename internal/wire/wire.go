@@ -93,6 +93,28 @@ func MaxPacketLen(cols, blockSize int) int {
 	return headerLen + 4*cols + cols*(4+4*blockSize)
 }
 
+// EncodedPacketSize returns the exact byte length AppendPacket would
+// produce for p, without encoding. The protocol machines attach this size
+// to every emitted packet so the discrete-event simulator charges the
+// fabric for the real wire format rather than a hand-written approximation.
+func EncodedPacketSize(p *Packet) int {
+	n := headerLen + 4*len(p.Nexts)
+	elemBytes := 4
+	if p.DType == DTypeF16 {
+		elemBytes = 2
+	}
+	for _, b := range p.Blocks {
+		n += 8 + elemBytes*len(b.Data)
+	}
+	return n
+}
+
+// EncodedSparsePacketSize returns the exact byte length
+// AppendSparsePacket would produce for p.
+func EncodedSparsePacketSize(p *SparsePacket) int {
+	return sparseHeaderLen + 8*len(p.Keys)
+}
+
 // ErrTruncated is returned when a buffer is too short for its declared
 // contents.
 var ErrTruncated = fmt.Errorf("wire: truncated packet")
