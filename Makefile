@@ -35,7 +35,17 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodePacket -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeSparsePacket -fuzztime $(FUZZTIME) ./internal/wire/
 
+# Bench tier: the wall-clock datapath benchmarks with allocation stats,
+# recorded to BENCH_datapath.json (baseline preserved across reruns) so
+# the perf trajectory is tracked across PRs.
 bench:
+	( $(GO) test -run '^$$' -bench '^(BenchmarkAllReduceLive|BenchmarkAllReduceTCPLive)$$' -benchmem -benchtime 2x . ; \
+	  $(GO) test -run '^$$' -bench '^(BenchmarkPacketEncode|BenchmarkPacketDecode|BenchmarkPacketDecodeInto)$$' -benchmem ./internal/wire/ ; \
+	  $(GO) test -run '^$$' -bench '^(BenchmarkComputeBitmap|BenchmarkDenseAdd)$$' -benchmem ./internal/tensor/ ) \
+	| $(GO) run ./cmd/benchjson -o BENCH_datapath.json
+
+# Full benchmark sweep (paper figures + wall clock), single iteration.
+bench-all:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
 # Drift tier: the substrate-equivalence test (live channel cluster vs the

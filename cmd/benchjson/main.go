@@ -1,0 +1,119 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a JSON performance record, preserving a baseline across reruns so
+// the datapath's perf trajectory is tracked from PR to PR.
+//
+// Usage:
+//
+//	go test -bench ... -benchmem ./... | go run ./cmd/benchjson -o BENCH_datapath.json
+//
+// The output file holds two sections: "baseline" (the first recording
+// ever written to that path, kept verbatim on every rerun) and "current"
+// (this run). Comparing the two shows the cumulative effect of perf work
+// since the baseline was captured.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iters"`
+	NsPerOp  float64 `json:"ns_op"`
+	MBPerS   float64 `json:"mb_s,omitempty"`
+	BPerOp   int64   `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// File is the on-disk layout.
+type File struct {
+	Note     string   `json:"note"`
+	Baseline []Result `json:"baseline"`
+	Current  []Result `json:"current"`
+}
+
+// benchLine matches one `go test -bench` result row, e.g.
+//
+//	BenchmarkPacketEncode-8  500000  2101 ns/op  1948.87 MB/s  0 B/op  0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parse(line string) (Result, bool) {
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return Result{}, false
+	}
+	r := Result{Name: m[1]}
+	r.Iters, _ = strconv.ParseInt(m[2], 10, 64)
+	fields := strings.Fields(m[3])
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "MB/s":
+			r.MBPerS = v
+		case "B/op":
+			r.BPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsOp = int64(v)
+		}
+	}
+	return r, r.NsPerOp > 0
+}
+
+func main() {
+	out := flag.String("o", "BENCH_datapath.json", "output JSON path")
+	flag.Parse()
+
+	var current []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the console
+		if r, ok := parse(line); ok {
+			current = append(current, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	f := File{
+		Note:     "datapath wall-clock benchmarks; baseline is the first recording at this path and is preserved across reruns",
+		Baseline: current,
+		Current:  current,
+	}
+	if prev, err := os.ReadFile(*out); err == nil {
+		var old File
+		if json.Unmarshal(prev, &old) == nil && len(old.Baseline) > 0 {
+			f.Baseline = old.Baseline
+		}
+	}
+	enc, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(current), *out)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"omnireduce/internal/metrics"
 	"omnireduce/internal/protocol"
@@ -19,16 +20,25 @@ import (
 // Aggregator is its I/O driver: it decodes inbound transport messages,
 // feeds them to the machine, and encodes and transmits the machine's
 // emits. Result multicasts are encoded once and fanned out.
+//
+// With Config.AggShards > 1, Run partitions the slot space across a
+// bounded pool of shard goroutines, each owning an independent machine —
+// the software analogue of the paper's multi-pipeline switch aggregation.
+// Dense packets route by slot and sparse packets by tensor ID, which are
+// exactly the keys the machine partitions its own state by, so shards
+// never share protocol state and per-slot packet order is preserved. The
+// machines stay pure either way; only the driver knows about goroutines.
 type Aggregator struct {
 	conn transport.Conn
 	cfg  Config
 	m    *protocol.AggregatorMachine
 
 	encBuf []byte
+	dec    decodeState
 
 	// Stats accumulates traffic counters. They are written by the Run
-	// goroutine; read them only after Run returns (or accept racy reads
-	// for monitoring).
+	// goroutine (folded from shard machines on sharded runs); read them
+	// only after Run returns (or accept racy reads for monitoring).
 	Stats AggStats
 }
 
@@ -37,7 +47,9 @@ type Aggregator struct {
 // of the current round (filtered), a packet from an old round (answered
 // with a replay when possible), and a packet for a tensor that finished
 // long enough ago that its archived result was evicted (dropped). It
-// mirrors protocol.AggStats field for field.
+// mirrors protocol.AggStats field for field; on sharded runs it is the
+// field-wise sum across shard machines, which equals the single-machine
+// totals because every counter is attributable to one slot or tensor.
 type AggStats struct {
 	PacketsRecvd     int64
 	BlocksAggregated int64
@@ -47,6 +59,18 @@ type AggStats struct {
 	DupsFiltered     int64 // same-round duplicates discarded
 	StaleRounds      int64 // packets arriving for an already-concluded round
 	StaleFinished    int64 // packets for finished tensors past the archive
+}
+
+// accumulate folds one machine's counters in field for field.
+func (s *AggStats) accumulate(ms protocol.AggStats) {
+	s.PacketsRecvd += ms.PacketsRecvd
+	s.BlocksAggregated += ms.BlocksAggregated
+	s.RoundsCompleted += ms.RoundsCompleted
+	s.ResultsSent += ms.ResultsSent
+	s.Replays += ms.Replays
+	s.DupsFiltered += ms.DupsFiltered
+	s.StaleRounds += ms.StaleRounds
+	s.StaleFinished += ms.StaleFinished
 }
 
 // RecoveryCounters exports the loss-recovery subset of the counters as a
@@ -80,6 +104,9 @@ func NewAggregator(conn transport.Conn, cfg Config) (*Aggregator, error) {
 // away between receiving a packet and transmitting its response) is also
 // orderly shutdown.
 func (a *Aggregator) Run() error {
+	if a.cfg.AggShards > 1 {
+		return a.runSharded(a.cfg.AggShards)
+	}
 	for {
 		m, err := a.conn.Recv()
 		if err != nil {
@@ -98,49 +125,200 @@ func (a *Aggregator) Run() error {
 }
 
 // handle decodes one inbound message, runs it through the machine, and
-// transmits the machine's emits.
+// transmits the machine's emits. The message buffer is recycled to the
+// transport pool as soon as decoding has copied it out.
 func (a *Aggregator) handle(m transport.Message) error {
-	var msg protocol.Msg
-	switch wire.PeekType(m.Data) {
-	case wire.TypeData:
-		p, err := wire.DecodePacket(m.Data)
-		if err != nil {
-			return fmt.Errorf("core: aggregator decode: %w", err)
-		}
-		msg.Dense = p
-	case wire.TypeSparseData:
-		p, err := wire.DecodeSparsePacket(m.Data)
-		if err != nil {
-			return fmt.Errorf("core: aggregator decode sparse: %w", err)
-		}
-		msg.Sparse = p
-	default:
-		return fmt.Errorf("core: aggregator received unexpected message type %d", wire.PeekType(m.Data))
-	}
-	emits, err := a.m.HandlePacket(msg)
+	emits, err := handleMsg(a.m, &a.dec, m)
 	a.Stats = AggStats(a.m.Stats())
 	if err != nil {
 		return err
 	}
-	return a.send(emits)
+	a.encBuf, err = send(a.conn, a.encBuf, emits)
+	return err
 }
 
-// send encodes and transmits emits. Consecutive emits sharing one packet
-// (a result multicast) are encoded once.
-func (a *Aggregator) send(emits []protocol.Emit) error {
+// handleMsg decodes one message into dec's reusable state, releases the
+// encoded buffer, and feeds the packet to machine m. Decoding copies
+// everything out of msg.Data (payloads land in dec's scratch arena), so
+// the buffer can go back to the transport pool before the machine runs.
+func handleMsg(m *protocol.AggregatorMachine, dec *decodeState, msg transport.Message) ([]protocol.Emit, error) {
+	var pm protocol.Msg
+	switch wire.PeekType(msg.Data) {
+	case wire.TypeData:
+		p, err := dec.decodeDense(msg.Data)
+		if err != nil {
+			return nil, fmt.Errorf("core: aggregator decode: %w", err)
+		}
+		pm.Dense = p
+	case wire.TypeSparseData:
+		p, err := dec.decodeSparse(msg.Data)
+		if err != nil {
+			return nil, fmt.Errorf("core: aggregator decode sparse: %w", err)
+		}
+		pm.Sparse = p
+	default:
+		return nil, fmt.Errorf("core: aggregator received unexpected message type %d", wire.PeekType(msg.Data))
+	}
+	transport.PutBuf(msg.Data)
+	return m.HandlePacket(pm)
+}
+
+// send encodes and transmits emits, reusing encBuf; it returns the
+// (possibly grown) buffer for the next call. Consecutive emits sharing
+// one packet (a result multicast) are encoded once.
+func send(conn transport.Conn, encBuf []byte, emits []protocol.Emit) ([]byte, error) {
 	var lastPkt *wire.Packet
 	var lastSparse *wire.SparsePacket
 	encoded := false
 	for i := range emits {
 		e := &emits[i]
 		if !encoded || e.Packet != lastPkt || e.Sparse != lastSparse {
-			a.encBuf = e.Encode(a.encBuf[:0])
+			encBuf = e.Encode(encBuf[:0])
 			lastPkt, lastSparse = e.Packet, e.Sparse
 			encoded = true
 		}
-		if err := a.conn.Send(e.Dst, a.encBuf); err != nil {
-			return err
+		if err := conn.Send(e.Dst, encBuf); err != nil {
+			return encBuf, err
 		}
+	}
+	return encBuf, nil
+}
+
+// aggShard is one slot-partition of a sharded aggregator: its own
+// machine, decode state, and encode buffer, fed in slot order through a
+// dedicated channel. Nothing here is shared with other shards.
+type aggShard struct {
+	conn   transport.Conn
+	m      *protocol.AggregatorMachine
+	in     chan transport.Message
+	dec    decodeState
+	encBuf []byte
+	err    error
+}
+
+// run drains the shard's inbound channel until it closes. After a
+// protocol error the shard keeps draining (discarding messages, recycling
+// their buffers) so the router never blocks on a dead shard; fail lets
+// the router learn about the failure promptly.
+func (s *aggShard) run(fail func()) {
+	for m := range s.in {
+		if s.err != nil {
+			transport.PutBuf(m.Data)
+			continue
+		}
+		emits, err := handleMsg(s.m, &s.dec, m)
+		if err == nil {
+			s.encBuf, err = send(s.conn, s.encBuf, emits)
+		}
+		if err != nil {
+			s.err = err
+			fail()
+		}
+	}
+}
+
+// shardOf routes an encoded message to its shard: dense packets by slot,
+// sparse packets by tensor ID — the keys the machine partitions all of
+// its state by. Unparseable messages go to shard 0, whose decode error
+// surfaces through Run just as on the serial path.
+func shardOf(data []byte, n int) int {
+	switch wire.PeekType(data) {
+	case wire.TypeData:
+		if slot, ok := wire.PeekSlot(data); ok {
+			return int(slot) % n
+		}
+	case wire.TypeSparseData:
+		if tid, ok := peekTensorID(data); ok {
+			return int(tid) % n
+		}
+	}
+	return 0
+}
+
+// runSharded is Run's bounded-parallel form: n shard goroutines, a
+// router loop feeding them, and a final fold of per-shard stats into
+// Stats. Per-slot FIFO order is preserved because the route is a pure
+// function of the slot and each shard processes its channel serially.
+func (a *Aggregator) runSharded(n int) error {
+	shards := make([]*aggShard, n)
+	proto := a.cfg.proto()
+	for i := range shards {
+		shards[i] = &aggShard{
+			conn: a.conn,
+			m:    protocol.NewAggregatorMachine(proto, a.conn.LocalID()),
+			in:   make(chan transport.Message, 64),
+		}
+	}
+	var wg sync.WaitGroup
+	failed := make(chan struct{})
+	var failOnce sync.Once
+	fail := func() { failOnce.Do(func() { close(failed) }) }
+	for _, s := range shards {
+		wg.Add(1)
+		go func(s *aggShard) { defer wg.Done(); s.run(fail) }(s)
+	}
+
+	// A receive pump decouples the blocking Recv from the router so the
+	// router can react to a shard failure while no packet is arriving. If
+	// the router exits first (shard failure), the pump drains until the
+	// connection closes — Run's contract already requires the caller to
+	// close the conn when done with the aggregator.
+	type recvResult struct {
+		m   transport.Message
+		err error
+	}
+	recvCh := make(chan recvResult)
+	routerDone := make(chan struct{})
+	go func() {
+		for {
+			m, err := a.conn.Recv()
+			select {
+			case recvCh <- recvResult{m, err}:
+				if err != nil {
+					return
+				}
+			case <-routerDone:
+				transport.PutBuf(m.Data)
+				if err != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	var recvErr error
+router:
+	for {
+		select {
+		case <-failed:
+			break router
+		case r := <-recvCh:
+			if r.err != nil {
+				recvErr = r.err
+				break router
+			}
+			shards[shardOf(r.m.Data, n)].in <- r.m
+		}
+	}
+	close(routerDone)
+	for _, s := range shards {
+		close(s.in)
+	}
+	wg.Wait()
+
+	var sum AggStats
+	for _, s := range shards {
+		sum.accumulate(s.m.Stats())
+	}
+	a.Stats = sum
+
+	for _, s := range shards {
+		if s.err != nil && !errors.Is(s.err, transport.ErrClosed) {
+			return s.err
+		}
+	}
+	if recvErr != nil && recvErr != transport.ErrClosed {
+		return recvErr
 	}
 	return nil
 }

@@ -32,6 +32,8 @@
 package core
 
 import (
+	"fmt"
+	"runtime"
 	"time"
 
 	"omnireduce/internal/protocol"
@@ -99,6 +101,13 @@ type Config struct {
 	// integer ALUs of a programmable switch (§7, Fig 18). Workers are
 	// unaffected; results are de-quantized before multicast.
 	QuantizeScale float64
+	// AggShards is the number of goroutines an aggregator's Run loop
+	// spreads slot processing across (dense traffic partitions by slot,
+	// sparse by tensor ID; per-slot packet order is preserved). It is a
+	// driver-level knob only — the protocol machines and the simulator
+	// never see it, and aggregate statistics are identical for any value.
+	// Default min(4, GOMAXPROCS); 1 disables sharding.
+	AggShards int
 }
 
 // proto converts to the protocol-machine configuration, field for field.
@@ -133,11 +142,20 @@ func (c Config) withDefaults() Config {
 	c.RetransmitBackoff = p.RetransmitBackoff
 	c.RetransmitCeiling = p.RetransmitCeiling
 	c.RetransmitJitter = p.RetransmitJitter
+	if c.AggShards == 0 {
+		c.AggShards = runtime.GOMAXPROCS(0)
+		if c.AggShards > 4 {
+			c.AggShards = 4
+		}
+	}
 	return c
 }
 
 // Validate reports configuration errors.
 func (c Config) Validate() error {
+	if c.AggShards < 0 {
+		return fmt.Errorf("core: AggShards must be >= 0, got %d", c.AggShards)
+	}
 	return c.proto().Validate()
 }
 

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"omnireduce/internal/metrics"
+	"omnireduce/internal/wire"
+)
+
+// decodeState is the reusable receive-side decode state of one driver
+// loop: a packet shell, its float32 scratch arena, and a sparse packet
+// shell. wire.DecodePacketInto repopulates the shell and carves block
+// payloads from the arena, so a loop that owns a decodeState decodes
+// every inbound packet without allocating once the arena has grown to the
+// working-set packet size.
+//
+// The decoded contents are valid only until the next decode with the same
+// state — exactly the lifetime protocol machines need, since they copy
+// everything they keep during HandlePacket (see protocol.Msg ownership).
+type decodeState struct {
+	pkt     wire.Packet
+	scratch []float32
+	sparse  wire.SparsePacket
+}
+
+// decodeDense decodes buf into the reusable packet, recycling the scratch
+// arena.
+func (d *decodeState) decodeDense(buf []byte) (*wire.Packet, error) {
+	arena, err := wire.DecodePacketInto(&d.pkt, d.scratch, buf)
+	if err != nil {
+		return nil, err
+	}
+	d.scratch = arena
+	return &d.pkt, nil
+}
+
+// decodeSparse decodes buf into the reusable sparse packet.
+func (d *decodeState) decodeSparse(buf []byte) (*wire.SparsePacket, error) {
+	if err := wire.DecodeSparsePacketInto(&d.sparse, buf); err != nil {
+		return nil, err
+	}
+	return &d.sparse, nil
+}
+
+// decodePool recycles decodeStates across operations. Long-lived loops
+// (the aggregator's shards) own one state for their lifetime; per-call
+// loops (a worker's AllReduce goroutine) borrow one here so consecutive
+// collectives reuse warmed arenas instead of re-growing them.
+var decodePool sync.Pool
+
+var decodePoolHits, decodePoolMisses atomic.Int64
+
+func getDecodeState() *decodeState {
+	if v := decodePool.Get(); v != nil {
+		decodePoolHits.Add(1)
+		return v.(*decodeState)
+	}
+	decodePoolMisses.Add(1)
+	return &decodeState{}
+}
+
+func putDecodeState(d *decodeState) {
+	decodePool.Put(d)
+}
+
+// DecodePoolCounters exports the decode-state pool's hit/miss tallies.
+// After warm-up, hits should dominate: each miss is one fresh arena that
+// has to re-grow to packet size.
+func DecodePoolCounters() *metrics.Counters {
+	c := metrics.NewCounters()
+	c.Add("decode_pool_hits", decodePoolHits.Load())
+	c.Add("decode_pool_misses", decodePoolMisses.Load())
+	return c
+}

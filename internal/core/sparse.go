@@ -5,6 +5,7 @@ import (
 
 	"omnireduce/internal/protocol"
 	"omnireduce/internal/tensor"
+	"omnireduce/internal/transport"
 	"omnireduce/internal/wire"
 )
 
@@ -31,6 +32,9 @@ func (w *Worker) AllReduceSparse(in *tensor.COO) (*tensor.COO, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	dec := getDecodeState()
+	defer putDecodeState(dec)
 
 	var published protocol.WorkerStats
 	sync := func() {
@@ -64,10 +68,11 @@ func (w *Worker) AllReduceSparse(in *tensor.COO) (*tensor.COO, error) {
 			if wire.PeekType(msg.Data) != wire.TypeSparseResult {
 				return nil, fmt.Errorf("core: worker %d: unexpected message type %d in sparse mode", w.id, wire.PeekType(msg.Data))
 			}
-			p, err := wire.DecodeSparsePacket(msg.Data)
+			p, err := dec.decodeSparse(msg.Data)
 			if err != nil {
 				return nil, err
 			}
+			transport.PutBuf(msg.Data)
 			emits, err := m.HandlePacket(p)
 			sync()
 			if err != nil {

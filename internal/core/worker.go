@@ -132,13 +132,16 @@ func (w *Worker) recvPump() {
 		}
 		tid, ok := peekTensorID(m.Data)
 		if !ok {
+			transport.PutBuf(m.Data)
 			continue
 		}
 		w.mu.Lock()
 		ch := w.ops[tid]
 		w.mu.Unlock()
 		if ch == nil {
-			continue // operation finished; stale duplicate
+			// Operation finished; stale duplicate.
+			transport.PutBuf(m.Data)
+			continue
 		}
 		select {
 		case ch <- m:
@@ -242,6 +245,13 @@ func (w *Worker) runAllReduce(data []float32, tid uint32, msgCh chan transport.M
 	view := protocol.NewDenseView(data, w.cfg.BlockSize, w.cfg.ForceDense)
 	start := time.Now()
 
+	// Borrow reusable decode state for the lifetime of this collective:
+	// every inbound result decodes into the same packet shell and scratch
+	// arena (the machine copies what it keeps during HandlePacket), so the
+	// receive path stops allocating once the arena is warm.
+	dec := getDecodeState()
+	defer putDecodeState(dec)
+
 	// Mirror machine counters into the shared atomic Stats after every
 	// machine interaction (including error exits) so concurrent Snapshot
 	// readers stay current.
@@ -285,10 +295,11 @@ func (w *Worker) runAllReduce(data []float32, tid uint32, msgCh chan transport.M
 			if wire.PeekType(msg.Data) != wire.TypeResult {
 				return fmt.Errorf("core: worker %d: unexpected message type %d", w.id, wire.PeekType(msg.Data))
 			}
-			p, err := wire.DecodePacket(msg.Data)
+			p, err := dec.decodeDense(msg.Data)
 			if err != nil {
 				return fmt.Errorf("core: worker decode: %w", err)
 			}
+			transport.PutBuf(msg.Data)
 			emits, err := m.HandlePacket(p, time.Since(start))
 			sync()
 			if err != nil {

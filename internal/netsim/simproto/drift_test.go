@@ -145,6 +145,10 @@ func TestSubstrateEquivalence(t *testing.T) {
 				Streams:            g.streams,
 				Reliable:           true,
 				DeterministicOrder: true,
+				// Shard the live aggregators: equivalence must hold between
+				// the simulator's single machine and the live driver's
+				// per-slot shard machines (their stats sum field for field).
+				AggShards: 4,
 			}
 			liveRes, liveWS, liveAS := liveRun(t, cfg, inputs)
 

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"omnireduce/internal/tensor"
 	"omnireduce/internal/wire"
 )
 
@@ -457,9 +458,7 @@ func (a *accum) add(wid int, data []float32) {
 	if len(a.f) < len(data) {
 		a.f = append(a.f, make([]float32, len(data)-len(a.f))...)
 	}
-	for i, v := range data {
-		a.f[i] += v
-	}
+	tensor.AddF32(a.f, data)
 }
 
 func (a *accum) result() []float32 {
@@ -481,9 +480,7 @@ func (a *accum) result() []float32 {
 					out[i] += float32(math.RoundToEven(float64(v)*a.scale) / a.scale)
 				}
 			} else {
-				for i, v := range d {
-					out[i] += v
-				}
+				tensor.AddF32(out, d)
 			}
 		}
 		return out

@@ -9,6 +9,17 @@ import (
 // or Sparse is non-nil. Drivers decode bytes (or pass simulator payloads
 // through) before handing messages to a machine; machines never see
 // encoded buffers.
+//
+// Ownership: an inbound Msg is only guaranteed valid for the duration of
+// the HandlePacket call that consumes it. Machines copy whatever they
+// need (block payloads into accumulators or tensor views, metadata into
+// slot state) and must not retain references to the packet, its Nexts, or
+// any Block.Data past the call. This is what lets the live drivers decode
+// into recycled packets and scratch arenas (wire.DecodePacketInto) and
+// recycle them immediately after HandlePacket returns, keeping the
+// steady-state receive path allocation-free. The simulator relies on the
+// complementary guarantee: machines never mutate a received packet, so it
+// may deliver one decoded packet by reference to many machines.
 type Msg struct {
 	Dense  *wire.Packet
 	Sparse *wire.SparsePacket
@@ -24,6 +35,13 @@ type Msg struct {
 // received packets, so a single packet value may safely be multicast by
 // reference (the simulator) or encoded once and sent N times (the real
 // driver).
+//
+// Ownership: emitted packets belong to the machine (a worker keeps its
+// last packet for retransmission; an aggregator archives final results
+// for replay). Drivers must treat them as read-only — encode and
+// transmit, never recycle or mutate. Emitted block payloads may alias the
+// machine's TensorView, which is another reason encoding must finish
+// before the driver hands the view back to application code.
 type Emit struct {
 	Dst    int
 	Packet *wire.Packet

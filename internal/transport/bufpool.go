@@ -1,0 +1,93 @@
+package transport
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"omnireduce/internal/metrics"
+)
+
+// Size-classed receive-buffer pool. Every transport allocates one buffer
+// per inbound message (a UDP datagram, a TCP frame, a channel-fabric
+// copy); without reuse that is the dominant steady-state allocation of
+// the whole datapath — the paper's DPDK/RDMA implementation preallocates
+// and recycles its packet buffers for exactly this reason (§5).
+//
+// Buffers are handed to consumers inside Message.Data, which the Conn
+// contract says the consumer owns. Release is therefore cooperative:
+// consumers that are done with a message call PutBuf to recycle it;
+// consumers that don't bother simply leave the buffer to the garbage
+// collector. Nothing breaks either way — pooling only changes whether the
+// next GetBuf hits the pool or the allocator.
+
+// minBufClass/maxBufClass bound the pooled capacity classes (powers of
+// two). Smaller buffers are cheaper to allocate than to pool; larger ones
+// (oversize TCP frames) are rare enough to leave to the allocator.
+const (
+	minBufClassBits = 10 // 1 KiB
+	maxBufClassBits = 17 // 128 KiB, covers MaxDatagram
+	numBufClasses   = maxBufClassBits - minBufClassBits + 1
+)
+
+var bufPools [numBufClasses]sync.Pool
+
+var bufPoolHits, bufPoolMisses atomic.Int64
+
+// bufClass returns the pool index whose capacity (1<<(minBufClassBits+i))
+// holds n bytes, or -1 when n is outside the pooled range.
+func bufClass(n int) int {
+	if n <= 0 || n > 1<<maxBufClassBits {
+		return -1
+	}
+	b := bits.Len(uint(n - 1)) // ceil(log2 n); n==1 -> 0
+	if b < minBufClassBits {
+		b = minBufClassBits
+	}
+	return b - minBufClassBits
+}
+
+// GetBuf returns a buffer with len n, recycled when a pooled buffer of a
+// suitable class is available. The caller owns the buffer until it passes
+// it on (e.g. inside a Message) or returns it with PutBuf.
+func GetBuf(n int) []byte {
+	c := bufClass(n)
+	if c < 0 {
+		bufPoolMisses.Add(1)
+		return make([]byte, n)
+	}
+	if v := bufPools[c].Get(); v != nil {
+		bufPoolHits.Add(1)
+		return v.([]byte)[:n]
+	}
+	bufPoolMisses.Add(1)
+	return make([]byte, n, 1<<(minBufClassBits+c))
+}
+
+// PutBuf recycles a buffer previously obtained from GetBuf (directly or
+// via a received Message). Buffers whose capacity is not an exact pool
+// class — anything not allocated by GetBuf — are silently dropped to the
+// garbage collector, so releasing a foreign buffer is always safe. The
+// caller must not touch the buffer afterwards.
+func PutBuf(b []byte) {
+	c := cap(b)
+	if c == 0 {
+		return
+	}
+	i := bits.TrailingZeros(uint(c))
+	if 1<<i != c || i < minBufClassBits || i > maxBufClassBits {
+		return // not one of ours
+	}
+	bufPools[i-minBufClassBits].Put(b[:c]) //nolint:staticcheck // slices are pointer-shaped
+}
+
+// PoolCounters exports the buffer pool's hit/miss tallies as metrics
+// counters. The steady-state health check is a hit rate approaching 1:
+// misses after warm-up mean some consumer is not releasing buffers, i.e.
+// per-packet allocation is back.
+func PoolCounters() *metrics.Counters {
+	c := metrics.NewCounters()
+	c.Add("buf_pool_hits", bufPoolHits.Load())
+	c.Add("buf_pool_misses", bufPoolMisses.Load())
+	return c
+}

@@ -113,13 +113,15 @@ func (t *TCP) readLoop(c net.Conn, from int) {
 		if n > MaxFrame {
 			return
 		}
-		buf := make([]byte, n)
+		buf := GetBuf(int(n))
 		if _, err := io.ReadFull(r, buf); err != nil {
+			PutBuf(buf)
 			return
 		}
 		select {
 		case t.recvCh <- Message{From: from, Data: buf}:
 		case <-t.closed:
+			PutBuf(buf)
 			return
 		}
 	}

@@ -34,7 +34,8 @@ type Message struct {
 //
 // Ownership: Send takes ownership of nothing — it copies data as needed
 // before returning, so the caller may immediately reuse the buffer. Recv
-// returns a buffer owned by the caller.
+// returns a buffer owned by the caller; callers that are done with it may
+// recycle it with PutBuf (transports draw receive buffers from GetBuf).
 type Conn interface {
 	// Send delivers data to node `to` (best effort for datagram fabrics).
 	Send(to int, data []byte) error
@@ -117,12 +118,13 @@ func (c *chanConn) Send(to int, data []byte) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownPeer, to)
 	}
-	buf := make([]byte, len(data))
+	buf := GetBuf(len(data))
 	copy(buf, data)
 	select {
 	case box <- Message{From: c.id, Data: buf}:
 		return nil
 	case <-c.closedCh():
+		PutBuf(buf)
 		return ErrClosed
 	}
 }

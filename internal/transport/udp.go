@@ -91,11 +91,13 @@ func (u *UDP) Send(to int, data []byte) error {
 }
 
 // Recv blocks for the next datagram. Datagrams from unknown senders are
-// attributed id -1.
+// attributed id -1. The returned buffer comes from the transport buffer
+// pool; recycle it with PutBuf when done.
 func (u *UDP) Recv() (Message, error) {
-	buf := make([]byte, MaxDatagram)
+	buf := GetBuf(MaxDatagram)
 	n, from, err := u.pc.ReadFromUDP(buf)
 	if err != nil {
+		PutBuf(buf)
 		u.mu.Lock()
 		closed := u.closed
 		u.mu.Unlock()

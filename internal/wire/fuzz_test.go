@@ -146,15 +146,66 @@ func reencodable(p *Packet) bool {
 	return true
 }
 
+// packetsEquivalent compares two decoded packets field by field, treating
+// nil and empty slices as equal (the reuse path recycles backing arrays,
+// so its empty slices are non-nil).
+func packetsEquivalent(a, b *Packet) bool {
+	if a.Type != b.Type || a.Version != b.Version || a.DType != b.DType ||
+		a.Slot != b.Slot || a.WID != b.WID || a.TensorID != b.TensorID ||
+		a.BlockSize != b.BlockSize || len(a.Nexts) != len(b.Nexts) || len(a.Blocks) != len(b.Blocks) {
+		return false
+	}
+	for i := range a.Nexts {
+		if a.Nexts[i] != b.Nexts[i] {
+			return false
+		}
+	}
+	for i := range a.Blocks {
+		if a.Blocks[i].Index != b.Blocks[i].Index || len(a.Blocks[i].Data) != len(b.Blocks[i].Data) {
+			return false
+		}
+		for j, v := range a.Blocks[i].Data {
+			w := b.Blocks[i].Data[j]
+			if v != w && (v == v || w == w) { // NaN payloads compare equal
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkReuseDecode verifies the recycled-state decode path against the
+// fresh-allocation path: same error outcome, same decoded packet, no stale
+// state leaking from whatever the recycled packet and arena held before.
+func checkReuseDecode(t *testing.T, dirty *Packet, scratch []float32, buf []byte) []float32 {
+	fresh, freshErr := DecodePacket(buf)
+	scratch, reuseErr := DecodePacketInto(dirty, scratch, buf)
+	if (freshErr == nil) != (reuseErr == nil) {
+		t.Fatalf("decode paths disagree: fresh err %v, reuse err %v", freshErr, reuseErr)
+	}
+	if freshErr == nil && !packetsEquivalent(fresh, dirty) {
+		t.Fatalf("reuse decode leaked stale state:\n fresh %+v\n reuse %+v", fresh, dirty)
+	}
+	return scratch
+}
+
 // FuzzDecodePacket exercises the dense decoder on arbitrary and mutated
-// inputs: no panics ever, and any buffer that decodes must survive an
-// encode/decode round trip (byte-exact for float32 payloads).
+// inputs: no panics ever, any buffer that decodes must survive an
+// encode/decode round trip (byte-exact for float32 payloads), and the
+// recycled-state reuse path (DecodePacketInto over a dirty packet and
+// scratch arena) must agree with the fresh path exactly.
 func FuzzDecodePacket(f *testing.F) {
 	for _, seed := range seedPackets() {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, buf []byte) {
+		// The reuse-path packet and arena are deliberately dirtied by every
+		// successful decode in this run and by a seed decode up front, so a
+		// decoder that fails to reset state cannot pass.
+		dirty := &Packet{}
+		scratch, _ := DecodePacketInto(dirty, nil, seedPackets()[0])
 		check := func(b []byte) {
+			scratch = checkReuseDecode(t, dirty, scratch, b)
 			p, err := DecodePacket(b)
 			if err != nil {
 				return

@@ -119,6 +119,80 @@ func EncodedSparsePacketSize(p *SparsePacket) int {
 // contents.
 var ErrTruncated = fmt.Errorf("wire: truncated packet")
 
+// grow extends dst by n bytes, reallocating only when capacity is
+// exhausted, and returns the extended slice plus the writable tail. With a
+// caller-reused dst of sufficient capacity this is allocation-free, which
+// is what keeps the steady-state encode path off the garbage collector.
+func grow(dst []byte, n int) (ext, tail []byte) {
+	if cap(dst)-len(dst) < n {
+		nd := make([]byte, len(dst), 2*cap(dst)+n)
+		copy(nd, dst)
+		dst = nd
+	}
+	ext = dst[:len(dst)+n]
+	return ext, ext[len(dst):]
+}
+
+// putF32Slice writes src as little-endian float32 bits into dst, which
+// must hold at least 4*len(src) bytes. The 8-element unrolling replaces
+// the former per-element append loop: one bounds check per 32 bytes and
+// no slice-header churn.
+func putF32Slice(dst []byte, src []float32) {
+	for len(src) >= 8 {
+		d := dst[:32]
+		binary.LittleEndian.PutUint32(d[0:], math.Float32bits(src[0]))
+		binary.LittleEndian.PutUint32(d[4:], math.Float32bits(src[1]))
+		binary.LittleEndian.PutUint32(d[8:], math.Float32bits(src[2]))
+		binary.LittleEndian.PutUint32(d[12:], math.Float32bits(src[3]))
+		binary.LittleEndian.PutUint32(d[16:], math.Float32bits(src[4]))
+		binary.LittleEndian.PutUint32(d[20:], math.Float32bits(src[5]))
+		binary.LittleEndian.PutUint32(d[24:], math.Float32bits(src[6]))
+		binary.LittleEndian.PutUint32(d[28:], math.Float32bits(src[7]))
+		dst = dst[32:]
+		src = src[8:]
+	}
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(v))
+	}
+}
+
+// getF32Slice fills dst from little-endian float32 bits in src, which
+// must hold at least 4*len(dst) bytes.
+func getF32Slice(dst []float32, src []byte) {
+	for len(dst) >= 8 {
+		s := src[:32]
+		dst[0] = math.Float32frombits(binary.LittleEndian.Uint32(s[0:]))
+		dst[1] = math.Float32frombits(binary.LittleEndian.Uint32(s[4:]))
+		dst[2] = math.Float32frombits(binary.LittleEndian.Uint32(s[8:]))
+		dst[3] = math.Float32frombits(binary.LittleEndian.Uint32(s[12:]))
+		dst[4] = math.Float32frombits(binary.LittleEndian.Uint32(s[16:]))
+		dst[5] = math.Float32frombits(binary.LittleEndian.Uint32(s[20:]))
+		dst[6] = math.Float32frombits(binary.LittleEndian.Uint32(s[24:]))
+		dst[7] = math.Float32frombits(binary.LittleEndian.Uint32(s[28:]))
+		dst = dst[8:]
+		src = src[32:]
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+	}
+}
+
+// putF16Slice writes src as little-endian binary16 into dst (2*len(src)
+// bytes).
+func putF16Slice(dst []byte, src []float32) {
+	for i, v := range src {
+		binary.LittleEndian.PutUint16(dst[2*i:], F16FromF32(v))
+	}
+}
+
+// getF16Slice fills dst from little-endian binary16 in src (2*len(dst)
+// bytes).
+func getF16Slice(dst []float32, src []byte) {
+	for i := range dst {
+		dst[i] = F16ToF32(binary.LittleEndian.Uint16(src[2*i:]))
+	}
+}
+
 // AppendPacket encodes p, appending to dst and returning the extended
 // slice. The layout is:
 //
@@ -149,26 +223,33 @@ func AppendPacket(dst []byte, p *Packet) []byte {
 		prevCol = col
 		mask |= 1 << uint(col)
 	}
-	dst = append(dst, p.Type, p.Version, uint8(len(p.Nexts)), p.DType)
-	dst = binary.LittleEndian.AppendUint16(dst, p.Slot)
-	dst = binary.LittleEndian.AppendUint16(dst, p.WID)
-	dst = binary.LittleEndian.AppendUint32(dst, p.TensorID)
-	dst = binary.LittleEndian.AppendUint32(dst, p.BlockSize)
-	dst = binary.LittleEndian.AppendUint64(dst, mask)
+	// Reserve the whole encoding up front, then write by offset: one grow,
+	// bulk payload copies, no per-element appends.
+	dst, w := grow(dst, EncodedPacketSize(p))
+	w[0] = p.Type
+	w[1] = p.Version
+	w[2] = uint8(len(p.Nexts))
+	w[3] = p.DType
+	binary.LittleEndian.PutUint16(w[4:], p.Slot)
+	binary.LittleEndian.PutUint16(w[6:], p.WID)
+	binary.LittleEndian.PutUint32(w[8:], p.TensorID)
+	binary.LittleEndian.PutUint32(w[12:], p.BlockSize)
+	binary.LittleEndian.PutUint64(w[16:], mask)
+	off := headerLen
 	for _, n := range p.Nexts {
-		dst = binary.LittleEndian.AppendUint32(dst, n)
+		binary.LittleEndian.PutUint32(w[off:], n)
+		off += 4
 	}
 	for _, b := range p.Blocks {
-		dst = binary.LittleEndian.AppendUint32(dst, b.Index)
-		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Data)))
+		binary.LittleEndian.PutUint32(w[off:], b.Index)
+		binary.LittleEndian.PutUint32(w[off+4:], uint32(len(b.Data)))
+		off += 8
 		if p.DType == DTypeF16 {
-			for _, v := range b.Data {
-				dst = binary.LittleEndian.AppendUint16(dst, F16FromF32(v))
-			}
+			putF16Slice(w[off:], b.Data)
+			off += 2 * len(b.Data)
 		} else {
-			for _, v := range b.Data {
-				dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
-			}
+			putF32Slice(w[off:], b.Data)
+			off += 4 * len(b.Data)
 		}
 	}
 	return dst
@@ -176,66 +257,112 @@ func AppendPacket(dst []byte, p *Packet) []byte {
 
 // DecodePacket parses an encoded dense packet. Block data slices are
 // copied out of buf, so buf may be reused by the caller afterwards.
+//
+// Allocation-sensitive callers should use DecodePacketInto with a
+// recycled packet and scratch arena instead; DecodePacket is the
+// convenience form that allocates fresh storage per call.
 func DecodePacket(buf []byte) (*Packet, error) {
+	p := &Packet{}
+	if _, err := DecodePacketInto(p, nil, buf); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// emptyF32 backs zero-length block payloads so decoded empty blocks
+// compare equal to encoder-side empty (non-nil) slices.
+var emptyF32 = make([]float32, 0)
+
+// DecodePacketInto parses an encoded dense packet into the caller-owned
+// packet p, carving every block payload out of the single scratch arena
+// (grown only when too small) and returning the arena for reuse. All prior
+// contents of p and scratch are overwritten; nothing from a previous
+// decode survives into the result.
+//
+// Ownership: on success, p's Nexts/Blocks slices and every Block.Data
+// alias p's recycled storage and the returned arena. They remain valid
+// until the next DecodePacketInto call with the same p or arena, so
+// consumers must finish with (or copy out of) the packet before recycling
+// it. buf itself is not retained and may be released immediately.
+func DecodePacketInto(p *Packet, scratch []float32, buf []byte) ([]float32, error) {
 	if len(buf) < headerLen {
-		return nil, ErrTruncated
+		return scratch, ErrTruncated
 	}
-	p := &Packet{
-		Type:      buf[0],
-		Version:   buf[1],
-		DType:     buf[3],
-		Slot:      binary.LittleEndian.Uint16(buf[4:]),
-		WID:       binary.LittleEndian.Uint16(buf[6:]),
-		TensorID:  binary.LittleEndian.Uint32(buf[8:]),
-		BlockSize: binary.LittleEndian.Uint32(buf[12:]),
-	}
+	p.Type = buf[0]
+	p.Version = buf[1]
+	p.DType = buf[3]
+	p.Slot = binary.LittleEndian.Uint16(buf[4:])
+	p.WID = binary.LittleEndian.Uint16(buf[6:])
+	p.TensorID = binary.LittleEndian.Uint32(buf[8:])
+	p.BlockSize = binary.LittleEndian.Uint32(buf[12:])
+	p.Nexts = p.Nexts[:0]
+	p.Blocks = p.Blocks[:0]
 	if p.DType > DTypeF16 {
-		return nil, fmt.Errorf("wire: unknown dtype %d", p.DType)
+		return scratch, fmt.Errorf("wire: unknown dtype %d", p.DType)
 	}
 	cols := int(buf[2])
 	if cols == 0 || cols > MaxCols {
-		return nil, fmt.Errorf("wire: invalid fusion width %d", cols)
+		return scratch, fmt.Errorf("wire: invalid fusion width %d", cols)
 	}
 	mask := binary.LittleEndian.Uint64(buf[16:])
 	off := headerLen
 	if len(buf) < off+4*cols {
-		return nil, ErrTruncated
+		return scratch, ErrTruncated
 	}
-	p.Nexts = make([]uint32, cols)
-	for i := range p.Nexts {
-		p.Nexts[i] = binary.LittleEndian.Uint32(buf[off:])
+	for i := 0; i < cols; i++ {
+		p.Nexts = append(p.Nexts, binary.LittleEndian.Uint32(buf[off:]))
 		off += 4
 	}
 	elemBytes := 4
 	if p.DType == DTypeF16 {
 		elemBytes = 2
 	}
-	for mask != 0 {
-		mask &= mask - 1 // one block per set bit
-		if len(buf) < off+8 {
-			return nil, ErrTruncated
+
+	// First pass: validate the block structure and total the element
+	// counts before touching the arena. Element counts come off the wire
+	// as uint32, so all comparisons stay in uint64 — a hostile length
+	// cannot overflow int arithmetic on any platform, and nothing is
+	// allocated for a packet that fails validation.
+	total := 0
+	for m, o := mask, off; m != 0; m &= m - 1 {
+		if len(buf) < o+8 {
+			return scratch, ErrTruncated
 		}
+		n := uint64(binary.LittleEndian.Uint32(buf[o+4:]))
+		o += 8
+		if n > uint64(len(buf)-o)/uint64(elemBytes) {
+			return scratch, ErrTruncated
+		}
+		o += elemBytes * int(n)
+		total += int(n)
+	}
+	if cap(scratch) < total {
+		scratch = make([]float32, total)
+	}
+	scratch = scratch[:cap(scratch)]
+
+	// Second pass: decode payloads into disjoint arena carvings. The
+	// arena no longer moves, so earlier blocks stay valid.
+	used := 0
+	for ; mask != 0; mask &= mask - 1 {
 		idx := binary.LittleEndian.Uint32(buf[off:])
 		n := int(binary.LittleEndian.Uint32(buf[off+4:]))
 		off += 8
-		if n < 0 || len(buf) < off+elemBytes*n {
-			return nil, ErrTruncated
+		data := emptyF32
+		if n > 0 {
+			data = scratch[used : used+n : used+n]
+			used += n
 		}
-		data := make([]float32, n)
 		if p.DType == DTypeF16 {
-			for i := range data {
-				data[i] = F16ToF32(binary.LittleEndian.Uint16(buf[off:]))
-				off += 2
-			}
+			getF16Slice(data, buf[off:])
+			off += 2 * n
 		} else {
-			for i := range data {
-				data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
-				off += 4
-			}
+			getF32Slice(data, buf[off:])
+			off += 4 * n
 		}
 		p.Blocks = append(p.Blocks, Block{Index: idx, Data: data})
 	}
-	return p, nil
+	return scratch, nil
 }
 
 // SparsePacket is a decoded key-value message (Algorithm 3).
@@ -258,47 +385,69 @@ func AppendSparsePacket(dst []byte, p *SparsePacket) []byte {
 	if len(p.Keys) != len(p.Values) {
 		panic("wire: keys/values length mismatch")
 	}
-	dst = append(dst, p.Type, 0)
-	dst = binary.LittleEndian.AppendUint16(dst, p.WID)
-	dst = binary.LittleEndian.AppendUint32(dst, p.TensorID)
-	dst = binary.LittleEndian.AppendUint32(dst, p.NextKey)
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p.Keys)))
+	dst, w := grow(dst, EncodedSparsePacketSize(p))
+	w[0] = p.Type
+	w[1] = 0
+	binary.LittleEndian.PutUint16(w[2:], p.WID)
+	binary.LittleEndian.PutUint32(w[4:], p.TensorID)
+	binary.LittleEndian.PutUint32(w[8:], p.NextKey)
+	binary.LittleEndian.PutUint32(w[12:], uint32(len(p.Keys)))
+	off := sparseHeaderLen
 	for _, k := range p.Keys {
-		dst = binary.LittleEndian.AppendUint32(dst, k)
+		binary.LittleEndian.PutUint32(w[off:], k)
+		off += 4
 	}
-	for _, v := range p.Values {
-		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
-	}
+	putF32Slice(w[off:], p.Values)
 	return dst
 }
 
-// DecodeSparsePacket parses an encoded sparse packet.
+// DecodeSparsePacket parses an encoded sparse packet, allocating fresh
+// key/value storage. Allocation-sensitive callers should reuse a packet
+// via DecodeSparsePacketInto.
 func DecodeSparsePacket(buf []byte) (*SparsePacket, error) {
+	p := &SparsePacket{}
+	if err := DecodeSparsePacketInto(p, buf); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// DecodeSparsePacketInto parses an encoded sparse packet into the
+// caller-owned p, reusing its Keys/Values storage. All prior contents of p
+// are overwritten. The declared pair count is validated against the
+// remaining buffer length in uint64 (it arrives as a uint32, so a hostile
+// value cannot overflow int arithmetic on 32-bit platforms) before any
+// storage is grown. buf is not retained.
+func DecodeSparsePacketInto(p *SparsePacket, buf []byte) error {
 	if len(buf) < sparseHeaderLen {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
-	p := &SparsePacket{
-		Type:     buf[0],
-		WID:      binary.LittleEndian.Uint16(buf[2:]),
-		TensorID: binary.LittleEndian.Uint32(buf[4:]),
-		NextKey:  binary.LittleEndian.Uint32(buf[8:]),
+	p.Type = buf[0]
+	p.WID = binary.LittleEndian.Uint16(buf[2:])
+	p.TensorID = binary.LittleEndian.Uint32(buf[4:])
+	p.NextKey = binary.LittleEndian.Uint32(buf[8:])
+	p.Keys = p.Keys[:0]
+	p.Values = p.Values[:0]
+	n64 := uint64(binary.LittleEndian.Uint32(buf[12:]))
+	if n64 > uint64(len(buf)-sparseHeaderLen)/8 {
+		return ErrTruncated
 	}
-	n := int(binary.LittleEndian.Uint32(buf[12:]))
+	n := int(n64)
 	off := sparseHeaderLen
-	if len(buf) < off+8*n {
-		return nil, ErrTruncated
+	if cap(p.Keys) < n {
+		p.Keys = make([]uint32, n)
 	}
-	p.Keys = make([]uint32, n)
-	p.Values = make([]float32, n)
+	p.Keys = p.Keys[:n]
 	for i := 0; i < n; i++ {
 		p.Keys[i] = binary.LittleEndian.Uint32(buf[off:])
 		off += 4
 	}
-	for i := 0; i < n; i++ {
-		p.Values[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
-		off += 4
+	if cap(p.Values) < n {
+		p.Values = make([]float32, n)
 	}
-	return p, nil
+	p.Values = p.Values[:n]
+	getF32Slice(p.Values, buf[off:])
+	return nil
 }
 
 // PeekType returns the message type of an encoded packet without decoding
@@ -308,6 +457,21 @@ func PeekType(buf []byte) uint8 {
 		return 0
 	}
 	return buf[0]
+}
+
+// PeekSlot returns the slot of an encoded dense packet (TypeData or
+// TypeResult) without decoding it. It is the aggregator driver's shard
+// router: all state the aggregator machine keeps for dense traffic is
+// keyed by slot, so slot identity is all that is needed to partition
+// packets across shards without breaking per-slot ordering.
+func PeekSlot(buf []byte) (uint16, bool) {
+	if len(buf) < 6 {
+		return 0, false
+	}
+	if t := buf[0]; t != TypeData && t != TypeResult {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint16(buf[4:]), true
 }
 
 // Immediate packs OmniReduce metadata into the 32-bit RDMA immediate

@@ -255,6 +255,28 @@ func BenchmarkPacketDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkPacketDecodeInto is the reuse path the live drivers run:
+// recycled packet, recycled scratch arena, zero steady-state allocations.
+func BenchmarkPacketDecodeInto(b *testing.B) {
+	p := &Packet{Type: TypeData, BlockSize: 256, Nexts: make([]uint32, 4)}
+	for c := 0; c < 4; c++ {
+		p.Blocks = append(p.Blocks, Block{Index: uint32(c), Data: make([]float32, 256)})
+	}
+	buf := AppendPacket(nil, p)
+	var dst Packet
+	var scratch []float32
+	b.SetBytes(int64(4 * 256 * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		scratch, err = DecodePacketInto(&dst, scratch, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func TestF16RoundTripExactValues(t *testing.T) {
 	// Values exactly representable in binary16 survive both directions.
 	for _, v := range []float32{0, 1, -1, 0.5, 2, -1024, 65504, 6.103515625e-05} {
