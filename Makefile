@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race short-race fuzz chaos bench drift clean
+.PHONY: all tier1 vet race short-race fuzz chaos bench drift obs clean
 
 all: tier1
 
@@ -16,9 +16,20 @@ tier1:
 vet:
 	$(GO) vet ./...
 
-# Race tier: vet plus the full suite under the race detector.
-race: vet
+# Race tier: vet, the observability/leak-audit suite, then the full test
+# suite under the race detector.
+race: vet obs
 	$(GO) test -race ./...
+
+# Observability tier: the obs package plus the race-enabled leak-audit and
+# receive-pump suites — every pooled GetBuf must be matched by a PutBuf
+# across teardown, overflow must not stall the pump, and the disabled
+# trace path must stay allocation-free.
+obs:
+	$(GO) test -race ./internal/obs/
+	$(GO) test -race -run 'TestEndOpDrainsQueuedMessages|TestRecvPumpOverflowDoesNotStallOtherOps|TestReliableOverflowFailsOp|TestBadPacketsCountedAndRecycled|TestChaos' ./internal/core/
+	$(GO) test -race -run 'TestNetworkCloseReclaimsQueuedBuffers|TestNetworkSendAfterPeerClose|TestNetworkConcurrentSendClose|TestTCPCloseDrainsRecvQueue|TestPoolBalanceCounts' ./internal/transport/
+	$(GO) run ./cmd/obsreport -o ""
 
 # Quick race pass: skips the long-running scenarios (-short), for local
 # iteration.
@@ -43,6 +54,7 @@ bench:
 	  $(GO) test -run '^$$' -bench '^(BenchmarkPacketEncode|BenchmarkPacketDecode|BenchmarkPacketDecodeInto)$$' -benchmem ./internal/wire/ ; \
 	  $(GO) test -run '^$$' -bench '^(BenchmarkComputeBitmap|BenchmarkDenseAdd)$$' -benchmem ./internal/tensor/ ) \
 	| $(GO) run ./cmd/benchjson -o BENCH_datapath.json
+	$(GO) run ./cmd/obsreport -o OBS_datapath.json
 
 # Full benchmark sweep (paper figures + wall clock), single iteration.
 bench-all:

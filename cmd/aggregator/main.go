@@ -24,6 +24,7 @@ import (
 
 	"omnireduce"
 	"omnireduce/internal/cli"
+	"omnireduce/internal/obs"
 )
 
 func main() {
@@ -35,7 +36,14 @@ func main() {
 	blockSize := flag.Int("block-size", 256, "elements per block")
 	fusion := flag.Int("fusion", 8, "blocks fused per packet")
 	streams := flag.Int("streams", 4, "parallel aggregation streams")
+	obsAddr := flag.String("obs", "", "serve /debug/obs, /debug/vars, and /debug/pprof on this address (empty = off)")
 	flag.Parse()
+
+	if *obsAddr != "" {
+		srv := obs.ServeDebug(*obsAddr, obs.Default)
+		defer srv.Close()
+		log.Printf("aggregator: observability endpoint on http://%s/debug/obs", *obsAddr)
+	}
 
 	addrs, err := cli.ParseNodes(*nodes)
 	if err != nil {

@@ -1,0 +1,134 @@
+// Command obsreport exercises the observability layer end to end: it runs
+// a short in-process AllReduce sweep with a trace counter installed and a
+// pool-leak audit bracketing the run, renders the metrics registry, trace
+// tallies, receive-pump routing decisions, and pool balances as tables,
+// and records the whole snapshot to a JSON file so the observability
+// surface is tracked alongside BENCH_datapath.json from PR to PR.
+//
+// Usage:
+//
+//	go run ./cmd/obsreport -o OBS_datapath.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"omnireduce"
+	"omnireduce/internal/obs"
+)
+
+// report is the on-disk layout: the registry snapshot and pool balances
+// (the same document /debug/obs serves), plus the run's trace tallies,
+// merged pump counters, and the leak-audit verdict.
+type report struct {
+	Metrics   obs.RegistrySnapshot `json:"metrics"`
+	Pools     []obs.PoolBalance    `json:"pools"`
+	Trace     map[string]int64     `json:"trace"`
+	Pump      omnireduce.PumpStats `json:"pump"`
+	PoolLeaks []obs.PoolBalance    `json:"pool_leaks,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "OBS_datapath.json", "output JSON path (empty to skip)")
+	workers := flag.Int("workers", 4, "in-process workers")
+	size := flag.Int("size", 1<<16, "tensor elements (float32)")
+	sparsityF := flag.Float64("sparsity", 0.9, "fraction of zero elements")
+	iters := flag.Int("iters", 4, "AllReduce iterations")
+	flag.Parse()
+
+	// Tracing on for the whole sweep: the report must show the trace
+	// path live, and the drift tier separately proves it changes nothing.
+	tracer := obs.NewCountingTracer()
+	prev := obs.SetTracer(tracer)
+	defer obs.SetTracer(prev)
+	audit := obs.StartLeakAudit()
+
+	cluster, err := omnireduce.NewLocalCluster(omnireduce.Options{Workers: *workers})
+	if err != nil {
+		log.Fatalf("obsreport: %v", err)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1 + w*7919)))
+			data := make([]float32, *size)
+			for it := 0; it < *iters; it++ {
+				for i := range data {
+					if rng.Float64() >= *sparsityF {
+						data[i] = float32(rng.NormFloat64())
+					} else {
+						data[i] = 0
+					}
+				}
+				if err := cluster.Worker(w).AllReduce(data); err != nil {
+					log.Fatalf("obsreport: worker %d: %v", w, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var pump omnireduce.PumpStats
+	for w := 0; w < cluster.Size(); w++ {
+		p := cluster.Worker(w).PumpStats()
+		pump.Delivered += p.Delivered
+		pump.StaleDrops += p.StaleDrops
+		pump.OverflowDrops += p.OverflowDrops
+		pump.BadPackets += p.BadPackets
+	}
+	if err := cluster.Close(); err != nil {
+		log.Fatalf("obsreport: close: %v", err)
+	}
+	leaks := audit.Settle(2 * time.Second)
+
+	fmt.Printf("obsreport: %d workers x %d iters over %d elements (%.0f%% sparse) in %v\n",
+		*workers, *iters, *size, *sparsityF*100, elapsed.Round(time.Millisecond))
+	for _, t := range obs.Default.Tables("obs ") {
+		t.Render(os.Stdout)
+	}
+	tracer.Counters().Table("trace events").Render(os.Stdout)
+	obs.PoolTable().Render(os.Stdout)
+	fmt.Printf("pump: delivered %d, stale drops %d, overflow drops %d, bad packets %d\n",
+		pump.Delivered, pump.StaleDrops, pump.OverflowDrops, pump.BadPackets)
+	if err := obs.LeaksErr(leaks); err != nil {
+		log.Fatalf("obsreport: %v", err)
+	}
+	fmt.Println("pool balance clean: every GetBuf matched by a PutBuf")
+
+	if *out == "" {
+		return
+	}
+	trace := make(map[string]int64)
+	for ev := obs.Event(0); ev < obs.NumEvents; ev++ {
+		if n := tracer.Count(ev); n != 0 {
+			trace[ev.String()] = n
+		}
+	}
+	doc := report{
+		Metrics:   obs.Default.Snapshot(),
+		Pools:     obs.PoolBalances(),
+		Trace:     trace,
+		Pump:      pump,
+		PoolLeaks: leaks,
+	}
+	enc, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		log.Fatalf("obsreport: %v", err)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		log.Fatalf("obsreport: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "obsreport: wrote %s\n", *out)
+}

@@ -15,11 +15,13 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"time"
 
 	"omnireduce"
 	"omnireduce/internal/cli"
 	"omnireduce/internal/metrics"
+	"omnireduce/internal/obs"
 )
 
 func main() {
@@ -36,7 +38,14 @@ func main() {
 	fusion := flag.Int("fusion", 8, "blocks fused per packet")
 	streams := flag.Int("streams", 4, "parallel aggregation streams")
 	seed := flag.Int64("seed", 1, "tensor seed (same on all workers for overlap control)")
+	obsAddr := flag.String("obs", "", "serve /debug/obs, /debug/vars, and /debug/pprof on this address (empty = off)")
 	flag.Parse()
+
+	if *obsAddr != "" {
+		srv := obs.ServeDebug(*obsAddr, obs.Default)
+		defer srv.Close()
+		log.Printf("worker: observability endpoint on http://%s/debug/obs", *obsAddr)
+	}
 
 	addrs, err := cli.ParseNodes(*nodes)
 	if err != nil {
@@ -99,4 +108,11 @@ func main() {
 	st := w.Stats()
 	fmt.Printf("  packets %d  data-blocks %d  retransmits %d  acks %d\n",
 		st.PacketsSent, st.BlocksSent, st.Retransmits, st.AcksSent)
+	ps := w.PumpStats()
+	fmt.Printf("  pump: delivered %d  stale %d  overflow %d  bad %d\n",
+		ps.Delivered, ps.StaleDrops, ps.OverflowDrops, ps.BadPackets)
+	for _, tbl := range obs.Default.Tables("obs ") {
+		tbl.Render(os.Stdout)
+	}
+	obs.PoolTable().Render(os.Stdout)
 }

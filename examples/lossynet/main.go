@@ -25,6 +25,8 @@ import (
 	"time"
 
 	"omnireduce/internal/core"
+	"omnireduce/internal/metrics"
+	"omnireduce/internal/obs"
 	"omnireduce/internal/transport"
 )
 
@@ -163,6 +165,15 @@ func udpChaos() {
 		recovery.Merge(w.Stats.RecoveryCounters())
 	}
 	recovery.Table("loss recovery (workers)").Render(os.Stdout)
+
+	// Receive-pump routing and pool balance: under chaos the pump may
+	// drop overflow and stale traffic, but never a pooled buffer.
+	pump := metrics.NewCounters()
+	for _, w := range ws {
+		pump.Merge(w.PumpSnapshot().Counters())
+	}
+	pump.Table("receive pump (workers)").Render(os.Stdout)
+	obs.PoolTable().Render(os.Stdout)
 }
 
 // seededReplay demonstrates deterministic replay: the same scenario over
@@ -202,4 +213,5 @@ func seededReplay() {
 		first.WindowEvents, replay.WindowEvents,
 		first.WindowEvents == replay.WindowEvents)
 	first.RecoveryCounters().Table("recovery events (run 1)").Render(os.Stdout)
+	first.ObsReport().Render(os.Stdout)
 }

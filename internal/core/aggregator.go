@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"omnireduce/internal/metrics"
+	"omnireduce/internal/obs"
 	"omnireduce/internal/protocol"
 	"omnireduce/internal/transport"
 	"omnireduce/internal/wire"
@@ -36,10 +38,40 @@ type Aggregator struct {
 	encBuf []byte
 	dec    decodeState
 
+	// pump tallies the sharded router's dispatch decisions; see
+	// PumpSnapshot.
+	pump aggPumpCounters
+
 	// Stats accumulates traffic counters. They are written by the Run
 	// goroutine (folded from shard machines on sharded runs); read them
 	// only after Run returns (or accept racy reads for monitoring).
 	Stats AggStats
+}
+
+// aggPumpCounters tallies the sharded router's dispatch behavior.
+type aggPumpCounters struct {
+	routed      atomic.Int64
+	shardStalls atomic.Int64
+}
+
+// AggPumpStats is a point-in-time copy of the sharded router's counters.
+// On unsharded runs (AggShards <= 1) both fields stay zero.
+type AggPumpStats struct {
+	// Routed is the number of messages dispatched to shards.
+	Routed int64
+	// ShardStalls counts messages that found their shard's queue full and
+	// made the router block until the shard caught up. A high ratio of
+	// stalls to routed messages means one shard is the bottleneck
+	// (skewed slot distribution) or shards are starved for CPU.
+	ShardStalls int64
+}
+
+// PumpSnapshot returns the sharded router's dispatch counters.
+func (a *Aggregator) PumpSnapshot() AggPumpStats {
+	return AggPumpStats{
+		Routed:      a.pump.routed.Load(),
+		ShardStalls: a.pump.shardStalls.Load(),
+	}
 }
 
 // AggStats counts aggregator-side protocol activity. The recovery
@@ -140,26 +172,46 @@ func (a *Aggregator) handle(m transport.Message) error {
 // handleMsg decodes one message into dec's reusable state, releases the
 // encoded buffer, and feeds the packet to machine m. Decoding copies
 // everything out of msg.Data (payloads land in dec's scratch arena), so
-// the buffer can go back to the transport pool before the machine runs.
+// the buffer goes back to the transport pool before the machine runs —
+// on decode errors too, since a buffer that failed to decode is equally
+// finished with.
 func handleMsg(m *protocol.AggregatorMachine, dec *decodeState, msg transport.Message) ([]protocol.Emit, error) {
+	n := int64(len(msg.Data))
+	obsAggPackets.Inc()
+	obsAggRxSize.Observe(n)
 	var pm protocol.Msg
+	var tid uint32
 	switch wire.PeekType(msg.Data) {
 	case wire.TypeData:
 		p, err := dec.decodeDense(msg.Data)
 		if err != nil {
+			transport.PutBuf(msg.Data)
 			return nil, fmt.Errorf("core: aggregator decode: %w", err)
 		}
 		pm.Dense = p
+		tid = p.TensorID
 	case wire.TypeSparseData:
 		p, err := dec.decodeSparse(msg.Data)
 		if err != nil {
+			transport.PutBuf(msg.Data)
 			return nil, fmt.Errorf("core: aggregator decode sparse: %w", err)
 		}
 		pm.Sparse = p
+		tid = p.TensorID
 	default:
+		transport.PutBuf(msg.Data)
 		return nil, fmt.Errorf("core: aggregator received unexpected message type %d", wire.PeekType(msg.Data))
 	}
 	transport.PutBuf(msg.Data)
+	if obs.Enabled() {
+		obs.Emit(obs.EvPacketRecvd, tid, n)
+		before := m.Stats().BlocksAggregated
+		emits, err := m.HandlePacket(pm)
+		if after := m.Stats().BlocksAggregated; after > before {
+			obs.Emit(obs.EvBlockRecvd, tid, after-before)
+		}
+		return emits, err
+	}
 	return m.HandlePacket(pm)
 }
 
@@ -179,6 +231,16 @@ func send(conn transport.Conn, encBuf []byte, emits []protocol.Emit) ([]byte, er
 		}
 		if err := conn.Send(e.Dst, encBuf); err != nil {
 			return encBuf, err
+		}
+		obsAggTxBytes.Add(int64(len(encBuf)))
+		if obs.Enabled() {
+			var tid uint32
+			if e.Packet != nil {
+				tid = e.Packet.TensorID
+			} else if e.Sparse != nil {
+				tid = e.Sparse.TensorID
+			}
+			obs.Emit(obs.EvPacketSent, tid, int64(len(encBuf)))
 		}
 	}
 	return encBuf, nil
@@ -297,7 +359,19 @@ router:
 				recvErr = r.err
 				break router
 			}
-			shards[shardOf(r.m.Data, n)].in <- r.m
+			sh := shards[shardOf(r.m.Data, n)]
+			a.pump.routed.Add(1)
+			select {
+			case sh.in <- r.m:
+			default:
+				// The shard's queue is full; the router must wait for it.
+				// Counted so a bottleneck shard is visible in AggPumpStats
+				// rather than showing up only as mysteriously low
+				// throughput.
+				a.pump.shardStalls.Add(1)
+				obsAggStalls.Inc()
+				sh.in <- r.m
+			}
 		}
 	}
 	close(routerDone)

@@ -4,11 +4,22 @@ import (
 	"testing"
 	"time"
 
+	"omnireduce/internal/obs"
 	"omnireduce/internal/transport"
 )
 
 // End-to-end chaos suite: full AllReduce runs through the seeded chaos
 // fabric, verifying exact results and deterministic replay.
+
+// assertNoPoolLeaks fails the test when a chaos run's end-of-run pool
+// audit reports unreturned buffers: every GetBuf on the run's receive
+// paths must have been matched by a PutBuf once the cluster quiesced.
+func assertNoPoolLeaks(t *testing.T, rep *ChaosReport) {
+	t.Helper()
+	if len(rep.PoolLeaks) != 0 {
+		t.Fatalf("pool balance not restored after run: %v", obs.LeaksErr(rep.PoolLeaks))
+	}
+}
 
 // denseInputs builds fully dense inputs so the number of protocol rounds
 // (and hence per-link packets) has a known floor: with bs-sized blocks,
@@ -72,6 +83,7 @@ func TestChaosScenarioDeterministicReplay(t *testing.T) {
 		if ev.Dropped == 0 || ev.Duplicated == 0 || ev.Reordered == 0 || ev.Delayed == 0 {
 			t.Fatalf("%s run: scenario must drop, dup, reorder, and delay; got %+v", name, ev)
 		}
+		assertNoPoolLeaks(t, rep)
 	}
 	if a.WindowEvents == 0 {
 		t.Fatal("no injection events inside the deterministic window")
@@ -113,6 +125,7 @@ func TestChaosRecoveryCountersSurface(t *testing.T) {
 	if !rep.Exact {
 		t.Fatalf("max err %g", rep.MaxAbsErr)
 	}
+	assertNoPoolLeaks(t, rep)
 	if rep.Retransmits() == 0 {
 		t.Fatal("10% loss with no retransmissions")
 	}
@@ -156,6 +169,7 @@ func TestChaosBackoffEngages(t *testing.T) {
 	if !rep.Exact {
 		t.Fatalf("max err %g", rep.MaxAbsErr)
 	}
+	assertNoPoolLeaks(t, rep)
 	var backoffs, retrans int64
 	for _, s := range rep.WorkerStats {
 		backoffs += s.Backoffs
@@ -220,6 +234,7 @@ func TestChaosE2ESuite(t *testing.T) {
 			if !rep.Exact {
 				t.Fatalf("result drifted from dense sum: max err %g", rep.MaxAbsErr)
 			}
+			assertNoPoolLeaks(t, rep)
 			if rep.Events.Total() == 0 {
 				t.Fatal("scenario injected nothing")
 			}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"omnireduce/internal/metrics"
+	"omnireduce/internal/obs"
 	"omnireduce/internal/transport"
 )
 
@@ -33,6 +34,13 @@ type ChaosReport struct {
 	WorkerStats []Stats
 	// AggStats are per-aggregator protocol counters.
 	AggStats []AggStats
+	// Pump are per-worker receive-pump routing counters.
+	Pump []PumpStats
+	// PoolLeaks lists pools whose get/put balance did not return to the
+	// run's starting point within the settlement window (empty on a clean
+	// run). A non-empty list means some receive path dropped a pooled
+	// buffer on the floor.
+	PoolLeaks []obs.PoolBalance
 	// Elapsed is the wall-clock duration of the collective.
 	Elapsed time.Duration
 }
@@ -56,6 +64,28 @@ func (r *ChaosReport) RecoveryCounters() *metrics.Counters {
 		c.Merge(r.AggStats[i].RecoveryCounters())
 	}
 	return c
+}
+
+// ObsReport renders the run's observability summary: merged pump
+// counters, the pool-balance audit verdict, and current pool balances.
+func (r *ChaosReport) ObsReport() *metrics.Table {
+	t := metrics.NewTable("chaos observability", "metric", "value")
+	var pump PumpStats
+	for _, p := range r.Pump {
+		pump.Delivered += p.Delivered
+		pump.StaleDrops += p.StaleDrops
+		pump.OverflowDrops += p.OverflowDrops
+		pump.BadPackets += p.BadPackets
+	}
+	t.AddRow("pump_delivered", pump.Delivered)
+	t.AddRow("pump_stale_drops", pump.StaleDrops)
+	t.AddRow("pump_overflow_drops", pump.OverflowDrops)
+	t.AddRow("pump_bad_packets", pump.BadPackets)
+	t.AddRow("pool_leaks", int64(len(r.PoolLeaks)))
+	for _, l := range r.PoolLeaks {
+		t.AddRow("leak:"+l.Name, l.Outstanding())
+	}
+	return t
 }
 
 // RunChaosScenario runs one AllReduce for each worker of cfg over a
@@ -92,6 +122,11 @@ func RunChaosScenario(cfg Config, sc transport.Scenario, inputs [][]float32, dea
 			ref[i] += v
 		}
 	}
+
+	// Bracket the run with a pool-leak audit: after teardown every
+	// GetBuf must be matched by a PutBuf (chaos delay timers deliver
+	// asynchronously, hence the settlement window below).
+	audit := obs.StartLeakAudit()
 
 	fabric := transport.NewChaosFabric(sc)
 	nw := transport.NewNetwork(cfg.Workers, 4096)
@@ -176,9 +211,11 @@ func RunChaosScenario(cfg Config, sc transport.Scenario, inputs [][]float32, dea
 	}
 	for _, w := range workers {
 		rep.WorkerStats = append(rep.WorkerStats, w.Stats.Snapshot())
+		rep.Pump = append(rep.Pump, w.PumpSnapshot())
 	}
 	for _, a := range aggs {
 		rep.AggStats = append(rep.AggStats, a.Stats)
 	}
+	rep.PoolLeaks = audit.Settle(2 * time.Second)
 	return rep, nil
 }

@@ -108,6 +108,13 @@ type Config struct {
 	// never see it, and aggregate statistics are identical for any value.
 	// Default min(4, GOMAXPROCS); 1 disables sharding.
 	AggShards int
+	// OpQueueLen is the capacity of each in-flight collective's inbound
+	// message queue on the worker (a driver-level knob, like AggShards).
+	// The receive pump never blocks on a full queue: in unreliable mode
+	// the overflowing message is dropped and repaired by Algorithm 2's
+	// retransmission; in reliable mode the operation is failed with
+	// ErrOpBackpressure. Default 1024.
+	OpQueueLen int
 }
 
 // proto converts to the protocol-machine configuration, field for field.
@@ -148,6 +155,9 @@ func (c Config) withDefaults() Config {
 			c.AggShards = 4
 		}
 	}
+	if c.OpQueueLen == 0 {
+		c.OpQueueLen = 1024
+	}
 	return c
 }
 
@@ -155,6 +165,9 @@ func (c Config) withDefaults() Config {
 func (c Config) Validate() error {
 	if c.AggShards < 0 {
 		return fmt.Errorf("core: AggShards must be >= 0, got %d", c.AggShards)
+	}
+	if c.OpQueueLen < 0 {
+		return fmt.Errorf("core: OpQueueLen must be >= 0, got %d", c.OpQueueLen)
 	}
 	return c.proto().Validate()
 }

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"omnireduce/internal/obs"
+	"omnireduce/internal/protocol"
+)
+
+// Process-wide datapath metrics, registered on the obs default registry.
+// All of them are plain atomic counters/histograms: updating one from
+// the hot path is a single uncontended atomic add, within the
+// observability layer's zero-allocation budget. Trace events (obs.Emit)
+// ride alongside for per-collective detail and cost one atomic pointer
+// load when no tracer is installed.
+var (
+	obsOpsStarted = obs.Default.Counter("worker_ops_started")
+	obsOpsDone    = obs.Default.Counter("worker_ops_done")
+	obsOpLatency  = obs.Default.Histogram("worker_op_latency_ns")
+	obsTxBytes    = obs.Default.Counter("worker_tx_bytes")
+	obsTxPackets  = obs.Default.Counter("worker_tx_packets")
+
+	obsPumpDelivered = obs.Default.Counter("worker_pump_delivered")
+	obsPumpStale     = obs.Default.Counter("worker_pump_stale_drops")
+	obsPumpOverflow  = obs.Default.Counter("worker_pump_overflow_drops")
+	obsPumpBad       = obs.Default.Counter("worker_pump_bad_packets")
+
+	obsAggPackets = obs.Default.Counter("agg_rx_packets")
+	obsAggTxBytes = obs.Default.Counter("agg_tx_bytes")
+	obsAggStalls  = obs.Default.Counter("agg_router_stalls")
+	obsAggRxSize  = obs.Default.Histogram("agg_rx_packet_bytes")
+)
+
+// observeWorkerTx records one transmitted packet of n encoded bytes on
+// the worker metrics and trace. Called from the per-operation dispatch
+// closures after a successful Send.
+func observeWorkerTx(e *protocol.Emit, tid uint32, n int) {
+	obsTxPackets.Inc()
+	obsTxBytes.Add(int64(n))
+	if !obs.Enabled() {
+		return
+	}
+	obs.Emit(obs.EvPacketSent, tid, int64(n))
+	if e.Retransmit {
+		obs.Emit(obs.EvRetransmit, tid, int64(n))
+	}
+}

@@ -5,8 +5,13 @@ import (
 	"sync/atomic"
 
 	"omnireduce/internal/metrics"
+	"omnireduce/internal/obs"
 	"omnireduce/internal/wire"
 )
+
+func init() {
+	obs.RegisterPool("core_decode_state", DecodePoolBalance)
+}
 
 // decodeState is the reusable receive-side decode state of one driver
 // loop: a packet shell, its float32 scratch arena, and a sparse packet
@@ -49,9 +54,10 @@ func (d *decodeState) decodeSparse(buf []byte) (*wire.SparsePacket, error) {
 // collectives reuse warmed arenas instead of re-growing them.
 var decodePool sync.Pool
 
-var decodePoolHits, decodePoolMisses atomic.Int64
+var decodePoolHits, decodePoolMisses, decodePoolPuts atomic.Int64
 
 func getDecodeState() *decodeState {
+	obs.Emit(obs.EvDecodeStateGet, 0, 0)
 	if v := decodePool.Get(); v != nil {
 		decodePoolHits.Add(1)
 		return v.(*decodeState)
@@ -61,15 +67,26 @@ func getDecodeState() *decodeState {
 }
 
 func putDecodeState(d *decodeState) {
+	decodePoolPuts.Add(1)
+	obs.Emit(obs.EvDecodeStatePut, 0, 0)
 	decodePool.Put(d)
 }
 
-// DecodePoolCounters exports the decode-state pool's hit/miss tallies.
-// After warm-up, hits should dominate: each miss is one fresh arena that
-// has to re-grow to packet size.
+// DecodePoolBalance reports cumulative borrow (get) and return (put)
+// counts for the decode-state pool, registered with the obs pool-leak
+// audit. Long-lived owners (aggregator shards) return their state at
+// shutdown, so a quiesced system balances exactly.
+func DecodePoolBalance() (gets, puts int64) {
+	return decodePoolHits.Load() + decodePoolMisses.Load(), decodePoolPuts.Load()
+}
+
+// DecodePoolCounters exports the decode-state pool's tallies. After
+// warm-up, hits should dominate: each miss is one fresh arena that has
+// to re-grow to packet size.
 func DecodePoolCounters() *metrics.Counters {
 	c := metrics.NewCounters()
 	c.Add("decode_pool_hits", decodePoolHits.Load())
 	c.Add("decode_pool_misses", decodePoolMisses.Load())
+	c.Add("decode_pool_puts", decodePoolPuts.Load())
 	return c
 }

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"time"
 
+	"omnireduce/internal/obs"
 	"omnireduce/internal/protocol"
 	"omnireduce/internal/tensor"
 	"omnireduce/internal/transport"
@@ -22,7 +24,7 @@ import (
 // leaves a lossy realization as future work); AllReduceSparse returns an
 // error if the configuration is not Reliable.
 func (w *Worker) AllReduceSparse(in *tensor.COO) (*tensor.COO, error) {
-	tid, msgCh, err := w.beginOp()
+	tid, q, err := w.beginOp()
 	if err != nil {
 		return nil, err
 	}
@@ -33,6 +35,9 @@ func (w *Worker) AllReduceSparse(in *tensor.COO) (*tensor.COO, error) {
 		return nil, err
 	}
 
+	start := time.Now()
+	defer func() { obsOpLatency.Observe(int64(time.Since(start))) }()
+
 	dec := getDecodeState()
 	defer putDecodeState(dec)
 
@@ -40,6 +45,9 @@ func (w *Worker) AllReduceSparse(in *tensor.COO) (*tensor.COO, error) {
 	sync := func() {
 		cur := m.Stats()
 		w.Stats.add(cur, published)
+		if obs.Enabled() && cur.BlocksSent > published.BlocksSent {
+			obs.Emit(obs.EvBlockSent, tid, cur.BlocksSent-published.BlocksSent)
+		}
 		published = cur
 	}
 	defer sync()
@@ -52,6 +60,7 @@ func (w *Worker) AllReduceSparse(in *tensor.COO) (*tensor.COO, error) {
 			if err := w.conn.Send(e.Dst, encBuf); err != nil {
 				return err
 			}
+			observeWorkerTx(e, tid, len(encBuf))
 		}
 		return nil
 	}
@@ -64,10 +73,11 @@ func (w *Worker) AllReduceSparse(in *tensor.COO) (*tensor.COO, error) {
 
 	for !m.Done() {
 		select {
-		case msg := <-msgCh:
+		case msg := <-q.ch:
 			if wire.PeekType(msg.Data) != wire.TypeSparseResult {
 				return nil, fmt.Errorf("core: worker %d: unexpected message type %d in sparse mode", w.id, wire.PeekType(msg.Data))
 			}
+			obs.Emit(obs.EvPacketRecvd, tid, int64(len(msg.Data)))
 			p, err := dec.decodeSparse(msg.Data)
 			if err != nil {
 				return nil, err
@@ -81,6 +91,8 @@ func (w *Worker) AllReduceSparse(in *tensor.COO) (*tensor.COO, error) {
 			if err := dispatch(emits); err != nil {
 				return nil, err
 			}
+		case <-q.fail:
+			return nil, fmt.Errorf("core: worker %d tensor %d: %w", w.id, tid, ErrOpBackpressure)
 		case <-w.closed:
 			w.mu.Lock()
 			err := w.recvErr

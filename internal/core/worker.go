@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"omnireduce/internal/metrics"
+	"omnireduce/internal/obs"
 	"omnireduce/internal/protocol"
 	"omnireduce/internal/transport"
 	"omnireduce/internal/wire"
@@ -31,9 +32,12 @@ type Worker struct {
 
 	mu        sync.Mutex
 	tensorSeq uint32
-	ops       map[uint32]chan transport.Message
+	ops       map[uint32]*opQueue
 	closed    chan struct{}
 	recvErr   error
+
+	// pump tallies the receive pump's routing decisions; see PumpSnapshot.
+	pump pumpCounters
 
 	// Stats accumulates per-worker traffic counters across operations.
 	// Fields are updated atomically (operations may overlap); use
@@ -110,7 +114,7 @@ func NewWorker(conn transport.Conn, cfg Config) (*Worker, error) {
 		conn:   conn,
 		cfg:    cfg,
 		id:     id,
-		ops:    make(map[uint32]chan transport.Message),
+		ops:    make(map[uint32]*opQueue),
 		closed: make(chan struct{}),
 	}
 	go w.recvPump()
@@ -118,8 +122,13 @@ func NewWorker(conn transport.Conn, cfg Config) (*Worker, error) {
 }
 
 // recvPump routes inbound messages to the operation owning their tensor
-// ID. Messages for unknown tensors (stale replays for finished
-// operations) are dropped.
+// ID. Routing never blocks: delivery to an operation's queue is the
+// non-blocking opQueue.deliver protocol, so a slow collective cannot
+// stall the pump (and with it every other in-flight collective), and a
+// message racing the operation's completion is recycled rather than
+// stranded. Messages for unknown tensors (stale replays for finished
+// operations) and malformed packets are dropped with their buffers
+// returned to the pool.
 func (w *Worker) recvPump() {
 	for {
 		m, err := w.conn.Recv()
@@ -133,23 +142,27 @@ func (w *Worker) recvPump() {
 		tid, ok := peekTensorID(m.Data)
 		if !ok {
 			transport.PutBuf(m.Data)
+			w.pump.badPackets.Add(1)
+			obsPumpBad.Inc()
 			continue
 		}
 		w.mu.Lock()
-		ch := w.ops[tid]
+		q := w.ops[tid]
 		w.mu.Unlock()
-		if ch == nil {
+		if q == nil {
 			// Operation finished; stale duplicate.
 			transport.PutBuf(m.Data)
+			w.pump.staleDrops.Add(1)
+			obsPumpStale.Inc()
+			obs.Emit(obs.EvStaleDrop, tid, int64(len(m.Data)))
 			continue
 		}
-		select {
-		case ch <- m:
-		case <-w.closed:
-			return
-		}
+		q.deliver(m, w.cfg.Reliable, &w.pump)
 	}
 }
+
+// PumpSnapshot returns the receive pump's routing counters.
+func (w *Worker) PumpSnapshot() PumpStats { return w.pump.snapshot() }
 
 // peekTensorID extracts the tensor ID without a full decode.
 func peekTensorID(buf []byte) (uint32, bool) {
@@ -169,8 +182,8 @@ func peekTensorID(buf []byte) (uint32, bool) {
 	}
 }
 
-// beginOp allocates a tensor ID and registers its message channel.
-func (w *Worker) beginOp() (uint32, chan transport.Message, error) {
+// beginOp allocates a tensor ID and registers its message queue.
+func (w *Worker) beginOp() (uint32, *opQueue, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	select {
@@ -180,15 +193,25 @@ func (w *Worker) beginOp() (uint32, chan transport.Message, error) {
 	}
 	w.tensorSeq++
 	tid := w.tensorSeq
-	ch := make(chan transport.Message, 1024)
-	w.ops[tid] = ch
-	return tid, ch, nil
+	q := newOpQueue(w.cfg.OpQueueLen)
+	w.ops[tid] = q
+	obsOpsStarted.Inc()
+	obs.Emit(obs.EvOpBegin, tid, 0)
+	return tid, q, nil
 }
 
+// endOp unregisters the operation and recycles any message still queued
+// (or concurrently being delivered) for it.
 func (w *Worker) endOp(tid uint32) {
 	w.mu.Lock()
+	q := w.ops[tid]
 	delete(w.ops, tid)
 	w.mu.Unlock()
+	if q != nil {
+		q.finish()
+	}
+	obsOpsDone.Inc()
+	obs.Emit(obs.EvOpEnd, tid, 0)
 }
 
 // Pending is an in-flight collective started by AllReduceAsync.
@@ -225,14 +248,14 @@ func (w *Worker) AllReduceAsync(data []float32) (*Pending, error) {
 		close(p.done)
 		return p, nil
 	}
-	tid, msgCh, err := w.beginOp()
+	tid, q, err := w.beginOp()
 	if err != nil {
 		return nil, err
 	}
 	go func() {
 		defer close(p.done)
 		defer w.endOp(tid)
-		p.err = w.runAllReduce(data, tid, msgCh)
+		p.err = w.runAllReduce(data, tid, q)
 	}()
 	return p, nil
 }
@@ -240,10 +263,11 @@ func (w *Worker) AllReduceAsync(data []float32) (*Pending, error) {
 // runAllReduce drives one collective to completion: it pumps transport
 // messages and retransmission ticks through a protocol.WorkerMachine and
 // transmits the machine's emits.
-func (w *Worker) runAllReduce(data []float32, tid uint32, msgCh chan transport.Message) error {
+func (w *Worker) runAllReduce(data []float32, tid uint32, q *opQueue) error {
 	m := protocol.NewWorkerMachine(w.cfg.proto(), w.id, tid)
 	view := protocol.NewDenseView(data, w.cfg.BlockSize, w.cfg.ForceDense)
 	start := time.Now()
+	defer func() { obsOpLatency.Observe(int64(time.Since(start))) }()
 
 	// Borrow reusable decode state for the lifetime of this collective:
 	// every inbound result decodes into the same packet shell and scratch
@@ -259,6 +283,9 @@ func (w *Worker) runAllReduce(data []float32, tid uint32, msgCh chan transport.M
 	sync := func() {
 		cur := m.Stats()
 		w.Stats.add(cur, published)
+		if obs.Enabled() && cur.BlocksSent > published.BlocksSent {
+			obs.Emit(obs.EvBlockSent, tid, cur.BlocksSent-published.BlocksSent)
+		}
 		published = cur
 	}
 	defer sync()
@@ -271,6 +298,7 @@ func (w *Worker) runAllReduce(data []float32, tid uint32, msgCh chan transport.M
 			if err := w.conn.Send(e.Dst, encBuf); err != nil {
 				return err
 			}
+			observeWorkerTx(e, tid, len(encBuf))
 		}
 		return nil
 	}
@@ -291,10 +319,11 @@ func (w *Worker) runAllReduce(data []float32, tid uint32, msgCh chan transport.M
 
 	for !m.Done() {
 		select {
-		case msg := <-msgCh:
+		case msg := <-q.ch:
 			if wire.PeekType(msg.Data) != wire.TypeResult {
 				return fmt.Errorf("core: worker %d: unexpected message type %d", w.id, wire.PeekType(msg.Data))
 			}
+			obs.Emit(obs.EvPacketRecvd, tid, int64(len(msg.Data)))
 			p, err := dec.decodeDense(msg.Data)
 			if err != nil {
 				return fmt.Errorf("core: worker decode: %w", err)
@@ -308,6 +337,8 @@ func (w *Worker) runAllReduce(data []float32, tid uint32, msgCh chan transport.M
 			if err := dispatch(emits); err != nil {
 				return err
 			}
+		case <-q.fail:
+			return fmt.Errorf("core: worker %d tensor %d: %w", w.id, tid, ErrOpBackpressure)
 		case <-w.closed:
 			w.mu.Lock()
 			err := w.recvErr

@@ -49,13 +49,29 @@ func (c *Counters) Snapshot() map[string]int64 {
 	return out
 }
 
+// snapshotOrdered returns the counter names in creation order together
+// with their values, captured under one lock acquisition so the pair is
+// a consistent point-in-time view even while other goroutines Add.
+func (c *Counters) snapshotOrdered() ([]string, []int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := append([]string(nil), c.order...)
+	vals := make([]int64, len(names))
+	for i, n := range names {
+		vals[i] = c.vals[n]
+	}
+	return names, vals
+}
+
 // Merge adds every counter of other into c, preserving other's creation
-// order for counters c does not yet have.
+// order for counters c does not yet have. The names and values of other
+// are read in a single consistent snapshot: a counter created in other
+// concurrently with the merge is either fully included or fully absent,
+// never present with a torn value.
 func (c *Counters) Merge(other *Counters) {
-	names := other.Names()
-	snap := other.Snapshot()
-	for _, name := range names {
-		c.Add(name, snap[name])
+	names, vals := other.snapshotOrdered()
+	for i, name := range names {
+		c.Add(name, vals[i])
 	}
 }
 
@@ -79,13 +95,7 @@ func (c *Counters) Names() []string {
 
 // Table renders the counters as a two-column table in creation order.
 func (c *Counters) Table(title string) *Table {
-	c.mu.Lock()
-	names := append([]string(nil), c.order...)
-	vals := make([]int64, len(names))
-	for i, n := range names {
-		vals[i] = c.vals[n]
-	}
-	c.mu.Unlock()
+	names, vals := c.snapshotOrdered()
 	t := NewTable(title, "event", "count")
 	for i, n := range names {
 		t.AddRow(n, vals[i])

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -62,6 +63,51 @@ func TestCountersTable(t *testing.T) {
 	}
 	if c.Table("recovery").Rows() != 2 {
 		t.Fatal("zero-valued counters must still render")
+	}
+}
+
+// TestCountersMergeConcurrentWithAdd races Merge against counter
+// creation and increments in the source set. The merge must read names
+// and values as one consistent snapshot: with the old two-lock protocol
+// (Names() then Snapshot()), a counter created between the calls could
+// merge with a value the names slice never agreed to, and under the
+// race detector the torn accesses surface as data races.
+func TestCountersMergeConcurrentWithAdd(t *testing.T) {
+	src := NewCounters()
+	dst := NewCounters()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			src.Add("steady", 1)
+			src.Add(fmt.Sprintf("new_%d", i%64), 1)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		dst.Merge(src)
+	}
+	close(stop)
+	wg.Wait()
+	// Final merge after the writer stops: dst must now cover every
+	// counter src has, each with a sane (≤ src) value from some earlier
+	// consistent snapshot.
+	final := NewCounters()
+	final.Merge(src)
+	names, vals := src.snapshotOrdered()
+	if len(names) != len(vals) {
+		t.Fatalf("snapshotOrdered: %d names, %d vals", len(names), len(vals))
+	}
+	for i, n := range names {
+		if got := final.Get(n); got != vals[i] {
+			t.Fatalf("final merge %s = %d, want %d", n, got, vals[i])
+		}
 	}
 }
 

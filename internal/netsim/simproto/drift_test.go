@@ -5,9 +5,11 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"omnireduce/internal/core"
 	"omnireduce/internal/netsim/simproto"
+	"omnireduce/internal/obs"
 	"omnireduce/internal/protocol"
 	"omnireduce/internal/transport"
 )
@@ -112,6 +114,16 @@ func liveRun(t *testing.T, cfg core.Config, inputs [][]float32) ([][]float32, []
 }
 
 func TestSubstrateEquivalence(t *testing.T) {
+	// Run the whole grid with tracing enabled and a pool-leak audit
+	// bracketing it: observability must be a pure observer — substrate
+	// equivalence has to hold bit for bit with a tracer installed, the
+	// live side must emit trace events, and teardown must return every
+	// pooled buffer.
+	tracer := obs.NewCountingTracer()
+	prev := obs.SetTracer(tracer)
+	defer obs.SetTracer(prev)
+	audit := obs.StartLeakAudit()
+
 	const blocks, bs = 48, 16
 	grid := []struct {
 		workers  int
@@ -186,5 +198,14 @@ func TestSubstrateEquivalence(t *testing.T) {
 				}
 			}
 		})
+	}
+
+	for _, ev := range []obs.Event{obs.EvOpBegin, obs.EvOpEnd, obs.EvPacketSent, obs.EvPacketRecvd, obs.EvPoolGet, obs.EvPoolPut} {
+		if tracer.Count(ev) == 0 {
+			t.Errorf("live runs emitted no %s trace events", ev)
+		}
+	}
+	if leaks := audit.Settle(2 * time.Second); len(leaks) != 0 {
+		t.Errorf("drift grid leaked pooled buffers: %v", obs.LeaksErr(leaks))
 	}
 }

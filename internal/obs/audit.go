@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"omnireduce/internal/metrics"
+)
+
+// ErrPoolLeak is wrapped by LeaksErr so callers can errors.Is-match a
+// leak regardless of which pools it names.
+var ErrPoolLeak = errors.New("obs: pool leak")
+
+// Pool-leak audit. PR 3's pooled packet lifecycle made buffer ownership a
+// correctness invariant: every transport.GetBuf must eventually be matched
+// by a PutBuf, and every borrowed decode state must be returned. A
+// violation — a pooled buffer parked in a dead operation's queue, a wedged
+// receive pump holding messages nobody will drain — is invisible until
+// throughput collapses, because sync.Pool quietly falls back to the
+// allocator. The audit makes the balance observable: pools register a
+// balance function here, and a LeakAudit brackets a run section,
+// reporting any pool whose Get/Put delta did not return to zero.
+
+// PoolBalanceFunc reports a pool's cumulative Get and Put counts.
+type PoolBalanceFunc func() (gets, puts int64)
+
+type poolReg struct {
+	name string
+	fn   PoolBalanceFunc
+}
+
+var (
+	poolsMu sync.Mutex
+	pools   []poolReg
+)
+
+// RegisterPool registers a named pool for auditing. Registration is
+// typically done in the owning package's init; re-registering a name
+// replaces the previous function.
+func RegisterPool(name string, fn PoolBalanceFunc) {
+	poolsMu.Lock()
+	defer poolsMu.Unlock()
+	for i := range pools {
+		if pools[i].name == name {
+			pools[i].fn = fn
+			return
+		}
+	}
+	pools = append(pools, poolReg{name: name, fn: fn})
+}
+
+// PoolBalance is one pool's cumulative Get/Put tally.
+type PoolBalance struct {
+	Name string `json:"name"`
+	Gets int64  `json:"gets"`
+	Puts int64  `json:"puts"`
+}
+
+// Outstanding is the number of unreturned acquisitions.
+func (b PoolBalance) Outstanding() int64 { return b.Gets - b.Puts }
+
+// PoolBalances snapshots every registered pool.
+func PoolBalances() []PoolBalance {
+	poolsMu.Lock()
+	regs := append([]poolReg(nil), pools...)
+	poolsMu.Unlock()
+	out := make([]PoolBalance, len(regs))
+	for i, r := range regs {
+		gets, puts := r.fn()
+		out[i] = PoolBalance{Name: r.name, Gets: gets, Puts: puts}
+	}
+	return out
+}
+
+// PoolTable renders the registered pools' balances.
+func PoolTable() *metrics.Table {
+	t := metrics.NewTable("pool balance", "pool", "gets", "puts", "outstanding")
+	for _, b := range PoolBalances() {
+		t.AddRow(b.Name, b.Gets, b.Puts, b.Outstanding())
+	}
+	return t
+}
+
+// LeakAudit brackets a run section: StartLeakAudit snapshots every pool,
+// and Leaks/Settle report pools whose outstanding count grew. Balances
+// are process-global, so audits are meaningful only around sections that
+// quiesce (all connections closed, all operations finished) and must not
+// overlap concurrently-audited sections.
+type LeakAudit struct {
+	start map[string]int64 // outstanding at start, by pool
+}
+
+// StartLeakAudit snapshots the current pool balances.
+func StartLeakAudit() *LeakAudit {
+	a := &LeakAudit{start: make(map[string]int64)}
+	for _, b := range PoolBalances() {
+		a.start[b.Name] = b.Outstanding()
+	}
+	return a
+}
+
+// Leaks returns the pools whose outstanding count exceeds the audit's
+// starting point. A negative delta (a buffer acquired before the audit,
+// released inside it) is not a leak and is not reported.
+func (a *LeakAudit) Leaks() []PoolBalance {
+	var out []PoolBalance
+	for _, b := range PoolBalances() {
+		if b.Outstanding() > a.start[b.Name] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Settle polls until no pool leaks relative to the audit's start, or the
+// timeout expires, and returns the final leak set (empty on success).
+// Teardown is asynchronous — receive pumps observing a close, delayed
+// chaos deliveries, pool releases racing the audit — so a brief
+// settlement window avoids false positives without hiding real leaks.
+func (a *LeakAudit) Settle(timeout time.Duration) []PoolBalance {
+	deadline := time.Now().Add(timeout)
+	for {
+		leaks := a.Leaks()
+		if len(leaks) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return leaks
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Err converts a leak set to an error (nil when empty), for callers that
+// propagate rather than assert.
+func LeaksErr(leaks []PoolBalance) error {
+	if len(leaks) == 0 {
+		return nil
+	}
+	msg := ""
+	for _, l := range leaks {
+		msg += fmt.Sprintf(" %s outstanding=%d (gets=%d puts=%d)", l.Name, l.Outstanding(), l.Gets, l.Puts)
+	}
+	return fmt.Errorf("%w:%s", ErrPoolLeak, msg)
+}

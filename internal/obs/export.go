@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Exporters: JSON over io.Writer and HTTP, expvar integration, and an
+// optional debug server bundling the registry with net/http/pprof — the
+// run-time window into a live worker or aggregator.
+
+// exportDoc is the JSON document shape shared by WriteJSON and Handler.
+type exportDoc struct {
+	Metrics RegistrySnapshot `json:"metrics"`
+	Pools   []PoolBalance    `json:"pools"`
+}
+
+// WriteJSON writes the registry snapshot plus pool balances as indented
+// JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := exportDoc{Metrics: r.Snapshot(), Pools: PoolBalances()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&doc)
+}
+
+// Handler returns an http.Handler serving the registry as JSON.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar publishes the default registry and pool balances under
+// the "omnireduce" expvar name (idempotent; expvar panics on duplicate
+// names).
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("omnireduce", expvar.Func(func() any {
+			return exportDoc{Metrics: Default.Snapshot(), Pools: PoolBalances()}
+		}))
+	})
+}
+
+// DebugMux returns a mux exposing the observability surface:
+//
+//	/debug/obs     registry + pool balances as JSON
+//	/debug/vars    expvar (including the published registry)
+//	/debug/pprof/  the standard pprof handlers
+func DebugMux(r *Registry) *http.ServeMux {
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/obs", Handler(r))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug serves DebugMux on addr in a background goroutine and
+// returns the server (caller closes it). Errors after startup are
+// dropped — the debug endpoint must never take the datapath down.
+func ServeDebug(addr string, r *Registry) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: DebugMux(r)}
+	go func() { _ = srv.ListenAndServe() }()
+	return srv
+}

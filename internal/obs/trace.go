@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"omnireduce/internal/metrics"
+)
+
+// Event identifies one kind of datapath trace event. Events carry the
+// tensor ID of the collective they belong to (0 when not applicable) and
+// one event-specific argument (a byte count, a latency, a block count).
+type Event uint8
+
+const (
+	// EvOpBegin fires when a worker starts a collective; arg is the
+	// tensor element count.
+	EvOpBegin Event = iota
+	// EvOpEnd fires when a collective completes; arg is its latency in
+	// nanoseconds.
+	EvOpEnd
+	// EvBlockSent fires when a worker's machine transmits data blocks;
+	// arg is the block-count delta.
+	EvBlockSent
+	// EvBlockRecvd fires when an aggregator machine aggregates inbound
+	// blocks; arg is the block-count delta.
+	EvBlockRecvd
+	// EvPacketSent fires per transmitted packet; arg is the encoded size
+	// in bytes.
+	EvPacketSent
+	// EvPacketRecvd fires per received packet; arg is the encoded size in
+	// bytes.
+	EvPacketRecvd
+	// EvRetransmit fires per timer-driven resend (Algorithm 2 repair
+	// traffic).
+	EvRetransmit
+	// EvStaleDrop fires when a worker's receive pump drops a message for
+	// a finished or unknown collective.
+	EvStaleDrop
+	// EvOverflowDrop fires when a worker's receive pump drops a message
+	// because the owning operation's queue is full (unreliable mode; the
+	// retransmission protocol recovers).
+	EvOverflowDrop
+	// EvPoolGet / EvPoolPut fire on transport buffer-pool traffic; arg is
+	// the buffer length.
+	EvPoolGet
+	EvPoolPut
+	// EvDecodeStateGet / EvDecodeStatePut fire on decode-state pool
+	// borrow/return.
+	EvDecodeStateGet
+	EvDecodeStatePut
+
+	// NumEvents is the number of event kinds (array sizing).
+	NumEvents
+)
+
+var eventNames = [NumEvents]string{
+	EvOpBegin:        "op_begin",
+	EvOpEnd:          "op_end",
+	EvBlockSent:      "block_sent",
+	EvBlockRecvd:     "block_recvd",
+	EvPacketSent:     "packet_sent",
+	EvPacketRecvd:    "packet_recvd",
+	EvRetransmit:     "retransmit",
+	EvStaleDrop:      "stale_drop",
+	EvOverflowDrop:   "overflow_drop",
+	EvPoolGet:        "pool_get",
+	EvPoolPut:        "pool_put",
+	EvDecodeStateGet: "decode_state_get",
+	EvDecodeStatePut: "decode_state_put",
+}
+
+// String returns the event's snake_case name.
+func (e Event) String() string {
+	if int(e) < len(eventNames) {
+		return eventNames[e]
+	}
+	return "unknown"
+}
+
+// Tracer receives datapath trace events. Implementations must be safe
+// for concurrent use and must not block: Trace is called from receive
+// pumps and per-operation goroutines. The tid is the collective's tensor
+// ID (0 when the event is not tied to one).
+type Tracer interface {
+	Trace(ev Event, tid uint32, arg int64)
+}
+
+// tracerBox wraps the interface so an atomic.Pointer can hold it.
+type tracerBox struct{ t Tracer }
+
+var activeTracer atomic.Pointer[tracerBox]
+
+// SetTracer installs t as the process-wide tracer; nil disables tracing.
+// The previous tracer (nil if none) is returned so callers can restore
+// it.
+func SetTracer(t Tracer) Tracer {
+	var prev Tracer
+	var next *tracerBox
+	if t != nil {
+		next = &tracerBox{t: t}
+	}
+	if old := activeTracer.Swap(next); old != nil {
+		prev = old.t
+	}
+	return prev
+}
+
+// Enabled reports whether a tracer is installed. Call sites that must
+// compute an event argument (a stats delta, a decode) guard the
+// computation with Enabled; plain Emit calls need no guard.
+func Enabled() bool { return activeTracer.Load() != nil }
+
+// Emit delivers one event to the installed tracer. With no tracer the
+// cost is one atomic load and one branch — the disabled-path budget the
+// datapath is designed around.
+func Emit(ev Event, tid uint32, arg int64) {
+	if b := activeTracer.Load(); b != nil {
+		b.t.Trace(ev, tid, arg)
+	}
+}
+
+// CountingTracer tallies events per kind: the cheapest useful tracer,
+// and the one tests assert against. Counting is wait-free.
+type CountingTracer struct {
+	counts [NumEvents]atomic.Int64
+	args   [NumEvents]atomic.Int64
+}
+
+// NewCountingTracer returns a zeroed counting tracer.
+func NewCountingTracer() *CountingTracer { return &CountingTracer{} }
+
+// Trace implements Tracer.
+func (c *CountingTracer) Trace(ev Event, _ uint32, arg int64) {
+	if ev >= NumEvents {
+		return
+	}
+	c.counts[ev].Add(1)
+	c.args[ev].Add(arg)
+}
+
+// Count returns how many events of kind ev were traced.
+func (c *CountingTracer) Count(ev Event) int64 {
+	if ev >= NumEvents {
+		return 0
+	}
+	return c.counts[ev].Load()
+}
+
+// ArgSum returns the sum of the args of kind ev (total bytes sent for
+// EvPacketSent, total blocks for EvBlockSent, ...).
+func (c *CountingTracer) ArgSum(ev Event) int64 {
+	if ev >= NumEvents {
+		return 0
+	}
+	return c.args[ev].Load()
+}
+
+// Counters exports the non-zero tallies as a metrics counter set.
+func (c *CountingTracer) Counters() *metrics.Counters {
+	out := metrics.NewCounters()
+	for ev := Event(0); ev < NumEvents; ev++ {
+		if n := c.counts[ev].Load(); n != 0 {
+			out.Add("trace_"+ev.String(), n)
+		}
+	}
+	return out
+}
+
+// TraceEvent is one recorded event in a RingTracer.
+type TraceEvent struct {
+	Ev  Event
+	Tid uint32
+	Arg int64
+}
+
+// RingTracer keeps the last N events in a ring: the flight recorder for
+// debugging a wedged collective. It allocates only at construction.
+type RingTracer struct {
+	mu      sync.Mutex
+	buf     []TraceEvent
+	next    int
+	wrapped bool
+}
+
+// NewRingTracer returns a tracer retaining the last n events (n >= 1).
+func NewRingTracer(n int) *RingTracer {
+	if n < 1 {
+		n = 1
+	}
+	return &RingTracer{buf: make([]TraceEvent, n)}
+}
+
+// Trace implements Tracer.
+func (r *RingTracer) Trace(ev Event, tid uint32, arg int64) {
+	r.mu.Lock()
+	r.buf[r.next] = TraceEvent{Ev: ev, Tid: tid, Arg: arg}
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the recorded events, oldest first.
+func (r *RingTracer) Events() []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapped {
+		return append([]TraceEvent(nil), r.buf[:r.next]...)
+	}
+	out := make([]TraceEvent, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// MultiTracer fans events out to several tracers (e.g. counting + ring).
+type MultiTracer []Tracer
+
+// Trace implements Tracer.
+func (m MultiTracer) Trace(ev Event, tid uint32, arg int64) {
+	for _, t := range m {
+		t.Trace(ev, tid, arg)
+	}
+}

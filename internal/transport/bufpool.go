@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"omnireduce/internal/metrics"
+	"omnireduce/internal/obs"
 )
 
 // Size-classed receive-buffer pool. Every transport allocates one buffer
@@ -20,6 +21,15 @@ import (
 // consumers that don't bother simply leave the buffer to the garbage
 // collector. Nothing breaks either way — pooling only changes whether the
 // next GetBuf hits the pool or the allocator.
+//
+// Balance accounting: GetBuf and PutBuf additionally keep cumulative
+// get/put tallies (PoolBalance), registered with the internal/obs
+// pool-leak audit. In a quiesced system — every connection closed, every
+// operation finished — gets must equal puts; a standing imbalance means
+// some consumer dropped a buffer on the floor (per-packet allocation is
+// back) and is exactly the class of receive-path leak the audit exists to
+// catch. The tallies assume PutBuf is only called with buffers that came
+// from GetBuf, which is the package-wide convention.
 
 // minBufClass/maxBufClass bound the pooled capacity classes (powers of
 // two). Smaller buffers are cheaper to allocate than to pool; larger ones
@@ -32,7 +42,16 @@ const (
 
 var bufPools [numBufClasses]sync.Pool
 
-var bufPoolHits, bufPoolMisses atomic.Int64
+var (
+	bufPoolHits   atomic.Int64
+	bufPoolMisses atomic.Int64
+	bufPoolGets   atomic.Int64
+	bufPoolPuts   atomic.Int64
+)
+
+func init() {
+	obs.RegisterPool("transport_buf", PoolBalance)
+}
 
 // bufClass returns the pool index whose capacity (1<<(minBufClassBits+i))
 // holds n bytes, or -1 when n is outside the pooled range.
@@ -51,6 +70,8 @@ func bufClass(n int) int {
 // suitable class is available. The caller owns the buffer until it passes
 // it on (e.g. inside a Message) or returns it with PutBuf.
 func GetBuf(n int) []byte {
+	bufPoolGets.Add(1)
+	obs.Emit(obs.EvPoolGet, 0, int64(n))
 	c := bufClass(n)
 	if c < 0 {
 		bufPoolMisses.Add(1)
@@ -70,6 +91,11 @@ func GetBuf(n int) []byte {
 // garbage collector, so releasing a foreign buffer is always safe. The
 // caller must not touch the buffer afterwards.
 func PutBuf(b []byte) {
+	if b == nil {
+		return // releasing no buffer is a no-op, not a balance event
+	}
+	bufPoolPuts.Add(1)
+	obs.Emit(obs.EvPoolPut, 0, int64(len(b)))
 	c := cap(b)
 	if c == 0 {
 		return
@@ -81,13 +107,23 @@ func PutBuf(b []byte) {
 	bufPools[i-minBufClassBits].Put(b[:c]) //nolint:staticcheck // slices are pointer-shaped
 }
 
-// PoolCounters exports the buffer pool's hit/miss tallies as metrics
-// counters. The steady-state health check is a hit rate approaching 1:
-// misses after warm-up mean some consumer is not releasing buffers, i.e.
-// per-packet allocation is back.
+// PoolBalance reports the cumulative GetBuf and PutBuf counts. In a
+// quiesced system gets == puts; the difference is the number of buffers
+// currently owned by consumers (or leaked).
+func PoolBalance() (gets, puts int64) {
+	return bufPoolGets.Load(), bufPoolPuts.Load()
+}
+
+// PoolCounters exports the buffer pool's tallies as metrics counters.
+// The steady-state health checks are a hit rate approaching 1 (misses
+// after warm-up mean per-packet allocation is back) and gets - puts
+// approaching the number of messages legitimately in flight (a standing
+// surplus is a leak).
 func PoolCounters() *metrics.Counters {
 	c := metrics.NewCounters()
 	c.Add("buf_pool_hits", bufPoolHits.Load())
 	c.Add("buf_pool_misses", bufPoolMisses.Load())
+	c.Add("buf_pool_gets", bufPoolGets.Load())
+	c.Add("buf_pool_puts", bufPoolPuts.Load())
 	return c
 }

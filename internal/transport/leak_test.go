@@ -1,0 +1,255 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"omnireduce/internal/obs"
+)
+
+// TestNetworkCloseReclaimsQueuedBuffers verifies the drain-on-close
+// protocol: messages sitting undelivered in a node's inbox must be
+// returned to the buffer pool when the node's endpoint closes, so a
+// quiesced network has a balanced get/put tally.
+func TestNetworkCloseReclaimsQueuedBuffers(t *testing.T) {
+	audit := obs.StartLeakAudit()
+	nw := NewNetwork(2, 64)
+	a, b := nw.Conn(0), nw.Conn(1)
+	for i := 0; i < 10; i++ {
+		if err := a.Send(1, []byte{1, 2, 3, 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Node 1 never calls Recv; its inbox holds 10 pooled buffers.
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if leaks := audit.Settle(2 * time.Second); len(leaks) != 0 {
+		t.Fatalf("buffers leaked after close: %v", obs.LeaksErr(leaks))
+	}
+}
+
+// TestNetworkSendAfterPeerClose checks that sending to a closed peer is
+// a silent best-effort drop (datagram semantics at teardown) that does
+// not leak the copied buffer.
+func TestNetworkSendAfterPeerClose(t *testing.T) {
+	audit := obs.StartLeakAudit()
+	nw := NewNetwork(2, 4)
+	a, b := nw.Conn(0), nw.Conn(1)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ { // more than queue cap: must not block either
+		if err := a.Send(1, []byte{9}); err != nil {
+			t.Fatalf("send to closed peer: %v", err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if leaks := audit.Settle(2 * time.Second); len(leaks) != 0 {
+		t.Fatalf("buffers leaked: %v", obs.LeaksErr(leaks))
+	}
+}
+
+// TestNetworkConcurrentSendClose races many senders against the
+// receiver's Close. Whatever interleaving occurs, every pooled buffer
+// must come back: delivered ones via the receiver's PutBuf, undelivered
+// ones via the close-time drain.
+func TestNetworkConcurrentSendClose(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		audit := obs.StartLeakAudit()
+		nw := NewNetwork(4, 8)
+		recv := nw.Conn(3)
+		var wg sync.WaitGroup
+		for s := 0; s < 3; s++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				c := nw.Conn(id)
+				for i := 0; i < 50; i++ {
+					_ = c.Send(3, []byte{byte(i)})
+				}
+				_ = c.Close()
+			}(s)
+		}
+		// Consume a few, then vanish mid-stream.
+		for i := 0; i < 5; i++ {
+			m, err := recv.Recv()
+			if err != nil {
+				break
+			}
+			PutBuf(m.Data)
+		}
+		if err := recv.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		// A Recv racing Close may have drained one last message whose
+		// buffer it owns; none remain un-accounted after Close returns.
+		if leaks := audit.Settle(2 * time.Second); len(leaks) != 0 {
+			t.Fatalf("round %d leaked: %v", round, obs.LeaksErr(leaks))
+		}
+	}
+}
+
+// deadAddr returns a loopback address guaranteed to refuse connections:
+// a port that was just bound and released.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestTCPDialOptionsFastFail verifies that dial attempts, timeout, and
+// backoff are configurable: a two-attempt dial to a dead address fails
+// in well under the historical 50×100ms window.
+func TestTCPDialOptionsFastFail(t *testing.T) {
+	tr, err := NewTCPWithOptions(0, map[int]string{0: "127.0.0.1:0"}, TCPOptions{
+		DialTimeout:  200 * time.Millisecond,
+		DialAttempts: 2,
+		DialBackoff:  10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.RegisterPeer(1, deadAddr(t)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := tr.Send(1, []byte("x")); err == nil {
+		t.Fatal("send to unreachable peer succeeded")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("fast-fail dial took %v", d)
+	}
+}
+
+// TestTCPDialContextCancel verifies that cancelling DialContext aborts
+// an in-progress dial retry loop promptly.
+func TestTCPDialContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tr, err := NewTCPWithOptions(0, map[int]string{0: "127.0.0.1:0"}, TCPOptions{
+		DialTimeout:  5 * time.Second,
+		DialAttempts: 50,
+		DialBackoff:  50 * time.Millisecond,
+		DialContext:  ctx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	// Refused dials fail instantly, so the retry loop spends its time in
+	// backoff waits; cancellation must interrupt those too.
+	if err := tr.RegisterPeer(1, deadAddr(t)); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- tr.Send(1, []byte("x")) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("cancelled dial reported success")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("cancelled dial did not return")
+	}
+}
+
+// TestTCPDialBackoffExponential checks the retry spacing grows and is
+// capped: 4 attempts at 10ms base with a 20ms cap wait 10+20+20 = 50ms
+// between attempts, well below a fixed 100ms spacing.
+func TestTCPDialBackoffExponential(t *testing.T) {
+	tr, err := NewTCPWithOptions(0, map[int]string{0: "127.0.0.1:0"}, TCPOptions{
+		DialTimeout:    50 * time.Millisecond,
+		DialAttempts:   4,
+		DialBackoff:    10 * time.Millisecond,
+		DialBackoffMax: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	// Refused dials fail fast, so elapsed time is dominated by the
+	// backoff waits.
+	if err := tr.RegisterPeer(1, deadAddr(t)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := tr.Send(1, []byte("x")); err == nil {
+		t.Fatal("send to dead address succeeded")
+	}
+	if d := time.Since(start); d > 1500*time.Millisecond {
+		t.Fatalf("4 capped-backoff attempts took %v", d)
+	}
+}
+
+// TestTCPCloseDrainsRecvQueue leaves messages unconsumed in the TCP
+// receive queue and verifies Close returns their buffers to the pool.
+func TestTCPCloseDrainsRecvQueue(t *testing.T) {
+	audit := obs.StartLeakAudit()
+	a, err := NewTCP(0, map[int]string{0: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTCP(1, map[int]string{1: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RegisterPeer(1, b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := a.Send(1, []byte(fmt.Sprintf("msg-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Receive one to prove delivery, leave the rest queued.
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	PutBuf(m.Data)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if leaks := audit.Settle(2 * time.Second); len(leaks) != 0 {
+		t.Fatalf("TCP close leaked buffers: %v", obs.LeaksErr(leaks))
+	}
+}
+
+// TestPoolBalanceCounts pins the PoolBalance contract: every GetBuf and
+// PutBuf call is tallied, including out-of-class sizes.
+func TestPoolBalanceCounts(t *testing.T) {
+	g0, p0 := PoolBalance()
+	b1 := GetBuf(100)
+	b2 := GetBuf(1 << 20) // oversize: unpooled but still counted
+	PutBuf(b1)
+	PutBuf(b2)
+	g1, p1 := PoolBalance()
+	if g1-g0 != 2 || p1-p0 != 2 {
+		t.Fatalf("balance deltas: gets %d puts %d", g1-g0, p1-p0)
+	}
+	if !errors.Is(obs.LeaksErr([]obs.PoolBalance{{Name: "x", Gets: 2, Puts: 1}}), obs.ErrPoolLeak) {
+		t.Fatal("LeaksErr must wrap ErrPoolLeak")
+	}
+}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -10,17 +11,63 @@ import (
 	"time"
 )
 
+// TCPOptions tunes connection establishment. The zero value picks the
+// defaults noted on each field, which reproduce the historical behavior
+// (2 s dial timeout, 50 attempts spaced 100 ms apart).
+type TCPOptions struct {
+	// DialTimeout bounds each individual dial attempt. Default 2s.
+	DialTimeout time.Duration
+	// DialAttempts is the number of dial attempts before Send fails
+	// (peers may come up in any order, so first contact retries).
+	// Default 50; values < 1 are treated as 1.
+	DialAttempts int
+	// DialBackoff is the wait after the first failed attempt. Default
+	// 100ms.
+	DialBackoff time.Duration
+	// DialBackoffMax caps the exponentially growing wait between
+	// attempts. Default: equal to DialBackoff, i.e. fixed spacing.
+	DialBackoffMax time.Duration
+	// DialContext cancels in-progress dials and retry waits (for
+	// example on process shutdown). Default context.Background().
+	DialContext context.Context
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.DialAttempts < 1 {
+		if o.DialAttempts == 0 {
+			o.DialAttempts = 50
+		} else {
+			o.DialAttempts = 1
+		}
+	}
+	if o.DialBackoff <= 0 {
+		o.DialBackoff = 100 * time.Millisecond
+	}
+	if o.DialBackoffMax <= 0 {
+		o.DialBackoffMax = o.DialBackoff
+	}
+	if o.DialContext == nil {
+		o.DialContext = context.Background()
+	}
+	return o
+}
+
 // TCP is a reliable message transport over a full mesh of TCP
 // connections, the cross-process stand-in for the paper's RDMA RC mode.
 // Messages are length-prefixed (uint32) frames; each node dials every
 // peer once and announces its ID in an 8-byte hello frame.
 type TCP struct {
 	id       int
+	opts     TCPOptions
 	addrs    map[int]string
 	ln       net.Listener
 	recvCh   chan Message
 	mu       sync.Mutex
 	outbound map[int]*tcpPeer
+	dialing  map[int]chan struct{} // in-progress dials, keyed by peer
 	inbound  map[net.Conn]struct{}
 	closed   chan struct{}
 	wg       sync.WaitGroup
@@ -37,19 +84,28 @@ type tcpPeer struct {
 // MaxFrame bounds accepted message sizes to catch stream corruption.
 const MaxFrame = 64 << 20
 
-// NewTCP creates a TCP endpoint for node id listening on addrs[id]. It
-// returns once the listener is active; connections to peers are
-// established lazily on first Send and by inbound dials.
+// NewTCP creates a TCP endpoint for node id listening on addrs[id] with
+// default dial options. It returns once the listener is active;
+// connections to peers are established lazily on first Send and by
+// inbound dials.
 func NewTCP(id int, addrs map[int]string) (*TCP, error) {
+	return NewTCPWithOptions(id, addrs, TCPOptions{})
+}
+
+// NewTCPWithOptions is NewTCP with explicit connection-establishment
+// tuning (dial timeout, retry count, backoff, cancellation).
+func NewTCPWithOptions(id int, addrs map[int]string, opts TCPOptions) (*TCP, error) {
 	ln, err := net.Listen("tcp", addrs[id])
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addrs[id], err)
 	}
 	t := &TCP{
 		id:       id,
+		opts:     opts.withDefaults(),
 		ln:       ln,
 		recvCh:   make(chan Message, 1024),
 		outbound: make(map[int]*tcpPeer),
+		dialing:  make(map[int]chan struct{}),
 		inbound:  make(map[net.Conn]struct{}),
 		closed:   make(chan struct{}),
 	}
@@ -152,25 +208,72 @@ func (t *TCP) Send(to int, data []byte) error {
 }
 
 func (t *TCP) peer(to int) (*tcpPeer, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if p, ok := t.outbound[to]; ok {
+	for {
+		t.mu.Lock()
+		if p, ok := t.outbound[to]; ok {
+			t.mu.Unlock()
+			return p, nil
+		}
+		addr, ok := t.addrs[to]
+		if !ok {
+			t.mu.Unlock()
+			return nil, fmt.Errorf("%w: %d", ErrUnknownPeer, to)
+		}
+		if wait, busy := t.dialing[to]; busy {
+			// Another goroutine is dialing this peer; wait for it rather
+			// than racing a second connection (and rather than holding
+			// t.mu across the dial, which would stall sends to every
+			// other peer for the full retry window).
+			t.mu.Unlock()
+			select {
+			case <-wait:
+			case <-t.closed:
+				return nil, ErrClosed
+			}
+			continue
+		}
+		wait := make(chan struct{})
+		t.dialing[to] = wait
+		t.mu.Unlock()
+
+		p, err := t.dialPeer(to, addr)
+
+		t.mu.Lock()
+		delete(t.dialing, to)
+		close(wait)
+		if err != nil {
+			t.mu.Unlock()
+			return nil, err
+		}
+		if existing, ok := t.outbound[to]; ok {
+			// An inbound hello installed a reply path while we dialed;
+			// prefer it and discard our connection.
+			t.mu.Unlock()
+			p.c.Close()
+			return existing, nil
+		}
+		select {
+		case <-t.closed:
+			t.mu.Unlock()
+			p.c.Close()
+			return nil, ErrClosed
+		default:
+		}
+		t.outbound[to] = p
+		// Read replies arriving on this dialed connection (the remote end
+		// may answer here rather than dialing back).
+		t.inbound[p.c] = struct{}{}
+		t.wg.Add(1)
+		t.mu.Unlock()
+		go t.readLoop(p.c, to)
 		return p, nil
 	}
-	addr, ok := t.addrs[to]
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownPeer, to)
-	}
-	var c net.Conn
-	var err error
-	// Peers may come up in any order; retry briefly.
-	for i := 0; i < 50; i++ {
-		c, err = net.DialTimeout("tcp", addr, 2*time.Second)
-		if err == nil {
-			break
-		}
-		time.Sleep(100 * time.Millisecond)
-	}
+}
+
+// dialPeer establishes and greets one outbound connection, retrying per
+// the transport's TCPOptions. It runs without t.mu held.
+func (t *TCP) dialPeer(to int, addr string) (*tcpPeer, error) {
+	c, err := t.dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %d (%s): %w", to, addr, err)
 	}
@@ -180,14 +283,45 @@ func (t *TCP) peer(to int) (*tcpPeer, error) {
 		c.Close()
 		return nil, err
 	}
-	p := &tcpPeer{w: bufio.NewWriterSize(c, 1<<16), c: c}
-	t.outbound[to] = p
-	// Read replies arriving on this dialed connection (the remote end may
-	// answer here rather than dialing back).
-	t.inbound[c] = struct{}{}
-	t.wg.Add(1)
-	go t.readLoop(c, to)
-	return p, nil
+	return &tcpPeer{w: bufio.NewWriterSize(c, 1<<16), c: c}, nil
+}
+
+// dial attempts addr up to DialAttempts times with exponential backoff
+// between attempts (capped at DialBackoffMax), respecting DialContext
+// cancellation and transport shutdown. Peers may come up in any order,
+// so first contact commonly needs a few retries.
+func (t *TCP) dial(addr string) (net.Conn, error) {
+	o := t.opts
+	d := net.Dialer{Timeout: o.DialTimeout}
+	backoff := o.DialBackoff
+	var lastErr error
+	for i := 0; i < o.DialAttempts; i++ {
+		if i > 0 {
+			timer := time.NewTimer(backoff)
+			select {
+			case <-timer.C:
+			case <-o.DialContext.Done():
+				timer.Stop()
+				return nil, o.DialContext.Err()
+			case <-t.closed:
+				timer.Stop()
+				return nil, ErrClosed
+			}
+			backoff *= 2
+			if backoff > o.DialBackoffMax {
+				backoff = o.DialBackoffMax
+			}
+		}
+		c, err := d.DialContext(o.DialContext, "tcp", addr)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		if o.DialContext.Err() != nil {
+			return nil, lastErr
+		}
+	}
+	return nil, lastErr
 }
 
 // RegisterPeer adds or updates a peer's dial address (used with ":0"
@@ -220,7 +354,9 @@ func (t *TCP) LocalID() int { return t.id }
 // Addr returns the bound listen address (useful with ":0").
 func (t *TCP) Addr() string { return t.ln.Addr().String() }
 
-// Close shuts the listener and all peer connections.
+// Close shuts the listener and all peer connections, then recycles any
+// received-but-unconsumed message buffers so a closed endpoint holds no
+// pooled memory.
 func (t *TCP) Close() error {
 	t.mu.Lock()
 	select {
@@ -239,5 +375,14 @@ func (t *TCP) Close() error {
 	}
 	t.mu.Unlock()
 	t.wg.Wait()
-	return err
+	// All read loops have exited; nothing else writes recvCh. Drain what
+	// no Recv caller will ever collect.
+	for {
+		select {
+		case m := <-t.recvCh:
+			PutBuf(m.Data)
+		default:
+			return err
+		}
+	}
 }

@@ -19,7 +19,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Message is one received datagram or message.
@@ -59,17 +61,30 @@ var ErrUnknownPeer = errors.New("transport: unknown peer")
 // RDMA RC semantics. The zero value is not usable; call NewNetwork.
 type Network struct {
 	mu    sync.Mutex
-	boxes map[int]chan Message
+	boxes map[int]*box
 	cap   int
+}
+
+// box is one node's inbox. closed/inflight implement the drain-on-close
+// protocol: once a node's endpoint closes, its inbox is marked closed,
+// new sends are dropped (the receiver is gone — datagram semantics at
+// teardown), and every queued message's pooled buffer is returned, so a
+// quiesced network holds no buffers. inflight counts senders that are
+// past the closed check but have not finished enqueueing, letting the
+// drain loop wait them out instead of racing them.
+type box struct {
+	ch       chan Message
+	closed   atomic.Bool
+	inflight atomic.Int64
 }
 
 // NewNetwork creates a fabric with nodes 0..n-1, each with a receive queue
 // of queueCap messages (Send blocks when the destination queue is full,
 // providing natural backpressure).
 func NewNetwork(n, queueCap int) *Network {
-	nw := &Network{boxes: make(map[int]chan Message, n), cap: queueCap}
+	nw := &Network{boxes: make(map[int]*box, n), cap: queueCap}
 	for i := 0; i < n; i++ {
-		nw.boxes[i] = make(chan Message, queueCap)
+		nw.boxes[i] = &box{ch: make(chan Message, queueCap)}
 	}
 	return nw
 }
@@ -80,7 +95,7 @@ func (nw *Network) AddNode(id int) Conn {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	if _, ok := nw.boxes[id]; !ok {
-		nw.boxes[id] = make(chan Message, nw.cap)
+		nw.boxes[id] = &box{ch: make(chan Message, nw.cap)}
 	}
 	return &chanConn{nw: nw, id: id}
 }
@@ -93,6 +108,35 @@ func (nw *Network) Conn(id int) Conn {
 		panic(fmt.Sprintf("transport: unknown node %d", id))
 	}
 	return &chanConn{nw: nw, id: id}
+}
+
+func (nw *Network) box(id int) *box {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.boxes[id]
+}
+
+// closeBox marks node id's inbox closed and drains it, recycling every
+// queued buffer. It waits out senders already committed to enqueueing
+// (inflight), so when it returns no pooled buffer remains in the box and
+// none can arrive later.
+func (nw *Network) closeBox(id int) {
+	b := nw.box(id)
+	if b == nil || b.closed.Swap(true) {
+		return
+	}
+	for {
+		select {
+		case m := <-b.ch:
+			PutBuf(m.Data)
+			continue
+		default:
+		}
+		if b.inflight.Load() == 0 && len(b.ch) == 0 {
+			return
+		}
+		runtime.Gosched()
+	}
 }
 
 type chanConn struct {
@@ -112,16 +156,26 @@ func (c *chanConn) closedCh() chan struct{} {
 }
 
 func (c *chanConn) Send(to int, data []byte) error {
-	c.nw.mu.Lock()
-	box, ok := c.nw.boxes[to]
-	c.nw.mu.Unlock()
-	if !ok {
+	b := c.nw.box(to)
+	if b == nil {
 		return fmt.Errorf("%w: %d", ErrUnknownPeer, to)
 	}
 	buf := GetBuf(len(data))
 	copy(buf, data)
+	// Commit to the enqueue (inflight) before checking closed: the drain
+	// loop in closeBox waits for inflight to reach zero, so a send that
+	// slips past a concurrent close is either dropped here or drained
+	// there — never stranded with its buffer.
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	if b.closed.Load() {
+		// The receiver is gone. Per-message best effort at teardown:
+		// recycle and report success, like a datagram dying in flight.
+		PutBuf(buf)
+		return nil
+	}
 	select {
-	case box <- Message{From: c.id, Data: buf}:
+	case b.ch <- Message{From: c.id, Data: buf}:
 		return nil
 	case <-c.closedCh():
 		PutBuf(buf)
@@ -130,16 +184,14 @@ func (c *chanConn) Send(to int, data []byte) error {
 }
 
 func (c *chanConn) Recv() (Message, error) {
-	c.nw.mu.Lock()
-	box := c.nw.boxes[c.id]
-	c.nw.mu.Unlock()
+	b := c.nw.box(c.id)
 	select {
-	case m := <-box:
+	case m := <-b.ch:
 		return m, nil
 	case <-c.closedCh():
 		// Drain any message that raced with close.
 		select {
-		case m := <-box:
+		case m := <-b.ch:
 			return m, nil
 		default:
 		}
@@ -152,12 +204,17 @@ func (c *chanConn) LocalID() int { return c.id }
 func (c *chanConn) Close() error {
 	ch := c.closedCh()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	select {
 	case <-ch:
+		c.mu.Unlock()
+		return nil
 	default:
 		close(ch)
 	}
+	c.mu.Unlock()
+	// Drain this node's inbox so no pooled buffer is stranded in a queue
+	// nobody will read. Sends targeting this node from now on are dropped.
+	c.nw.closeBox(c.id)
 	return nil
 }
 

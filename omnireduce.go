@@ -162,6 +162,29 @@ type Stats struct {
 	StaleResults int64
 }
 
+// PumpStats reports the worker receive pump's routing decisions:
+// messages delivered to live collectives, stale results dropped after
+// their operation finished, messages dropped because a collective's
+// queue overflowed (repaired by retransmission on unreliable
+// transports), and undecodable packets.
+type PumpStats struct {
+	Delivered     int64
+	StaleDrops    int64
+	OverflowDrops int64
+	BadPackets    int64
+}
+
+// PumpStats returns the worker's receive-pump counters.
+func (w *Worker) PumpStats() PumpStats {
+	p := w.w.PumpSnapshot()
+	return PumpStats{
+		Delivered:     p.Delivered,
+		StaleDrops:    p.StaleDrops,
+		OverflowDrops: p.OverflowDrops,
+		BadPackets:    p.BadPackets,
+	}
+}
+
 // SparseTensor is a coordinate-list sparse tensor: Keys strictly
 // ascending, Values aligned with Keys, Dim the dense length.
 type SparseTensor struct {
