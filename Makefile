@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race short-race fuzz chaos bench drift obs clean
+.PHONY: all tier1 vet race short-race fuzz chaos bench drift obs timeline clean
 
 all: tier1
 
@@ -16,9 +16,9 @@ tier1:
 vet:
 	$(GO) vet ./...
 
-# Race tier: vet, the observability/leak-audit suite, then the full test
-# suite under the race detector.
-race: vet obs
+# Race tier: vet, the observability/leak-audit suite, the timeline
+# pipeline, then the full test suite under the race detector.
+race: vet obs timeline
 	$(GO) test -race ./...
 
 # Observability tier: the obs package plus the race-enabled leak-audit and
@@ -30,6 +30,16 @@ obs:
 	$(GO) test -race -run 'TestEndOpDrainsQueuedMessages|TestRecvPumpOverflowDoesNotStallOtherOps|TestReliableOverflowFailsOp|TestBadPacketsCountedAndRecycled|TestChaos' ./internal/core/
 	$(GO) test -race -run 'TestNetworkCloseReclaimsQueuedBuffers|TestNetworkSendAfterPeerClose|TestNetworkConcurrentSendClose|TestTCPCloseDrainsRecvQueue|TestPoolBalanceCounts' ./internal/transport/
 	$(GO) run ./cmd/obsreport -o ""
+
+# Timeline tier: the chaos example with flight-recorder dumps enabled,
+# merged and rendered by tracetool, gated on its health checks — positive
+# slot occupancy, every round completed, and the measured look-ahead skip
+# ratio within 1% of the generated workload's exact expectation.
+timeline:
+	@dir=$$(mktemp -d) && \
+	( $(GO) run ./examples/lossynet -dump-dir $$dir && \
+	  $(GO) run ./cmd/tracetool -check -o $$dir/timeline.json $$dir/flight.json ); \
+	rc=$$?; rm -rf $$dir; exit $$rc
 
 # Quick race pass: skips the long-running scenarios (-short), for local
 # iteration.
@@ -51,6 +61,9 @@ fuzz:
 # the perf trajectory is tracked across PRs.
 bench:
 	( $(GO) test -run '^$$' -bench '^(BenchmarkAllReduceLive|BenchmarkAllReduceTCPLive)$$' -benchmem -benchtime 2x . ; \
+	  for i in 1 2 3 4 5; do \
+	    $(GO) test -run '^$$' -bench '^BenchmarkTracerOverhead$$' -benchmem -benchtime 30x . ; \
+	  done ; \
 	  $(GO) test -run '^$$' -bench '^(BenchmarkPacketEncode|BenchmarkPacketDecode|BenchmarkPacketDecodeInto)$$' -benchmem ./internal/wire/ ; \
 	  $(GO) test -run '^$$' -bench '^(BenchmarkComputeBitmap|BenchmarkDenseAdd)$$' -benchmem ./internal/tensor/ ) \
 	| $(GO) run ./cmd/benchjson -o BENCH_datapath.json

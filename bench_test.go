@@ -19,6 +19,7 @@ import (
 
 	"omnireduce/internal/exp"
 	"omnireduce/internal/metrics"
+	"omnireduce/internal/obs"
 )
 
 // benchOpts uses a coarser scale than the CLI default so the full bench
@@ -159,6 +160,45 @@ func BenchmarkAllReduceSparseLive(b *testing.B) {
 		}
 		wg.Wait()
 	}
+}
+
+// BenchmarkTracerOverhead runs the identical AllReduce workload twice:
+// "off" with no tracer installed (the one-atomic-load disabled path) and
+// "flight" with a live flight recorder capturing every slot event.
+// cmd/benchjson pairs the two results in make bench and fails the tier if
+// the enabled path costs more than its 5% budget.
+func BenchmarkTracerOverhead(b *testing.B) {
+	run := func(b *testing.B) {
+		const workers = 2
+		c := benchCluster(b, workers)
+		const n = 1 << 18
+		inputs := benchInputs(workers, n, 0, 13)
+		b.SetBytes(int64(4 * n))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					if err := c.Worker(w).AllReduce(inputs[w]); err != nil {
+						b.Error(err)
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		prev := obs.SetTracer(nil)
+		defer obs.SetTracer(prev)
+		run(b)
+	})
+	b.Run("flight", func(b *testing.B) {
+		prev := obs.SetTracer(obs.NewFlightRecorder(-1, obs.DefaultFlightEvents))
+		defer obs.SetTracer(prev)
+		run(b)
+	})
 }
 
 // BenchmarkAllReduceTCPLive measures the real protocol over loopback TCP

@@ -10,6 +10,12 @@
 // ever written to that path, kept verbatim on every rerun) and "current"
 // (this run). Comparing the two shows the cumulative effect of perf work
 // since the baseline was captured.
+//
+// When the input contains the BenchmarkTracerOverhead off/flight pair,
+// benchjson also enforces the flight-recorder enabled-path budget: the
+// traced run may cost at most -tracer-budget percent (default 5) more
+// than the untraced run, or the command exits nonzero and fails the
+// bench tier.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -72,8 +79,59 @@ func parse(line string) (Result, bool) {
 	return r, r.NsPerOp > 0
 }
 
+// The tracer-overhead benchmark pair: the same AllReduce workload with no
+// tracer vs with a live flight recorder. Budget enforcement keys on these
+// exact names (bench_test.go's BenchmarkTracerOverhead sub-benchmarks).
+const (
+	tracerOffName    = "BenchmarkTracerOverhead/off"
+	tracerFlightName = "BenchmarkTracerOverhead/flight"
+)
+
+// checkTracerBudget enforces the flight-recorder enabled-path budget when
+// both halves of the pair are present. The bench tier runs the pair
+// several times in separate, temporally adjacent invocations; each i-th
+// off run is paired with the i-th flight run (input order) and the
+// overhead is the median of the per-pair ratios. Pairing before reducing
+// cancels machine-speed drift across the run — a shared box slowing down
+// mid-sweep inflates both halves of a pair equally, where comparing
+// block-of-off against block-of-flight minima would read the drift as
+// tracer cost. Returns (overheadPct, found, err).
+func checkTracerBudget(results []Result, budgetPct float64) (float64, bool, error) {
+	var offs, flights []float64
+	for _, r := range results {
+		switch r.Name {
+		case tracerOffName:
+			offs = append(offs, r.NsPerOp)
+		case tracerFlightName:
+			flights = append(flights, r.NsPerOp)
+		}
+	}
+	n := len(offs)
+	if len(flights) < n {
+		n = len(flights)
+	}
+	if n == 0 {
+		return 0, false, nil
+	}
+	pcts := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pcts[i] = 100 * (flights[i] - offs[i]) / offs[i]
+	}
+	sort.Float64s(pcts)
+	pct := pcts[n/2]
+	if n%2 == 0 {
+		pct = (pcts[n/2-1] + pcts[n/2]) / 2
+	}
+	if pct > budgetPct {
+		return pct, true, fmt.Errorf("flight-recorder overhead %.1f%% exceeds the %.0f%% budget (median of %d paired runs: %v)",
+			pct, budgetPct, n, pcts)
+	}
+	return pct, true, nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_datapath.json", "output JSON path")
+	budget := flag.Float64("tracer-budget", 5, "max flight-recorder overhead %% over the untraced pair (<0 disables)")
 	flag.Parse()
 
 	var current []Result
@@ -116,4 +174,15 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(current), *out)
+
+	if *budget >= 0 {
+		pct, found, err := checkTracerBudget(current, *budget)
+		switch {
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		case found:
+			fmt.Fprintf(os.Stderr, "benchjson: flight-recorder overhead %+.1f%% (budget %.0f%%)\n", pct, *budget)
+		}
+	}
 }

@@ -5,6 +5,11 @@
 // and records the whole snapshot to a JSON file so the observability
 // surface is tracked alongside BENCH_datapath.json from PR to PR.
 //
+// The report includes p50/p95/p99 for every histogram (extracted from the
+// log2 buckets by the registry snapshot) and the disabled-tracer overhead
+// delta: the same sweep timed with no tracer installed vs with the
+// counting tracer, recording what the tracing layer costs when off vs on.
+//
 // Usage:
 //
 //	go run ./cmd/obsreport -o OBS_datapath.json
@@ -26,46 +31,41 @@ import (
 
 // report is the on-disk layout: the registry snapshot and pool balances
 // (the same document /debug/obs serves), plus the run's trace tallies,
-// merged pump counters, and the leak-audit verdict.
+// merged pump counters, the leak-audit verdict, and the tracer overhead
+// comparison.
 type report struct {
 	Metrics   obs.RegistrySnapshot `json:"metrics"`
 	Pools     []obs.PoolBalance    `json:"pools"`
 	Trace     map[string]int64     `json:"trace"`
 	Pump      omnireduce.PumpStats `json:"pump"`
 	PoolLeaks []obs.PoolBalance    `json:"pool_leaks,omitempty"`
+	// UntracedNs / TracedNs time the identical sweep with tracing
+	// disabled and enabled; OverheadPct is the relative delta. A small
+	// sweep is noisy — make bench's paired benchmarks are the enforced
+	// budget; this field tracks the trend alongside the snapshot.
+	UntracedNs  int64   `json:"untraced_ns"`
+	TracedNs    int64   `json:"traced_ns"`
+	OverheadPct float64 `json:"overhead_pct"`
 }
 
-func main() {
-	out := flag.String("o", "OBS_datapath.json", "output JSON path (empty to skip)")
-	workers := flag.Int("workers", 4, "in-process workers")
-	size := flag.Int("size", 1<<16, "tensor elements (float32)")
-	sparsityF := flag.Float64("sparsity", 0.9, "fraction of zero elements")
-	iters := flag.Int("iters", 4, "AllReduce iterations")
-	flag.Parse()
-
-	// Tracing on for the whole sweep: the report must show the trace
-	// path live, and the drift tier separately proves it changes nothing.
-	tracer := obs.NewCountingTracer()
-	prev := obs.SetTracer(tracer)
-	defer obs.SetTracer(prev)
-	audit := obs.StartLeakAudit()
-
-	cluster, err := omnireduce.NewLocalCluster(omnireduce.Options{Workers: *workers})
+// runSweep executes the AllReduce sweep on a fresh cluster and returns
+// elapsed time plus the merged pump counters.
+func runSweep(workers, size, iters int, sparsity float64) (time.Duration, omnireduce.PumpStats) {
+	cluster, err := omnireduce.NewLocalCluster(omnireduce.Options{Workers: workers})
 	if err != nil {
 		log.Fatalf("obsreport: %v", err)
 	}
-
 	start := time.Now()
 	var wg sync.WaitGroup
-	for w := 0; w < *workers; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(1 + w*7919)))
-			data := make([]float32, *size)
-			for it := 0; it < *iters; it++ {
+			data := make([]float32, size)
+			for it := 0; it < iters; it++ {
 				for i := range data {
-					if rng.Float64() >= *sparsityF {
+					if rng.Float64() >= sparsity {
 						data[i] = float32(rng.NormFloat64())
 					} else {
 						data[i] = 0
@@ -91,10 +91,40 @@ func main() {
 	if err := cluster.Close(); err != nil {
 		log.Fatalf("obsreport: close: %v", err)
 	}
-	leaks := audit.Settle(2 * time.Second)
+	return elapsed, pump
+}
 
-	fmt.Printf("obsreport: %d workers x %d iters over %d elements (%.0f%% sparse) in %v\n",
-		*workers, *iters, *size, *sparsityF*100, elapsed.Round(time.Millisecond))
+func main() {
+	out := flag.String("o", "OBS_datapath.json", "output JSON path (empty to skip)")
+	workers := flag.Int("workers", 4, "in-process workers")
+	size := flag.Int("size", 1<<16, "tensor elements (float32)")
+	sparsityF := flag.Float64("sparsity", 0.9, "fraction of zero elements")
+	iters := flag.Int("iters", 4, "AllReduce iterations")
+	flag.Parse()
+
+	audit := obs.StartLeakAudit()
+
+	// Baseline sweep: no tracer installed — the disabled path the
+	// datapath's one-atomic-load budget is about. A warmup sweep first so
+	// both timed runs see warm pools.
+	obs.SetTracer(nil)
+	runSweep(*workers, *size, *iters, *sparsityF)
+	untraced, _ := runSweep(*workers, *size, *iters, *sparsityF)
+
+	// Traced sweep: the report must show the trace path live, and the
+	// drift tier separately proves it changes nothing.
+	tracer := obs.NewCountingTracer()
+	prev := obs.SetTracer(tracer)
+	defer obs.SetTracer(prev)
+	traced, pump := runSweep(*workers, *size, *iters, *sparsityF)
+
+	leaks := audit.Settle(2 * time.Second)
+	overheadPct := 100 * (float64(traced-untraced) / float64(untraced))
+
+	fmt.Printf("obsreport: %d workers x %d iters over %d elements (%.0f%% sparse)\n",
+		*workers, *iters, *size, *sparsityF*100)
+	fmt.Printf("obsreport: untraced %v, traced %v (delta %+.1f%%; enforced budget lives in make bench)\n",
+		untraced.Round(time.Millisecond), traced.Round(time.Millisecond), overheadPct)
 	for _, t := range obs.Default.Tables("obs ") {
 		t.Render(os.Stdout)
 	}
@@ -117,11 +147,14 @@ func main() {
 		}
 	}
 	doc := report{
-		Metrics:   obs.Default.Snapshot(),
-		Pools:     obs.PoolBalances(),
-		Trace:     trace,
-		Pump:      pump,
-		PoolLeaks: leaks,
+		Metrics:     obs.Default.Snapshot(),
+		Pools:       obs.PoolBalances(),
+		Trace:       trace,
+		Pump:        pump,
+		PoolLeaks:   leaks,
+		UntracedNs:  int64(untraced),
+		TracedNs:    int64(traced),
+		OverheadPct: overheadPct,
 	}
 	enc, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {

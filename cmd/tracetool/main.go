@@ -1,0 +1,103 @@
+// Command tracetool merges flight-recorder dumps from the nodes of one
+// run into a clock-aligned cross-node timeline and renders it: one Gantt
+// row per (tensor, slot) lane, slot occupancy over time, the look-ahead
+// skip ratio and its dense-baseline goodput factor, and retransmit-repair
+// latency quantiles — the Fig 6-style readout of the slot-clocked
+// pipeline.
+//
+// Usage:
+//
+//	go run ./cmd/tracetool [flags] dump.json [dump.json...]
+//
+// Each argument is one obs.FlightDump document (a worker, an aggregator,
+// or a whole in-process cluster). With -check, tracetool exits nonzero
+// unless the merged timeline is healthy: occupancy positive, no round
+// left open, and — when the dumps carry an expected_skip_ratio tag — the
+// measured skip ratio within -skip-tol of it. The timeline CI tier runs
+// the chaos example with dumps enabled and gates on this.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"omnireduce/internal/obs"
+	"omnireduce/internal/obs/timeline"
+)
+
+func fail(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, "tracetool: "+format+"\n", a...)
+	os.Exit(1)
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON report to this path")
+	width := flag.Int("width", 64, "Gantt row width in characters")
+	check := flag.Bool("check", false, "exit nonzero unless the timeline is healthy")
+	skipTol := flag.Float64("skip-tol", 0.01, "max |measured-expected| skip ratio in -check mode")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fail("no dump files given (usage: tracetool [flags] dump.json...)")
+	}
+
+	var dumps []*obs.FlightDump
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fail("%v", err)
+		}
+		d, err := obs.ReadFlightDump(f)
+		f.Close()
+		if err != nil {
+			fail("%s: %v", path, err)
+		}
+		dumps = append(dumps, d)
+	}
+
+	tl, err := timeline.Merge(dumps...)
+	if err != nil {
+		fail("%v", err)
+	}
+	tl.RenderText(os.Stdout, *width)
+
+	if *out != "" {
+		rep := tl.Report(*width)
+		enc, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "tracetool: wrote %s\n", *out)
+	}
+
+	if !*check {
+		return
+	}
+	if occ := tl.Occupancy(); occ <= 0 {
+		fail("check: occupancy %.4f is not positive — no lane ever had a round in flight", occ)
+	}
+	if n := tl.OpenRounds(); n > 0 {
+		fail("check: %d rounds issued but never completed", n)
+	}
+	if want, ok := tl.Tags["expected_skip_ratio"]; ok {
+		exp, err := strconv.ParseFloat(want, 64)
+		if err != nil {
+			fail("check: bad expected_skip_ratio tag %q: %v", want, err)
+		}
+		got := tl.SkipRatio()
+		if diff := got - exp; diff > *skipTol || diff < -*skipTol {
+			fail("check: skip ratio %.4f deviates from expected %.4f by %.4f (tolerance %.4f)",
+				got, exp, got-exp, *skipTol)
+		}
+		fmt.Printf("tracetool: check passed: occupancy %.1f%%, skip ratio %.4f vs expected %.4f (tolerance %.4f), all rounds closed\n",
+			tl.Occupancy()*100, got, exp, *skipTol)
+		return
+	}
+	fmt.Printf("tracetool: check passed: occupancy %.1f%%, all rounds closed (no expected_skip_ratio tag)\n",
+		tl.Occupancy()*100)
+}

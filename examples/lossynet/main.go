@@ -14,25 +14,41 @@
 //     failing chaos run can be replayed exactly from its seed.
 //
 //     go run ./examples/lossynet
+//
+// With -dump-dir the UDP chaos run also records every slot event into a
+// flight recorder and writes the dump (tagged with the workload's exact
+// expected look-ahead skip ratio) for cmd/tracetool to merge and check —
+// the `make timeline` tier. In that mode the inputs are block-sparse with
+// an exact per-worker zero-block count, so the measured skip ratio is
+// deterministic.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
 	"omnireduce/internal/core"
 	"omnireduce/internal/metrics"
 	"omnireduce/internal/obs"
+	"omnireduce/internal/protocol"
 	"omnireduce/internal/transport"
 )
 
 func main() {
-	udpChaos()
-	seededReplay()
+	dumpDir := flag.String("dump-dir", "", "write a flight-recorder dump here (block-sparse workload, skips the replay demo)")
+	density := flag.Float64("density", 0.25, "fraction of non-zero blocks with -dump-dir")
+	flag.Parse()
+	udpChaos(*dumpDir, *density)
+	if *dumpDir == "" {
+		seededReplay()
+	}
 }
 
 // chaosScenario is the shared injection schedule: an opening storm of loss
@@ -53,8 +69,9 @@ func chaosScenario(seed int64) transport.Scenario {
 }
 
 // udpChaos runs a 3-worker AllReduce over real UDP sockets routed through
-// the chaos fabric.
-func udpChaos() {
+// the chaos fabric. With dumpDir set it records the run's slot events and
+// writes the flight dump for the timeline tier.
+func udpChaos(dumpDir string, density float64) {
 	const (
 		workers  = 3
 		elements = 200_000
@@ -67,6 +84,15 @@ func udpChaos() {
 		BlockSize:         128,
 		FusionWidth:       8,
 		Streams:           4,
+	}
+	var fr *obs.FlightRecorder
+	if dumpDir != "" {
+		// Smaller blocks keep the bootstrap correction (first-of-column
+		// blocks are always transmitted) under the tier's 1% tolerance.
+		cfg.BlockSize = 64
+		fr = obs.NewFlightRecorder(-1, 1<<15)
+		prev := obs.SetTracer(fr)
+		defer obs.SetTracer(prev)
 	}
 
 	// Bind every node on an ephemeral UDP port, then exchange addresses.
@@ -102,20 +128,28 @@ func udpChaos() {
 	}
 	go agg.Run()
 
-	// Random sparse inputs and the reference sum.
+	// Random sparse inputs and the reference sum. The default run is
+	// element-sparse; dump mode is block-sparse with an exact zero-block
+	// count so the skip ratio is a deterministic function of density.
 	rng := rand.New(rand.NewSource(9))
 	inputs := make([][]float32, workers)
 	expected := make([]float32, elements)
 	for w := range inputs {
 		inputs[w] = make([]float32, elements)
-		for i := range inputs[w] {
-			if rng.Float64() < 0.05 {
-				v := float32(rng.NormFloat64())
-				inputs[w][i] = v
-				expected[i] += v
+		if dumpDir != "" {
+			fillBlockSparse(rng, inputs[w], cfg.BlockSize, density)
+		} else {
+			for i := range inputs[w] {
+				if rng.Float64() < 0.05 {
+					inputs[w][i] = float32(rng.NormFloat64())
+				}
 			}
 		}
+		for i, v := range inputs[w] {
+			expected[i] += v
+		}
 	}
+	expSkip := expectedSkipRatio(inputs, cfg)
 
 	ws := make([]*core.Worker, workers)
 	for i := range ws {
@@ -174,6 +208,102 @@ func udpChaos() {
 	}
 	pump.Table("receive pump (workers)").Render(os.Stdout)
 	obs.PoolTable().Render(os.Stdout)
+
+	if dumpDir != "" {
+		d := fr.Dump()
+		d.Tags = map[string]string{
+			"run":                 "lossynet-udp-chaos",
+			"workers":             strconv.Itoa(workers),
+			"block_density":       fmt.Sprintf("%.4f", density),
+			"expected_skip_ratio": fmt.Sprintf("%.6f", expSkip),
+		}
+		path := filepath.Join(dumpDir, "flight.json")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := d.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("flight dump: %s (%d records, expected skip ratio %.4f)\n",
+			path, len(d.Records), expSkip)
+	}
+}
+
+// fillBlockSparse zeroes an exact count of blocks — round((1-density)*nb),
+// chosen by a seeded shuffle — and fills the rest with random values, so
+// the workload's skip ratio is deterministic rather than sampled.
+func fillBlockSparse(rng *rand.Rand, data []float32, bs int, density float64) {
+	nb := (len(data) + bs - 1) / bs
+	perm := rng.Perm(nb)
+	zeros := int(float64(nb)*(1-density) + 0.5)
+	zero := make(map[int]bool, zeros)
+	for _, b := range perm[:zeros] {
+		zero[b] = true
+	}
+	for b := 0; b < nb; b++ {
+		if zero[b] {
+			continue
+		}
+		end := (b + 1) * bs
+		if end > len(data) {
+			end = len(data)
+		}
+		for i := b * bs; i < end; i++ {
+			// Offset from zero so a non-zero block can never be all zeros.
+			data[i] = float32(rng.NormFloat64()) + 3
+		}
+	}
+}
+
+// expectedSkipRatio computes the exact look-ahead skip ratio the protocol
+// machines will produce for these inputs: every zero block is skipped
+// once per worker except the bootstrap blocks (the first of each fused
+// column in each stream shard), which are always transmitted.
+func expectedSkipRatio(inputs [][]float32, cfg core.Config) float64 {
+	bs := cfg.BlockSize
+	var skipped, total int64
+	for _, in := range inputs {
+		nb := (len(in) + bs - 1) / bs
+		zero := make([]bool, nb)
+		for b := range zero {
+			zero[b] = true
+			end := (b + 1) * bs
+			if end > len(in) {
+				end = len(in)
+			}
+			for i := b * bs; i < end; i++ {
+				if in[i] != 0 {
+					zero[b] = false
+					break
+				}
+			}
+			if zero[b] {
+				skipped++
+			}
+		}
+		total += int64(nb)
+		eff := protocol.EffectiveStreams(cfg.Streams, nb)
+		for s := 0; s < eff; s++ {
+			lo, hi := protocol.Shard(s, eff, nb)
+			cols := cfg.FusionWidth
+			if hi-lo < cols {
+				cols = hi - lo
+			}
+			for c := 0; c < cols; c++ {
+				if f := protocol.FirstInColumn(lo, hi, c, cols); f >= 0 && zero[f] {
+					skipped-- // zero bootstrap block: transmitted, not skipped
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(skipped) / float64(total)
 }
 
 // seededReplay demonstrates deterministic replay: the same scenario over

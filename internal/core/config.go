@@ -115,6 +115,18 @@ type Config struct {
 	// retransmission; in reliable mode the operation is failed with
 	// ErrOpBackpressure. Default 1024.
 	OpQueueLen int
+	// StallTimeout arms the stall watchdog: an in-flight collective that
+	// receives no aggregator result for this long is failed with a
+	// *StallError (errors.Is ErrOpStalled) instead of hanging silently,
+	// after snapshotting the flight recorder, metrics registry, pool
+	// balances, and pump counters into a postmortem bundle. The watchdog
+	// checks progress once per period, so detection takes at most
+	// 2*StallTimeout after the last result. Zero disables the watchdog.
+	StallTimeout time.Duration
+	// PostmortemDir is where stall postmortem bundles are written, one
+	// JSON file per stalled operation. Empty keeps the bundle in the
+	// returned *StallError without touching the filesystem.
+	PostmortemDir string
 }
 
 // proto converts to the protocol-machine configuration, field for field.
@@ -168,6 +180,9 @@ func (c Config) Validate() error {
 	}
 	if c.OpQueueLen < 0 {
 		return fmt.Errorf("core: OpQueueLen must be >= 0, got %d", c.OpQueueLen)
+	}
+	if c.StallTimeout < 0 {
+		return fmt.Errorf("core: StallTimeout must be >= 0, got %v", c.StallTimeout)
 	}
 	return c.proto().Validate()
 }

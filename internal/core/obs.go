@@ -31,15 +31,11 @@ var (
 
 // observeWorkerTx records one transmitted packet of n encoded bytes on
 // the worker metrics and trace. Called from the per-operation dispatch
-// closures after a successful Send.
+// closures after a successful Send. EvRetransmit is NOT emitted here: the
+// worker machine itself emits it (slot- and round-tagged) so the live and
+// simulated substrates produce identical repair-event streams.
 func observeWorkerTx(e *protocol.Emit, tid uint32, n int) {
 	obsTxPackets.Inc()
 	obsTxBytes.Add(int64(n))
-	if !obs.Enabled() {
-		return
-	}
 	obs.Emit(obs.EvPacketSent, tid, int64(n))
-	if e.Retransmit {
-		obs.Emit(obs.EvRetransmit, tid, int64(n))
-	}
 }

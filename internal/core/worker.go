@@ -49,27 +49,29 @@ type Worker struct {
 // protocol.WorkerStats field for field; the driver folds machine counters
 // in atomically as events are processed.
 type Stats struct {
-	BlocksSent   int64 // non-bootstrap data blocks transmitted
-	PacketsSent  int64
-	BytesSent    int64 // encoded packet bytes, including retransmissions
-	Retransmits  int64 // timer-driven resends, distinct from PacketsSent
-	AcksSent     int64 // empty payload packets (unreliable mode)
-	ResultsRecvd int64
-	StaleResults int64 // duplicate or out-of-round results filtered out
-	Backoffs     int64 // retransmissions sent at a backed-off (>base) timeout
+	BlocksSent    int64 // non-bootstrap data blocks transmitted
+	BlocksSkipped int64 // zero blocks elided by the next-non-zero look-ahead
+	PacketsSent   int64
+	BytesSent     int64 // encoded packet bytes, including retransmissions
+	Retransmits   int64 // timer-driven resends, distinct from PacketsSent
+	AcksSent      int64 // empty payload packets (unreliable mode)
+	ResultsRecvd  int64
+	StaleResults  int64 // duplicate or out-of-round results filtered out
+	Backoffs      int64 // retransmissions sent at a backed-off (>base) timeout
 }
 
 // Snapshot returns an atomic-read copy of the counters.
 func (s *Stats) Snapshot() Stats {
 	return Stats{
-		BlocksSent:   atomic.LoadInt64(&s.BlocksSent),
-		PacketsSent:  atomic.LoadInt64(&s.PacketsSent),
-		BytesSent:    atomic.LoadInt64(&s.BytesSent),
-		Retransmits:  atomic.LoadInt64(&s.Retransmits),
-		AcksSent:     atomic.LoadInt64(&s.AcksSent),
-		ResultsRecvd: atomic.LoadInt64(&s.ResultsRecvd),
-		StaleResults: atomic.LoadInt64(&s.StaleResults),
-		Backoffs:     atomic.LoadInt64(&s.Backoffs),
+		BlocksSent:    atomic.LoadInt64(&s.BlocksSent),
+		BlocksSkipped: atomic.LoadInt64(&s.BlocksSkipped),
+		PacketsSent:   atomic.LoadInt64(&s.PacketsSent),
+		BytesSent:     atomic.LoadInt64(&s.BytesSent),
+		Retransmits:   atomic.LoadInt64(&s.Retransmits),
+		AcksSent:      atomic.LoadInt64(&s.AcksSent),
+		ResultsRecvd:  atomic.LoadInt64(&s.ResultsRecvd),
+		StaleResults:  atomic.LoadInt64(&s.StaleResults),
+		Backoffs:      atomic.LoadInt64(&s.Backoffs),
 	}
 }
 
@@ -90,6 +92,7 @@ func (s *Stats) RecoveryCounters() *metrics.Counters {
 // shared atomic counters, keeping Stats live while operations run.
 func (s *Stats) add(cur, prev protocol.WorkerStats) {
 	atomic.AddInt64(&s.BlocksSent, cur.BlocksSent-prev.BlocksSent)
+	atomic.AddInt64(&s.BlocksSkipped, cur.BlocksSkipped-prev.BlocksSkipped)
 	atomic.AddInt64(&s.PacketsSent, cur.PacketsSent-prev.PacketsSent)
 	atomic.AddInt64(&s.BytesSent, cur.BytesSent-prev.BytesSent)
 	atomic.AddInt64(&s.Retransmits, cur.Retransmits-prev.Retransmits)
@@ -317,6 +320,17 @@ func (w *Worker) runAllReduce(data []float32, tid uint32, q *opQueue) error {
 		tickCh = ticker.C
 	}
 
+	// Stall watchdog: progress means aggregator results arriving. The
+	// timer fires once per StallTimeout; a period with no new results
+	// wedges the operation into a postmortem instead of a silent hang.
+	var watchdogCh <-chan time.Time
+	var lastResults int64
+	if w.cfg.StallTimeout > 0 {
+		watchdog := time.NewTicker(w.cfg.StallTimeout)
+		defer watchdog.Stop()
+		watchdogCh = watchdog.C
+	}
+
 	for !m.Done() {
 		select {
 		case msg := <-q.ch:
@@ -355,6 +369,12 @@ func (w *Worker) runAllReduce(data []float32, tid uint32, q *opQueue) error {
 			if err != nil {
 				return err
 			}
+		case <-watchdogCh:
+			if got := m.Stats().ResultsRecvd; got > lastResults {
+				lastResults = got
+				continue
+			}
+			return w.capturePostmortem(tid, m, w.cfg.StallTimeout)
 		}
 	}
 	return nil

@@ -3,6 +3,7 @@ package simproto_test
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -92,14 +93,15 @@ func liveRun(t *testing.T, cfg core.Config, inputs [][]float32) ([][]float32, []
 	for _, wk := range workers {
 		s := wk.Stats.Snapshot()
 		ws = append(ws, protocol.WorkerStats{
-			BlocksSent:   s.BlocksSent,
-			PacketsSent:  s.PacketsSent,
-			BytesSent:    s.BytesSent,
-			Retransmits:  s.Retransmits,
-			AcksSent:     s.AcksSent,
-			ResultsRecvd: s.ResultsRecvd,
-			StaleResults: s.StaleResults,
-			Backoffs:     s.Backoffs,
+			BlocksSent:    s.BlocksSent,
+			BlocksSkipped: s.BlocksSkipped,
+			PacketsSent:   s.PacketsSent,
+			BytesSent:     s.BytesSent,
+			Retransmits:   s.Retransmits,
+			AcksSent:      s.AcksSent,
+			ResultsRecvd:  s.ResultsRecvd,
+			StaleResults:  s.StaleResults,
+			Backoffs:      s.Backoffs,
 		})
 	}
 	for _, c := range conns {
@@ -111,6 +113,55 @@ func liveRun(t *testing.T, cfg core.Config, inputs [][]float32) ([][]float32, []
 		as = append(as, a.Stats)
 	}
 	return work, ws, as
+}
+
+// slotEventKey identifies one machine-emitted event occurrence modulo
+// time: the multiset of these must be identical between substrates.
+type slotEventKey struct {
+	ev    obs.Event
+	node  int32
+	tid   uint32
+	slot  uint16
+	round uint8
+	arg   int64
+}
+
+// machineMultiset reduces a flight recorder's contents to the multiset of
+// machine-emitted slot events (obs.MachineEvents kinds only — driver
+// events like EvPacketSent legitimately differ between substrates).
+func machineMultiset(fr *obs.FlightRecorder) map[slotEventKey]int {
+	machine := map[obs.Event]bool{}
+	for _, ev := range obs.MachineEvents {
+		machine[ev] = true
+	}
+	m := map[slotEventKey]int{}
+	for _, r := range fr.Records() {
+		if !machine[r.Ev] {
+			continue
+		}
+		m[slotEventKey{r.Ev, r.Node, r.Tid, r.Slot, r.Round, r.Arg}]++
+	}
+	return m
+}
+
+// diffEventMultisets returns human-readable lines for every key whose
+// multiplicity differs between the live and sim multisets.
+func diffEventMultisets(live, sim map[slotEventKey]int) []string {
+	var out []string
+	for k, n := range live {
+		if sim[k] != n {
+			out = append(out, fmt.Sprintf("%v node=%d tid=%d slot=%d round=%d arg=%d: live %d sim %d",
+				k.ev, k.node, k.tid, k.slot, k.round, k.arg, n, sim[k]))
+		}
+	}
+	for k, n := range sim {
+		if _, ok := live[k]; !ok {
+			out = append(out, fmt.Sprintf("%v node=%d tid=%d slot=%d round=%d arg=%d: live 0 sim %d",
+				k.ev, k.node, k.tid, k.slot, k.round, k.arg, n))
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 func TestSubstrateEquivalence(t *testing.T) {
@@ -162,8 +213,17 @@ func TestSubstrateEquivalence(t *testing.T) {
 				// per-slot shard machines (their stats sum field for field).
 				AggShards: 4,
 			}
+			// Record each substrate's machine-emitted slot events with its
+			// own flight recorder (the counting tracer keeps accumulating
+			// underneath): the machines are the single shared protocol
+			// implementation, so the two streams must be identical as
+			// (event, node, tid, slot, round) multisets.
+			liveFR := obs.NewFlightRecorder(-1, 8192)
+			obs.SetTracer(obs.MultiTracer{tracer, liveFR})
 			liveRes, liveWS, liveAS := liveRun(t, cfg, inputs)
 
+			simFR := obs.NewFlightRecorder(-1, 8192)
+			obs.SetTracer(obs.MultiTracer{tracer, simFR})
 			cl := simproto.Testbed10G(g.workers, g.aggs)
 			sim := simproto.SimOmniReduceTensors(cl, inputs, protocol.Config{
 				BlockSize:          bs,
@@ -172,6 +232,22 @@ func TestSubstrateEquivalence(t *testing.T) {
 				Reliable:           true,
 				DeterministicOrder: true,
 			}, simproto.OmniOpts{FusionWidth: g.fusion, Streams: g.streams})
+			obs.SetTracer(tracer)
+
+			liveMS := machineMultiset(liveFR)
+			if len(liveMS) == 0 {
+				t.Error("live run recorded no machine-emitted slot events")
+			}
+			if d := diffEventMultisets(liveMS, machineMultiset(simFR)); len(d) > 0 {
+				t.Errorf("machine event multisets drifted (%d keys):", len(d))
+				for i, line := range d {
+					if i >= 10 {
+						t.Errorf("  ... and %d more", len(d)-10)
+						break
+					}
+					t.Errorf("  %s", line)
+				}
+			}
 
 			if sim.Time <= 0 {
 				t.Fatalf("sim did not complete: time %g", sim.Time)

@@ -253,6 +253,7 @@ type NamedHist struct {
 	Sum     int64   `json:"sum"`
 	Mean    float64 `json:"mean"`
 	P50     int64   `json:"p50"`
+	P95     int64   `json:"p95"`
 	P99     int64   `json:"p99"`
 	Buckets []int64 `json:"buckets,omitempty"`
 }
@@ -301,6 +302,7 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 			Sum:   hs.Sum,
 			Mean:  hs.Mean(),
 			P50:   hs.Quantile(0.50),
+			P95:   hs.Quantile(0.95),
 			P99:   hs.Quantile(0.99),
 		}
 		last := -1
@@ -347,9 +349,9 @@ func (r *Registry) Tables(titlePrefix string) []*metrics.Table {
 		out = append(out, t)
 	}
 	if len(snap.Hists) > 0 {
-		t := metrics.NewTable(titlePrefix+"histograms", "metric", "count", "mean", "p50<=", "p99<=")
+		t := metrics.NewTable(titlePrefix+"histograms", "metric", "count", "mean", "p50<=", "p95<=", "p99<=")
 		for _, h := range snap.Hists {
-			t.AddRow(h.Name, h.Count, fmt.Sprintf("%.4g", h.Mean), h.P50, h.P99)
+			t.AddRow(h.Name, h.Count, fmt.Sprintf("%.4g", h.Mean), h.P50, h.P95, h.P99)
 		}
 		out = append(out, t)
 	}

@@ -1,0 +1,127 @@
+package timeline
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Report is the serializable summary tracetool emits: the derived
+// metrics plus the lanes themselves for downstream plotting.
+type Report struct {
+	DurationNs    int64   `json:"duration_ns"`
+	Workers       int     `json:"workers"`
+	Lanes         int     `json:"lanes"`
+	Occupancy     float64 `json:"occupancy"`
+	SkipRatio     float64 `json:"skip_ratio"`
+	DenseFactor   float64 `json:"dense_factor"`
+	IssuedBlocks  int64   `json:"issued_blocks"`
+	SkippedBlocks int64   `json:"skipped_blocks"`
+	Retransmits   int     `json:"retransmits"`
+	OpenRounds    int     `json:"open_rounds"`
+	RepairP50Ns   int64   `json:"repair_p50_ns,omitempty"`
+	RepairP95Ns   int64   `json:"repair_p95_ns,omitempty"`
+	RepairP99Ns   int64   `json:"repair_p99_ns,omitempty"`
+	// OccupancyCurve is the fraction of lanes busy per time bucket.
+	OccupancyCurve []float64 `json:"occupancy_curve,omitempty"`
+	// Tags carries the merged emitter metadata (e.g. expected_skip_ratio).
+	Tags  map[string]string `json:"tags,omitempty"`
+	Slots []*Lane           `json:"slots"`
+}
+
+// Report derives the summary document, with an occupancy curve of n
+// buckets (0 to omit the curve).
+func (t *Timeline) Report(curveBuckets int) Report {
+	r := Report{
+		DurationNs:    t.Duration(),
+		Lanes:         len(t.Lanes),
+		Occupancy:     t.Occupancy(),
+		SkipRatio:     t.SkipRatio(),
+		DenseFactor:   t.DenseFactor(),
+		IssuedBlocks:  t.IssuedBlocks,
+		SkippedBlocks: t.SkippedBlocks,
+		Retransmits:   t.Retransmits,
+		OpenRounds:    t.OpenRounds(),
+		Tags:          t.Tags,
+		Slots:         t.Lanes,
+	}
+	for _, n := range t.Nodes {
+		if n >= 0 {
+			r.Workers++ // node IDs < 0 are "unknown"; aggregators are counted too
+		}
+	}
+	if len(t.RepairLatencies) > 0 {
+		r.RepairP50Ns = t.RepairQuantile(0.50)
+		r.RepairP95Ns = t.RepairQuantile(0.95)
+		r.RepairP99Ns = t.RepairQuantile(0.99)
+	}
+	if curveBuckets > 0 {
+		r.OccupancyCurve = t.OccupancyCurve(curveBuckets)
+	}
+	return r
+}
+
+// RenderText writes the human-readable timeline report: a summary header,
+// one Gantt row per slot lane (each cell shades how much of that time
+// bucket the lane spent busy), and the occupancy curve.
+func (t *Timeline) RenderText(w io.Writer, width int) {
+	if width <= 0 {
+		width = 60
+	}
+	fmt.Fprintf(w, "timeline: %v observed, %d lanes, %d nodes\n",
+		time.Duration(t.Duration()).Round(time.Microsecond), len(t.Lanes), len(t.Nodes))
+	fmt.Fprintf(w, "  occupancy %5.1f%%   skip ratio %6.4f   dense factor %.2fx   blocks issued %d skipped %d\n",
+		t.Occupancy()*100, t.SkipRatio(), t.DenseFactor(), t.IssuedBlocks, t.SkippedBlocks)
+	if t.Retransmits > 0 {
+		fmt.Fprintf(w, "  retransmits %d   repair p50 %v p95 %v p99 %v\n", t.Retransmits,
+			time.Duration(t.RepairQuantile(0.50)).Round(time.Microsecond),
+			time.Duration(t.RepairQuantile(0.95)).Round(time.Microsecond),
+			time.Duration(t.RepairQuantile(0.99)).Round(time.Microsecond))
+	}
+	if n := t.OpenRounds(); n > 0 {
+		fmt.Fprintf(w, "  OPEN ROUNDS: %d (rounds issued but never completed in the observed window)\n", n)
+	}
+	if t.Duration() <= 0 {
+		return
+	}
+
+	shades := []rune(" .:-=#")
+	for _, l := range t.Lanes {
+		row := make([]float64, width)
+		wd := float64(t.Duration()) / float64(width)
+		for _, s := range l.Spans {
+			end := s.End
+			if end < 0 {
+				end = t.End
+			}
+			lo, hi := float64(s.Start-t.Start), float64(end-t.Start)
+			for b := int(lo / wd); b < width && float64(b)*wd < hi; b++ {
+				ov := minF(hi, float64(b+1)*wd) - maxF(lo, float64(b)*wd)
+				if ov > 0 {
+					row[b] += ov / wd
+				}
+			}
+		}
+		var sb strings.Builder
+		for _, f := range row {
+			if f > 1 {
+				f = 1
+			}
+			sb.WriteRune(shades[int(f*float64(len(shades)-1)+0.5)])
+		}
+		busyPct := 0.0
+		if t.Duration() > 0 {
+			busyPct = 100 * float64(l.Busy) / float64(t.Duration())
+		}
+		fmt.Fprintf(w, "  tid %3d slot %3d |%s| %5.1f%% busy, %3d rounds, %d retx\n",
+			l.Tid, l.Slot, sb.String(), busyPct, len(l.Spans), l.Retransmits)
+	}
+
+	curve := t.OccupancyCurve(width)
+	var sb strings.Builder
+	for _, f := range curve {
+		sb.WriteRune(shades[int(f*float64(len(shades)-1)+0.5)])
+	}
+	fmt.Fprintf(w, "  occupancy curve |%s|\n", sb.String())
+}

@@ -1,0 +1,363 @@
+// Package timeline reconstructs cross-node pipeline timelines from
+// flight-recorder dumps: the analysis layer that turns raw slot events
+// into the paper's Fig 6-style readouts — per-slot lifelines, slot
+// occupancy over time, look-ahead skip ratio, effective goodput vs a
+// dense baseline, and retransmit-repair latencies.
+//
+// Inputs are obs.FlightDump documents, one per process (a worker, an
+// aggregator, or a whole in-process cluster). Clocks are aligned via
+// op-begin anchors, never wall clocks: each dump's records are
+// timestamped relative to its own recorder origin, and for every tensor
+// ID the earliest record in each dump marks (approximately) the same
+// protocol instant — the collective's kickoff. Merge shifts each dump by
+// the median per-tensor anchor delta against a reference dump, which is
+// robust to one tensor's anchor being clipped out of a ring.
+package timeline
+
+import (
+	"fmt"
+	"sort"
+
+	"omnireduce/internal/obs"
+)
+
+// Span is one busy interval on a slot lane: a protocol round from its
+// first witnessed worker issue to the aggregator's round completion.
+// Times are aligned nanoseconds relative to the merged timeline origin.
+type Span struct {
+	Round uint8 `json:"round"`
+	// Start is the earliest EvSlotIssue of the round (equal to End for a
+	// completion whose issues were overwritten in the ring).
+	Start int64 `json:"start"`
+	// End is the aggregator's EvSlotComplete for the round; -1 while the
+	// round is still open (a stalled or clipped round).
+	End int64 `json:"end"`
+	// Issues counts the worker packets witnessed for the round.
+	Issues int `json:"issues"`
+	// Blocks is the data blocks carried by those packets.
+	Blocks int64 `json:"blocks"`
+}
+
+// Lane is the lifeline of one (tensor, slot) stream across the cluster.
+type Lane struct {
+	Tid  uint32 `json:"tid"`
+	Slot uint16 `json:"slot"`
+	// Spans are the lane's rounds in completion order.
+	Spans []Span `json:"spans"`
+	// Busy is the summed duration of closed spans.
+	Busy int64 `json:"busy"`
+	// Issued / Skipped are the lane's data-block totals: transmitted
+	// blocks vs zero blocks the look-ahead passed over.
+	Issued  int64 `json:"issued"`
+	Skipped int64 `json:"skipped"`
+	// Retransmits counts timer-driven repairs on the lane.
+	Retransmits int `json:"retransmits"`
+
+	// open tracks the in-flight spans by round during reconstruction.
+	open map[uint8]int
+	// pendingRepair is the earliest unrepaired retransmit timestamp.
+	pendingRepair int64
+	hasPending    bool
+}
+
+// Timeline is the merged, clock-aligned view of one run.
+type Timeline struct {
+	// Start / End bound the observed records (aligned nanoseconds).
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+	// Lanes are the reconstructed slot lifelines, ordered (tid, slot).
+	Lanes []*Lane `json:"lanes"`
+	// Nodes lists the distinct node IDs observed.
+	Nodes []int32 `json:"nodes"`
+	// IssuedBlocks / SkippedBlocks aggregate the lanes.
+	IssuedBlocks  int64 `json:"issued_blocks"`
+	SkippedBlocks int64 `json:"skipped_blocks"`
+	// Retransmits is the cluster-wide repair count; RepairLatencies are
+	// the sorted retransmit→round-completion latencies (ns).
+	Retransmits     int     `json:"retransmits"`
+	RepairLatencies []int64 `json:"repair_latencies,omitempty"`
+	// Tags merges the emitter metadata of every input dump.
+	Tags map[string]string `json:"tags,omitempty"`
+}
+
+// Merge builds the timeline from one or more dumps. Dump order is
+// irrelevant; the dump with the most records anchors the merged clock.
+func Merge(dumps ...*obs.FlightDump) (*Timeline, error) {
+	var nonEmpty []*obs.FlightDump
+	for _, d := range dumps {
+		if d != nil && len(d.Records) > 0 {
+			nonEmpty = append(nonEmpty, d)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return nil, fmt.Errorf("timeline: no records in %d dump(s)", len(dumps))
+	}
+
+	ref := nonEmpty[0]
+	for _, d := range nonEmpty[1:] {
+		if len(d.Records) > len(ref.Records) {
+			ref = d
+		}
+	}
+	refAnchor := anchors(ref)
+
+	type rec struct{ obs.Record }
+	var all []rec
+	tags := map[string]string{}
+	nodeSet := map[int32]struct{}{}
+	for _, d := range nonEmpty {
+		off := offsetAgainst(refAnchor, anchors(d))
+		for _, r := range d.Records {
+			r.TS += off
+			all = append(all, rec{r})
+			nodeSet[r.Node] = struct{}{}
+		}
+		for k, v := range d.Tags {
+			tags[k] = v
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].TS < all[j].TS })
+
+	t := &Timeline{Start: all[0].TS, End: all[len(all)-1].TS}
+	if len(tags) > 0 {
+		t.Tags = tags
+	}
+	for n := range nodeSet {
+		t.Nodes = append(t.Nodes, n)
+	}
+	sort.Slice(t.Nodes, func(i, j int) bool { return t.Nodes[i] < t.Nodes[j] })
+
+	lanes := map[[2]uint32]*Lane{}
+	lane := func(tid uint32, slot uint16) *Lane {
+		k := [2]uint32{tid, uint32(slot)}
+		l := lanes[k]
+		if l == nil {
+			l = &Lane{Tid: tid, Slot: slot, open: map[uint8]int{}}
+			lanes[k] = l
+			t.Lanes = append(t.Lanes, l)
+		}
+		return l
+	}
+
+	for _, r := range all {
+		switch r.Ev {
+		case obs.EvSlotIssue:
+			l := lane(r.Tid, r.Slot)
+			if i, ok := l.open[r.Round]; ok {
+				l.Spans[i].Issues++
+				l.Spans[i].Blocks += r.Arg
+			} else {
+				l.open[r.Round] = len(l.Spans)
+				l.Spans = append(l.Spans, Span{Round: r.Round, Start: r.TS, End: -1, Issues: 1, Blocks: r.Arg})
+			}
+			l.Issued += r.Arg
+		case obs.EvSlotComplete:
+			l := lane(r.Tid, r.Slot)
+			if i, ok := l.open[r.Round]; ok {
+				l.Spans[i].End = r.TS
+				l.Busy += r.TS - l.Spans[i].Start
+				delete(l.open, r.Round)
+			} else {
+				// Round's issues were clipped out of the ring: record the
+				// completion as an instantaneous span so the round count
+				// stays honest.
+				l.Spans = append(l.Spans, Span{Round: r.Round, Start: r.TS, End: r.TS})
+			}
+			if l.hasPending {
+				t.RepairLatencies = append(t.RepairLatencies, r.TS-l.pendingRepair)
+				l.hasPending = false
+			}
+		case obs.EvLookaheadSkip:
+			l := lane(r.Tid, r.Slot)
+			l.Skipped += r.Arg
+		case obs.EvRetransmit:
+			l := lane(r.Tid, r.Slot)
+			l.Retransmits++
+			t.Retransmits++
+			if !l.hasPending {
+				l.pendingRepair, l.hasPending = r.TS, true
+			}
+		}
+	}
+
+	sort.Slice(t.Lanes, func(i, j int) bool {
+		if t.Lanes[i].Tid != t.Lanes[j].Tid {
+			return t.Lanes[i].Tid < t.Lanes[j].Tid
+		}
+		return t.Lanes[i].Slot < t.Lanes[j].Slot
+	})
+	for _, l := range t.Lanes {
+		l.open = nil
+		t.IssuedBlocks += l.Issued
+		t.SkippedBlocks += l.Skipped
+	}
+	sort.Slice(t.RepairLatencies, func(i, j int) bool { return t.RepairLatencies[i] < t.RepairLatencies[j] })
+	return t, nil
+}
+
+// anchors returns a dump's per-tensor clock anchors: the earliest record
+// timestamp of each tensor ID, approximating the collective's kickoff as
+// observed by that process.
+func anchors(d *obs.FlightDump) map[uint32]int64 {
+	a := map[uint32]int64{}
+	for _, r := range d.Records {
+		if ts, ok := a[r.Tid]; !ok || r.TS < ts {
+			a[r.Tid] = r.TS
+		}
+	}
+	return a
+}
+
+// offsetAgainst computes the shift that aligns a dump onto the reference
+// clock: the median, over tensors both dumps observed, of the anchor
+// deltas. With no shared tensor the dumps are aligned at their global
+// minima (best effort).
+func offsetAgainst(ref, d map[uint32]int64) int64 {
+	var deltas []int64
+	for tid, ts := range d {
+		if rts, ok := ref[tid]; ok {
+			deltas = append(deltas, rts-ts)
+		}
+	}
+	if len(deltas) == 0 {
+		refMin, dMin := mapMin(ref), mapMin(d)
+		return refMin - dMin
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i] < deltas[j] })
+	return deltas[len(deltas)/2]
+}
+
+func mapMin(m map[uint32]int64) int64 {
+	first := true
+	var min int64
+	for _, v := range m {
+		if first || v < min {
+			min, first = v, false
+		}
+	}
+	return min
+}
+
+// Duration is the observed timeline length in nanoseconds.
+func (t *Timeline) Duration() int64 { return t.End - t.Start }
+
+// Occupancy is the mean fraction of the run each lane spent with a round
+// in flight — the paper's pipeline-saturation measure. 1.0 means every
+// slot always had an outstanding round.
+func (t *Timeline) Occupancy() float64 {
+	d := t.Duration()
+	if d <= 0 || len(t.Lanes) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, l := range t.Lanes {
+		f := float64(l.Busy) / float64(d)
+		if f > 1 {
+			f = 1
+		}
+		sum += f
+	}
+	return sum / float64(len(t.Lanes))
+}
+
+// OccupancyCurve buckets the run into n equal windows and returns, for
+// each, the fraction of lanes with a round in flight — occupancy over
+// time.
+func (t *Timeline) OccupancyCurve(n int) []float64 {
+	if n <= 0 || t.Duration() <= 0 || len(t.Lanes) == 0 {
+		return nil
+	}
+	w := float64(t.Duration()) / float64(n)
+	busy := make([]float64, n)
+	for _, l := range t.Lanes {
+		for _, s := range l.Spans {
+			end := s.End
+			if end < 0 {
+				end = t.End // open span: busy through the end of the run
+			}
+			if end <= s.Start {
+				continue
+			}
+			lo := float64(s.Start - t.Start)
+			hi := float64(end - t.Start)
+			for b := int(lo / w); b < n && float64(b)*w < hi; b++ {
+				bLo, bHi := float64(b)*w, float64(b+1)*w
+				ov := minF(hi, bHi) - maxF(lo, bLo)
+				if ov > 0 {
+					busy[b] += ov / w
+				}
+			}
+		}
+	}
+	for b := range busy {
+		busy[b] /= float64(len(t.Lanes))
+		if busy[b] > 1 {
+			busy[b] = 1
+		}
+	}
+	return busy
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SkipRatio is the fraction of per-worker blocks the look-ahead elided:
+// skipped / (skipped + issued). For a tensor of block density d this
+// converges to 1-d (bootstrap blocks — the first of each column — are
+// always transmitted, a vanishing correction at realistic block counts).
+func (t *Timeline) SkipRatio() float64 {
+	tot := t.IssuedBlocks + t.SkippedBlocks
+	if tot == 0 {
+		return 0
+	}
+	return float64(t.SkippedBlocks) / float64(tot)
+}
+
+// DenseFactor is the effective goodput multiplier vs a dense baseline
+// that would have transmitted every block: (issued+skipped)/issued.
+func (t *Timeline) DenseFactor() float64 {
+	if t.IssuedBlocks == 0 {
+		return 0
+	}
+	return float64(t.IssuedBlocks+t.SkippedBlocks) / float64(t.IssuedBlocks)
+}
+
+// RepairQuantile returns the q-quantile (0..1) of the retransmit-repair
+// latencies — the time from a timer-driven resend to its slot's next
+// round completion. Exact (the latencies are held, not bucketed).
+func (t *Timeline) RepairQuantile(q float64) int64 {
+	n := len(t.RepairLatencies)
+	if n == 0 {
+		return 0
+	}
+	i := int(q * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return t.RepairLatencies[i]
+}
+
+// OpenRounds counts spans still in flight at the end of the observed
+// window — a stalled run shows the wedged rounds here.
+func (t *Timeline) OpenRounds() int {
+	n := 0
+	for _, l := range t.Lanes {
+		for _, s := range l.Spans {
+			if s.End < 0 {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,222 @@
+package timeline
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"omnireduce/internal/obs"
+)
+
+// dump builds a FlightDump from records with the given node default.
+func dump(node int32, recs ...obs.Record) *obs.FlightDump {
+	return &obs.FlightDump{Node: node, Records: recs}
+}
+
+func issue(ts int64, node int32, tid uint32, slot uint16, round uint8, blocks int64) obs.Record {
+	return obs.Record{TS: ts, Node: node, Ev: obs.EvSlotIssue, Tid: tid, Slot: slot, Round: round, Arg: blocks}
+}
+
+func complete(ts int64, node int32, tid uint32, slot uint16, round uint8, blocks int64) obs.Record {
+	return obs.Record{TS: ts, Node: node, Ev: obs.EvSlotComplete, Tid: tid, Slot: slot, Round: round, Arg: blocks}
+}
+
+func skip(ts int64, node int32, tid uint32, slot uint16, n int64) obs.Record {
+	return obs.Record{TS: ts, Node: node, Ev: obs.EvLookaheadSkip, Tid: tid, Slot: slot, Arg: n}
+}
+
+func retx(ts int64, node int32, tid uint32, slot uint16, round uint8) obs.Record {
+	return obs.Record{TS: ts, Node: node, Ev: obs.EvRetransmit, Tid: tid, Slot: slot, Round: round, Arg: 64}
+}
+
+func TestMergeSingleDumpLifelines(t *testing.T) {
+	// One slot, two rounds: [100,300] and [500,900]; duration 100..900.
+	tl, err := Merge(dump(-1,
+		issue(100, 0, 1, 0, 0, 2),
+		issue(150, 1, 1, 0, 0, 1),
+		complete(300, 2, 1, 0, 0, 2),
+		issue(500, 0, 1, 0, 1, 1),
+		complete(900, 2, 1, 0, 1, 1),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Lanes) != 1 {
+		t.Fatalf("lanes = %d, want 1", len(tl.Lanes))
+	}
+	l := tl.Lanes[0]
+	if len(l.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(l.Spans))
+	}
+	if l.Spans[0].Start != 100 || l.Spans[0].End != 300 || l.Spans[0].Issues != 2 || l.Spans[0].Blocks != 3 {
+		t.Fatalf("span 0 = %+v", l.Spans[0])
+	}
+	if l.Spans[1].Start != 500 || l.Spans[1].End != 900 {
+		t.Fatalf("span 1 = %+v", l.Spans[1])
+	}
+	if l.Busy != 200+400 {
+		t.Fatalf("busy = %d, want 600", l.Busy)
+	}
+	// Busy 600 of an 800ns window.
+	if got, want := tl.Occupancy(), 600.0/800.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("occupancy = %v, want %v", got, want)
+	}
+	if tl.OpenRounds() != 0 {
+		t.Fatalf("open rounds = %d, want 0", tl.OpenRounds())
+	}
+}
+
+func TestMergeClockAlignment(t *testing.T) {
+	// Worker dump and aggregator dump observing the same tensor, with the
+	// aggregator's recorder origin 1ms behind the worker's (so its raw
+	// timestamps are wildly offset). After op-begin anchor alignment the
+	// aggregator's stream shifts onto the worker clock modulo the anchor
+	// round's own latency (200ns here), which per-tid alignment absorbs:
+	// every later round keeps its latency minus that constant.
+	const skew = -1_000_000 // aggregator origin offset
+	worker := dump(0,
+		issue(100, 0, 7, 0, 0, 1),
+		issue(1000, 0, 7, 0, 1, 1),
+		issue(2000, 0, 7, 0, 2, 1),
+	)
+	agg := dump(2,
+		complete(100+200+skew, 2, 7, 0, 0, 1),
+		complete(1000+250+skew, 2, 7, 0, 1, 1),
+		complete(2000+290+skew, 2, 7, 0, 2, 1),
+	)
+	tl, err := Merge(worker, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Lanes) != 1 {
+		t.Fatalf("lanes = %d, want 1", len(tl.Lanes))
+	}
+	l := tl.Lanes[0]
+	if len(l.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(l.Spans))
+	}
+	wantDur := []int64{0, 50, 90} // true latencies 200/250/290 minus the absorbed 200
+	for i, s := range l.Spans {
+		if s.End < s.Start {
+			t.Fatalf("span %d never closed or inverted: %+v (alignment failed)", i, s)
+		}
+		if got := s.End - s.Start; got != wantDur[i] {
+			t.Fatalf("span %d duration = %d, want %d", i, got, wantDur[i])
+		}
+	}
+	if tl.OpenRounds() != 0 {
+		t.Fatalf("open rounds = %d, want 0", tl.OpenRounds())
+	}
+}
+
+func TestSkipRatioAndDenseFactor(t *testing.T) {
+	tl, err := Merge(dump(-1,
+		issue(0, 0, 1, 0, 0, 10),
+		skip(1, 0, 1, 0, 60),
+		skip(2, 1, 1, 0, 20),
+		issue(3, 1, 1, 0, 0, 10),
+		complete(10, 2, 1, 0, 0, 10),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.IssuedBlocks != 20 || tl.SkippedBlocks != 80 {
+		t.Fatalf("issued %d skipped %d, want 20/80", tl.IssuedBlocks, tl.SkippedBlocks)
+	}
+	if got := tl.SkipRatio(); math.Abs(got-0.8) > 1e-9 {
+		t.Fatalf("skip ratio = %v, want 0.8", got)
+	}
+	if got := tl.DenseFactor(); math.Abs(got-5.0) > 1e-9 {
+		t.Fatalf("dense factor = %v, want 5.0", got)
+	}
+}
+
+func TestRepairLatency(t *testing.T) {
+	tl, err := Merge(dump(-1,
+		issue(0, 0, 1, 0, 0, 1),
+		retx(100, 0, 1, 0, 0),
+		retx(150, 1, 1, 0, 0), // second repair before completion: earliest wins
+		complete(400, 2, 1, 0, 0, 1),
+		issue(500, 0, 1, 0, 1, 1),
+		retx(600, 0, 1, 0, 1),
+		complete(700, 2, 1, 0, 1, 1),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Retransmits != 3 {
+		t.Fatalf("retransmits = %d, want 3", tl.Retransmits)
+	}
+	if len(tl.RepairLatencies) != 2 {
+		t.Fatalf("repair latencies = %v, want 2 entries", tl.RepairLatencies)
+	}
+	if tl.RepairLatencies[0] != 100 || tl.RepairLatencies[1] != 300 {
+		t.Fatalf("repair latencies = %v, want [100 300]", tl.RepairLatencies)
+	}
+	if q := tl.RepairQuantile(0.99); q != 300 {
+		t.Fatalf("p99 = %d, want 300", q)
+	}
+}
+
+func TestOpenRoundsAndCurve(t *testing.T) {
+	tl, err := Merge(dump(-1,
+		issue(0, 0, 1, 0, 0, 1),
+		complete(500, 2, 1, 0, 0, 1),
+		issue(500, 0, 1, 1, 0, 1),     // never completes: wedged round
+		complete(1000, 2, 1, 2, 9, 1), // completion whose issue was clipped
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.OpenRounds() != 1 {
+		t.Fatalf("open rounds = %d, want 1", tl.OpenRounds())
+	}
+	curve := tl.OccupancyCurve(2)
+	if len(curve) != 2 {
+		t.Fatalf("curve = %v", curve)
+	}
+	// 3 lanes. First half [0,500): lane0 busy fully, lane1 idle, lane2
+	// idle -> 1/3. Second half: lane1's open span busy through End -> 1/3.
+	if math.Abs(curve[0]-1.0/3) > 1e-9 || math.Abs(curve[1]-1.0/3) > 1e-9 {
+		t.Fatalf("curve = %v, want [1/3 1/3]", curve)
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	if _, err := Merge(); err == nil {
+		t.Fatal("Merge() of nothing should error")
+	}
+	if _, err := Merge(dump(0)); err == nil {
+		t.Fatal("Merge of empty dump should error")
+	}
+}
+
+func TestReportAndRender(t *testing.T) {
+	tl, err := Merge(dump(-1,
+		issue(0, 0, 1, 0, 0, 4),
+		skip(1, 0, 1, 0, 12),
+		complete(800, 2, 1, 0, 0, 4),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tl.Report(4)
+	if r.Lanes != 1 || r.IssuedBlocks != 4 || r.SkippedBlocks != 12 {
+		t.Fatalf("report = %+v", r)
+	}
+	if math.Abs(r.SkipRatio-0.75) > 1e-9 {
+		t.Fatalf("report skip ratio = %v, want 0.75", r.SkipRatio)
+	}
+	if len(r.OccupancyCurve) != 4 {
+		t.Fatalf("curve = %v", r.OccupancyCurve)
+	}
+	var buf bytes.Buffer
+	tl.RenderText(&buf, 40)
+	out := buf.String()
+	for _, want := range []string{"occupancy", "skip ratio", "tid   1 slot   0", "occupancy curve"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("RenderText missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -50,6 +50,25 @@ const (
 	EvDecodeStateGet
 	EvDecodeStatePut
 
+	// The slot-pipeline events below are emitted by the protocol machines
+	// themselves (internal/protocol), so the live cluster and the
+	// discrete-event simulator produce identical streams for identical
+	// runs — the property the drift tier asserts. They carry full
+	// node/slot/round tags via EmitSlot.
+
+	// EvSlotIssue fires when a worker machine transmits a fresh (non
+	// retransmitted) data packet into a stream slot; arg is the number of
+	// data blocks in the packet.
+	EvSlotIssue
+	// EvSlotComplete fires when an aggregator machine concludes a round
+	// on a slot and multicasts its result; arg is the number of result
+	// blocks.
+	EvSlotComplete
+	// EvLookaheadSkip fires when a worker machine's next-non-zero
+	// look-ahead advances past zero blocks; arg is the number of blocks
+	// skipped (each zero block is skipped exactly once per worker).
+	EvLookaheadSkip
+
 	// NumEvents is the number of event kinds (array sizing).
 	NumEvents
 )
@@ -68,7 +87,16 @@ var eventNames = [NumEvents]string{
 	EvPoolPut:        "pool_put",
 	EvDecodeStateGet: "decode_state_get",
 	EvDecodeStatePut: "decode_state_put",
+	EvSlotIssue:      "slot_issue",
+	EvSlotComplete:   "slot_complete",
+	EvLookaheadSkip:  "lookahead_skip",
 }
+
+// MachineEvents lists the event kinds emitted by the protocol machines
+// themselves (as opposed to by a substrate driver). These are the kinds
+// for which live-vs-simulator event streams must be identical, since the
+// machines are the single shared implementation.
+var MachineEvents = [...]Event{EvSlotIssue, EvSlotComplete, EvLookaheadSkip, EvRetransmit}
 
 // String returns the event's snake_case name.
 func (e Event) String() string {
@@ -86,8 +114,23 @@ type Tracer interface {
 	Trace(ev Event, tid uint32, arg int64)
 }
 
-// tracerBox wraps the interface so an atomic.Pointer can hold it.
-type tracerBox struct{ t Tracer }
+// SlotTracer is the full-fidelity tracer interface: events tagged with
+// the emitting node, the stream slot, and the protocol round, which is
+// what the flight recorder and the timeline analyzer consume. Tracers
+// that do not implement it receive slot events through plain Trace with
+// the extra tags dropped.
+type SlotTracer interface {
+	Tracer
+	TraceSlot(ev Event, node int32, tid uint32, slot uint16, round uint8, arg int64)
+}
+
+// tracerBox wraps the interface so an atomic.Pointer can hold it. The
+// SlotTracer assertion happens once at install time, keeping EmitSlot's
+// hot path free of interface type switches.
+type tracerBox struct {
+	t  Tracer
+	st SlotTracer // non-nil when t implements SlotTracer
+}
 
 var activeTracer atomic.Pointer[tracerBox]
 
@@ -99,6 +142,9 @@ func SetTracer(t Tracer) Tracer {
 	var next *tracerBox
 	if t != nil {
 		next = &tracerBox{t: t}
+		if st, ok := t.(SlotTracer); ok {
+			next.st = st
+		}
 	}
 	if old := activeTracer.Swap(next); old != nil {
 		prev = old.t
@@ -118,6 +164,23 @@ func Emit(ev Event, tid uint32, arg int64) {
 	if b := activeTracer.Load(); b != nil {
 		b.t.Trace(ev, tid, arg)
 	}
+}
+
+// EmitSlot delivers one fully tagged slot-pipeline event. Tracers that
+// implement SlotTracer receive every tag; plain tracers receive the event
+// through Trace. The disabled path is identical to Emit's: one atomic
+// load and one branch, so the protocol machines can call it
+// unconditionally without perturbing either substrate.
+func EmitSlot(ev Event, node int32, tid uint32, slot uint16, round uint8, arg int64) {
+	b := activeTracer.Load()
+	if b == nil {
+		return
+	}
+	if b.st != nil {
+		b.st.TraceSlot(ev, node, tid, slot, round, arg)
+		return
+	}
+	b.t.Trace(ev, tid, arg)
 }
 
 // CountingTracer tallies events per kind: the cheapest useful tracer,
@@ -223,5 +286,17 @@ type MultiTracer []Tracer
 func (m MultiTracer) Trace(ev Event, tid uint32, arg int64) {
 	for _, t := range m {
 		t.Trace(ev, tid, arg)
+	}
+}
+
+// TraceSlot implements SlotTracer: children that understand slot tags get
+// them; plain tracers get the untagged event.
+func (m MultiTracer) TraceSlot(ev Event, node int32, tid uint32, slot uint16, round uint8, arg int64) {
+	for _, t := range m {
+		if st, ok := t.(SlotTracer); ok {
+			st.TraceSlot(ev, node, tid, slot, round, arg)
+		} else {
+			t.Trace(ev, tid, arg)
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"omnireduce/internal/obs"
 	"omnireduce/internal/tensor"
 	"omnireduce/internal/wire"
 )
@@ -386,6 +387,7 @@ func (m *AggregatorMachine) finishRound(sl *aggSlot, slot uint16, round uint8, m
 	}
 	m.stats.RoundsCompleted++
 	m.stats.BlocksAggregated += int64(len(res.Blocks))
+	obs.EmitSlot(obs.EvSlotComplete, int32(m.localID), sl.tensorID, slot, round, int64(len(res.Blocks)))
 	emits := make([]Emit, 0, m.cfg.Workers)
 	for w := 0; w < m.cfg.Workers; w++ {
 		emits = append(emits, Emit{Dst: w, Packet: res, Size: size})

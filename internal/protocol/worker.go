@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"omnireduce/internal/obs"
 	"omnireduce/internal/wire"
 )
 
@@ -12,14 +13,15 @@ import (
 // responsible for publishing these (internal/core mirrors them into its
 // atomic Stats; the simulator reads them directly after the run).
 type WorkerStats struct {
-	BlocksSent   int64 // non-bootstrap data blocks transmitted
-	PacketsSent  int64
-	BytesSent    int64 // encoded packet bytes, including retransmissions
-	Retransmits  int64 // timer-driven resends, distinct from PacketsSent
-	AcksSent     int64 // empty payload packets (unreliable mode)
-	ResultsRecvd int64
-	StaleResults int64 // duplicate or out-of-round results filtered out
-	Backoffs     int64 // retransmissions sent at a backed-off (>base) timeout
+	BlocksSent    int64 // non-bootstrap data blocks transmitted
+	BlocksSkipped int64 // zero blocks passed over by the next-non-zero look-ahead
+	PacketsSent   int64
+	BytesSent     int64 // encoded packet bytes, including retransmissions
+	Retransmits   int64 // timer-driven resends, distinct from PacketsSent
+	AcksSent      int64 // empty payload packets (unreliable mode)
+	ResultsRecvd  int64
+	StaleResults  int64 // duplicate or out-of-round results filtered out
+	Backoffs      int64 // retransmissions sent at a backed-off (>base) timeout
 }
 
 // wStream is the per-stream worker state for one AllReduce.
@@ -140,7 +142,7 @@ func (m *WorkerMachine) Start(view TensorView, now time.Duration) []Emit {
 				Index: uint32(first),
 				Data:  view.Block(first),
 			})
-			st.next[c] = NextNonZeroInColumn(m.nonZero, first, lo, hi, c, cols)
+			st.next[c] = m.advanceNext(st, c, first)
 			p.Nexts[c] = NextOffsetWire(st.next[c], c)
 		}
 		emits = append(emits, m.send(st, p, now))
@@ -213,7 +215,7 @@ func (m *WorkerMachine) processResult(st *wStream, p *wire.Packet, now time.Dura
 				Index: uint32(blk),
 				Data:  m.view.Block(blk),
 			})
-			st.next[c] = NextNonZeroInColumn(m.nonZero, blk, st.lo, st.hi, c, st.cols)
+			st.next[c] = m.advanceNext(st, c, blk)
 			contributes = true
 			m.stats.BlocksSent++
 		} else if st.next[c] >= 0 && int(req) > st.next[c] {
@@ -263,6 +265,7 @@ func (m *WorkerMachine) HandleTimeout(now time.Duration) ([]Emit, error) {
 		m.stats.PacketsSent++
 		m.stats.Retransmits++
 		m.stats.BytesSent += int64(st.lastSize)
+		obs.EmitSlot(obs.EvRetransmit, int32(m.id), m.tid, uint16(st.idx), st.last.Version, int64(st.lastSize))
 		emits = append(emits, Emit{Dst: m.cfg.AggregatorFor(st.idx), Packet: st.last, Size: st.lastSize, Retransmit: true})
 		m.backoff(st)
 	}
@@ -315,6 +318,25 @@ func (m *WorkerMachine) backoff(st *wStream) {
 	st.timeout = next
 }
 
+// advanceNext moves a column's next-non-zero pointer strictly past blk
+// and accounts for the look-ahead: every zero block the scan passes over
+// is skipped exactly once per worker, which is the paper's bandwidth
+// saving and the quantity the timeline analyzer's skip ratio measures.
+func (m *WorkerMachine) advanceNext(st *wStream, c, blk int) int {
+	next := NextNonZeroInColumn(m.nonZero, blk, st.lo, st.hi, c, st.cols)
+	var skipped int
+	if next >= 0 {
+		skipped = (next-blk)/st.cols - 1
+	} else {
+		skipped = (st.hi - 1 - blk) / st.cols
+	}
+	if skipped > 0 {
+		m.stats.BlocksSkipped += int64(skipped)
+		obs.EmitSlot(obs.EvLookaheadSkip, int32(m.id), m.tid, uint16(st.idx), st.ver, int64(skipped))
+	}
+	return next
+}
+
 // send records p as the stream's outstanding packet and returns its emit.
 func (m *WorkerMachine) send(st *wStream, p *wire.Packet, now time.Duration) Emit {
 	st.last = p
@@ -324,5 +346,6 @@ func (m *WorkerMachine) send(st *wStream, p *wire.Packet, now time.Duration) Emi
 	st.timeout = m.cfg.RetransmitTimeout // fresh packet: reset backoff
 	m.stats.PacketsSent++
 	m.stats.BytesSent += int64(st.lastSize)
+	obs.EmitSlot(obs.EvSlotIssue, int32(m.id), m.tid, uint16(st.idx), p.Version, int64(len(p.Blocks)))
 	return Emit{Dst: m.cfg.AggregatorFor(st.idx), Packet: p, Size: st.lastSize}
 }

@@ -1,0 +1,62 @@
+package transport
+
+import "sync"
+
+// WedgedConn is a Conn that black-holes the datapath: Send succeeds and
+// discards, Recv blocks until Close. It simulates the silent failure
+// modes a heartbeat-free protocol cannot distinguish from slowness — a
+// dead aggregator behind a healthy link, a switch eating one multicast
+// group — and exists so the stall watchdog has something deterministic
+// to detect in tests.
+type WedgedConn struct {
+	id int
+
+	mu     sync.Mutex
+	closed chan struct{}
+	isDown bool
+	sent   map[int]int64
+}
+
+// NewWedgedConn returns a wedged endpoint with the given node ID.
+func NewWedgedConn(id int) *WedgedConn {
+	return &WedgedConn{id: id, closed: make(chan struct{}), sent: make(map[int]int64)}
+}
+
+// Send implements Conn: it accepts and discards every message.
+func (c *WedgedConn) Send(to int, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.isDown {
+		return ErrClosed
+	}
+	c.sent[to]++
+	return nil
+}
+
+// Recv implements Conn: it blocks until Close, then returns ErrClosed.
+// No message is ever delivered.
+func (c *WedgedConn) Recv() (Message, error) {
+	<-c.closed
+	return Message{}, ErrClosed
+}
+
+// LocalID implements Conn.
+func (c *WedgedConn) LocalID() int { return c.id }
+
+// Close implements Conn.
+func (c *WedgedConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.isDown {
+		c.isDown = true
+		close(c.closed)
+	}
+	return nil
+}
+
+// Sent returns how many messages were swallowed for destination to.
+func (c *WedgedConn) Sent(to int) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sent[to]
+}
