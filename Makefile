@@ -61,6 +61,7 @@ fuzz:
 # the perf trajectory is tracked across PRs.
 bench:
 	( $(GO) test -run '^$$' -bench '^(BenchmarkAllReduceLive|BenchmarkAllReduceTCPLive)$$' -benchmem -benchtime 2x . ; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkAllReduceUDPLive$$' -benchmem -benchtime 10x . ; \
 	  for i in 1 2 3 4 5; do \
 	    $(GO) test -run '^$$' -bench '^BenchmarkTracerOverhead$$' -benchmem -benchtime 30x . ; \
 	  done ; \
@@ -68,6 +69,10 @@ bench:
 	  $(GO) test -run '^$$' -bench '^(BenchmarkComputeBitmap|BenchmarkDenseAdd)$$' -benchmem ./internal/tensor/ ) \
 	| $(GO) run ./cmd/benchjson -o BENCH_datapath.json
 	$(GO) run ./cmd/obsreport -o OBS_datapath.json
+	# Portable-flavor sanity run (scalar syscalls even on Linux); not
+	# recorded to BENCH_datapath.json because the "scalar" sub-benchmark
+	# above already carries the runtime-toggled scalar numbers.
+	$(GO) test -tags portable_net -run '^$$' -bench '^BenchmarkAllReduceUDPLive$$' -benchmem -benchtime 2x .
 
 # Full benchmark sweep (paper figures + wall clock), single iteration.
 bench-all:
@@ -75,10 +80,16 @@ bench-all:
 
 # Drift tier: the substrate-equivalence test (live channel cluster vs the
 # discrete-event simulator must produce identical per-worker packet,
-# block, and byte counts and bit-identical results), plus vet.
+# block, and byte counts and bit-identical results), the batched-vs-scalar
+# UDP equivalence test under both build flavors (fast-path recvmmsg/
+# sendmmsg and the portable_net scalar build must report identical Stats
+# and bit-identical results), plus vet. Together: live-batched ≡
+# live-scalar ≡ sim.
 drift:
 	$(GO) vet ./...
 	$(GO) test -run 'TestSubstrateEquivalence' -v ./internal/netsim/simproto/
+	$(GO) test -run 'TestBatchedScalarEquivalence' -v ./internal/core/
+	$(GO) test -tags portable_net -run 'TestBatchedScalarEquivalence' -v ./internal/core/
 
 clean:
 	$(GO) clean -testcache

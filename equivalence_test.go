@@ -265,19 +265,11 @@ func TestEquivalenceAcrossTransports(t *testing.T) {
 
 	// TCP loopback through the public cross-process API.
 	t.Run("tcp", func(t *testing.T) {
-		var agg *Aggregator
-		var err error
-		var addrs map[int]string
-		for _, base := range []int{44801, 45811, 46821} {
-			addrs = testAddrs(workers+1, base)
-			agg, err = NewTCPAggregator(workers, addrs, o)
-			if err == nil {
-				break
-			}
-		}
+		agg, err := NewTCPAggregator(workers, map[int]string{workers: "127.0.0.1:0"}, o)
 		if err != nil {
 			t.Fatalf("aggregator: %v", err)
 		}
+		addrs := map[int]string{workers: agg.Addr()}
 		go agg.Run()
 		defer agg.Close()
 		ws := make([]*Worker, workers)
@@ -316,16 +308,7 @@ func TestEquivalenceAcrossTransports(t *testing.T) {
 			Seed:   61,
 			Phases: []transport.Phase{{Drop: 0.03, Dup: 0.02}},
 		})
-		var addrs map[int]string
-		var aggConn transport.Conn
-		var err error
-		for _, base := range []int{47831, 48841, 49851} {
-			addrs = testAddrs(workers+1, base)
-			aggConn, err = transport.NewUDP(workers, addrs)
-			if err == nil {
-				break
-			}
-		}
+		aggConn, err := transport.NewUDP(workers, map[int]string{workers: "127.0.0.1:0"})
 		if err != nil {
 			t.Fatalf("udp aggregator: %v", err)
 		}
@@ -337,15 +320,21 @@ func TestEquivalenceAcrossTransports(t *testing.T) {
 		defer aggConn.Close()
 		cws := make([]*core.Worker, workers)
 		for i := range cws {
-			c, err := transport.NewUDP(i, addrs)
+			c, err := transport.NewUDP(i, map[int]string{
+				i:       "127.0.0.1:0",
+				workers: aggConn.Addr(),
+			})
 			if err != nil {
 				t.Fatalf("udp worker %d: %v", i, err)
 			}
-			defer c.Close()
+			if err := aggConn.RegisterPeer(i, c.Addr()); err != nil {
+				t.Fatalf("register worker %d: %v", i, err)
+			}
 			w, err := core.NewWorker(fabric.Wrap(c), cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
+			defer w.Close()
 			cws[i] = w
 		}
 		out := make([][]float32, workers)

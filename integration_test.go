@@ -7,6 +7,7 @@ package omnireduce
 import (
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"os/exec"
 	"strings"
@@ -15,35 +16,16 @@ import (
 	"time"
 )
 
-// buildAddrs picks ephemeral loopback ports for every node by binding
-// listeners through the transports themselves; here we pre-assign fixed
-// ports from a base to keep the address book static, retrying the base if
-// occupied.
-func testAddrs(n int, base int) map[int]string {
-	m := make(map[int]string, n)
-	for i := 0; i < n; i++ {
-		m[i] = fmt.Sprintf("127.0.0.1:%d", base+i)
-	}
-	return m
-}
-
 func TestPublicTCPJob(t *testing.T) {
 	const workers = 2
-	opts := Options{Workers: workers, Streams: 2}
-	var agg *Aggregator
-	var err error
-	// Retry a few port bases in case of collisions.
-	var addrs map[int]string
-	for _, base := range []int{38731, 39741, 40751} {
-		addrs = testAddrs(workers+1, base)
-		agg, err = NewTCPAggregator(workers, addrs, opts)
-		if err == nil {
-			break
-		}
-	}
+	opts := Options{Workers: workers, Streams: 2, StallTimeout: 30 * time.Second}
+	// Every endpoint binds ":0" and the real ports are exchanged after
+	// binding, so parallel test runs never collide on fixed ports.
+	agg, err := NewTCPAggregator(workers, map[int]string{workers: "127.0.0.1:0"}, opts)
 	if err != nil {
 		t.Fatalf("aggregator: %v", err)
 	}
+	addrs := map[int]string{workers: agg.Addr()}
 	aggDone := make(chan error, 1)
 	go func() { aggDone <- agg.Run() }()
 	defer func() {
@@ -114,17 +96,12 @@ func TestPublicUDPJob(t *testing.T) {
 		Streams:           2,
 		BlockSize:         64,
 		RetransmitTimeout: 20 * time.Millisecond,
+		StallTimeout:      30 * time.Second,
 	}
-	var agg *Aggregator
-	var err error
-	var addrs map[int]string
-	for _, base := range []int{41761, 42771, 43781} {
-		addrs = testAddrs(workers+1, base)
-		agg, err = NewUDPAggregator(workers, addrs, opts)
-		if err == nil {
-			break
-		}
-	}
+	// The aggregator binds ":0" first; each worker also binds ":0" knowing
+	// only the aggregator's real address, and the aggregator learns the
+	// worker addresses through RegisterPeer. No fixed ports, no retry loop.
+	agg, err := NewUDPAggregator(workers, map[int]string{workers: "127.0.0.1:0"}, opts)
 	if err != nil {
 		t.Fatalf("aggregator: %v", err)
 	}
@@ -133,11 +110,15 @@ func TestPublicUDPJob(t *testing.T) {
 
 	ws := make([]*Worker, workers)
 	for i := 0; i < workers; i++ {
+		addrs := map[int]string{i: "127.0.0.1:0", workers: agg.Addr()}
 		w, err := NewUDPWorker(i, addrs, opts)
 		if err != nil {
 			t.Fatalf("worker %d: %v", i, err)
 		}
 		defer w.Close()
+		if err := agg.RegisterPeer(i, w.Addr()); err != nil {
+			t.Fatalf("register worker %d: %v", i, err)
+		}
 		ws[i] = w
 	}
 
@@ -292,7 +273,20 @@ func TestCLIBinaries(t *testing.T) {
 		agg.Process.Signal(os.Interrupt)
 		agg.Wait()
 	}()
-	time.Sleep(200 * time.Millisecond) // let the aggregator bind
+	// Wait for the aggregator to bind by polling its listener rather than
+	// sleeping a fixed interval: bounded, and fails with a clear message.
+	bindDeadline := time.Now().Add(10 * time.Second)
+	for {
+		c, err := net.Dial("tcp", "127.0.0.1:47813")
+		if err == nil {
+			c.Close()
+			break
+		}
+		if time.Now().After(bindDeadline) {
+			t.Fatalf("aggregator never bound: %v\nagg: %s", err, aggOut.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 
 	run := func(id int, out *strings.Builder) *exec.Cmd {
 		c := exec.Command(workerBin,

@@ -35,8 +35,8 @@ type Aggregator struct {
 	cfg  Config
 	m    *protocol.AggregatorMachine
 
-	encBuf []byte
-	dec    decodeState
+	tx  txBatch
+	dec decodeState
 
 	// pump tallies the sharded router's dispatch decisions; see
 	// PumpSnapshot.
@@ -127,7 +127,21 @@ func NewAggregator(conn transport.Conn, cfg Config) (*Aggregator, error) {
 		conn: conn,
 		cfg:  cfg,
 		m:    protocol.NewAggregatorMachine(cfg.proto(), conn.LocalID()),
+		tx:   newAggTxBatch(),
 	}, nil
+}
+
+// newAggTxBatch configures an aggregator-side transmit batch: result
+// multicasts are encoded once (the machine guarantees a pointer-shared
+// packet means identical bytes), and fan-out destinations become one
+// sendmmsg burst on the Linux fast path.
+func newAggTxBatch() txBatch {
+	return txBatch{
+		observe:   observeAggTx,
+		flushFull: obsAggFlushFull,
+		flushEnd:  obsAggFlushEnd,
+		dedup:     true,
+	}
 }
 
 // Run processes packets until the connection closes. It returns nil on
@@ -165,8 +179,7 @@ func (a *Aggregator) handle(m transport.Message) error {
 	if err != nil {
 		return err
 	}
-	a.encBuf, err = send(a.conn, a.encBuf, emits)
-	return err
+	return a.tx.sendEmits(a.conn, emits)
 }
 
 // handleMsg decodes one message into dec's reusable state, releases the
@@ -215,47 +228,16 @@ func handleMsg(m *protocol.AggregatorMachine, dec *decodeState, msg transport.Me
 	return m.HandlePacket(pm)
 }
 
-// send encodes and transmits emits, reusing encBuf; it returns the
-// (possibly grown) buffer for the next call. Consecutive emits sharing
-// one packet (a result multicast) are encoded once.
-func send(conn transport.Conn, encBuf []byte, emits []protocol.Emit) ([]byte, error) {
-	var lastPkt *wire.Packet
-	var lastSparse *wire.SparsePacket
-	encoded := false
-	for i := range emits {
-		e := &emits[i]
-		if !encoded || e.Packet != lastPkt || e.Sparse != lastSparse {
-			encBuf = e.Encode(encBuf[:0])
-			lastPkt, lastSparse = e.Packet, e.Sparse
-			encoded = true
-		}
-		if err := conn.Send(e.Dst, encBuf); err != nil {
-			return encBuf, err
-		}
-		obsAggTxBytes.Add(int64(len(encBuf)))
-		if obs.Enabled() {
-			var tid uint32
-			if e.Packet != nil {
-				tid = e.Packet.TensorID
-			} else if e.Sparse != nil {
-				tid = e.Sparse.TensorID
-			}
-			obs.Emit(obs.EvPacketSent, tid, int64(len(encBuf)))
-		}
-	}
-	return encBuf, nil
-}
-
 // aggShard is one slot-partition of a sharded aggregator: its own
-// machine, decode state, and encode buffer, fed in slot order through a
+// machine, decode state, and transmit batch, fed in slot order through a
 // dedicated channel. Nothing here is shared with other shards.
 type aggShard struct {
-	conn   transport.Conn
-	m      *protocol.AggregatorMachine
-	in     chan transport.Message
-	dec    decodeState
-	encBuf []byte
-	err    error
+	conn transport.Conn
+	m    *protocol.AggregatorMachine
+	in   chan transport.Message
+	dec  decodeState
+	tx   txBatch
+	err  error
 }
 
 // run drains the shard's inbound channel until it closes. After a
@@ -270,7 +252,7 @@ func (s *aggShard) run(fail func()) {
 		}
 		emits, err := handleMsg(s.m, &s.dec, m)
 		if err == nil {
-			s.encBuf, err = send(s.conn, s.encBuf, emits)
+			err = s.tx.sendEmits(s.conn, emits)
 		}
 		if err != nil {
 			s.err = err
@@ -309,6 +291,7 @@ func (a *Aggregator) runSharded(n int) error {
 			conn: a.conn,
 			m:    protocol.NewAggregatorMachine(proto, a.conn.LocalID()),
 			in:   make(chan transport.Message, 64),
+			tx:   newAggTxBatch(),
 		}
 	}
 	var wg sync.WaitGroup

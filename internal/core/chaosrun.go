@@ -169,6 +169,9 @@ func RunChaosScenario(cfg Config, sc transport.Scenario, inputs [][]float32, dea
 				firstErr = err
 			}
 		case <-timer.C:
+			for _, w := range workers {
+				w.Close()
+			}
 			for _, c := range conns {
 				c.Close()
 			}
@@ -176,6 +179,12 @@ func RunChaosScenario(cfg Config, sc transport.Scenario, inputs [][]float32, dea
 		}
 	}
 	elapsed := time.Since(start)
+	// Worker.Close (not just the conn) releases the persistent per-op
+	// driver states, returning their decode states to the pool so the
+	// audit below balances.
+	for _, w := range workers {
+		w.Close()
+	}
 	for _, c := range conns {
 		c.Close()
 	}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"omnireduce/internal/obs"
-	"omnireduce/internal/protocol"
 )
 
 // Process-wide datapath metrics, registered on the obs default registry.
@@ -23,6 +22,15 @@ var (
 	obsPumpOverflow  = obs.Default.Counter("worker_pump_overflow_drops")
 	obsPumpBad       = obs.Default.Counter("worker_pump_bad_packets")
 
+	// Transmit-batch flush reasons (see txBatch) and opState free-list
+	// behavior (see Worker.beginOp).
+	obsWorkerFlushEnd  = obs.Default.Counter("worker_tx_flush_end")
+	obsWorkerFlushFull = obs.Default.Counter("worker_tx_flush_full")
+	obsAggFlushEnd     = obs.Default.Counter("agg_tx_flush_end")
+	obsAggFlushFull    = obs.Default.Counter("agg_tx_flush_full")
+	obsOpStateNew      = obs.Default.Counter("worker_opstate_alloc")
+	obsOpStateReused   = obs.Default.Counter("worker_opstate_reuse")
+
 	obsAggPackets = obs.Default.Counter("agg_rx_packets")
 	obsAggTxBytes = obs.Default.Counter("agg_tx_bytes")
 	obsAggStalls  = obs.Default.Counter("agg_router_stalls")
@@ -30,12 +38,18 @@ var (
 )
 
 // observeWorkerTx records one transmitted packet of n encoded bytes on
-// the worker metrics and trace. Called from the per-operation dispatch
-// closures after a successful Send. EvRetransmit is NOT emitted here: the
-// worker machine itself emits it (slot- and round-tagged) so the live and
-// simulated substrates produce identical repair-event streams.
-func observeWorkerTx(e *protocol.Emit, tid uint32, n int) {
+// the worker metrics and trace. Called from the worker txBatch after a
+// successful flush. EvRetransmit is NOT emitted here: the worker machine
+// itself emits it (slot- and round-tagged) so the live and simulated
+// substrates produce identical repair-event streams.
+func observeWorkerTx(tid uint32, n int) {
 	obsTxPackets.Inc()
 	obsTxBytes.Add(int64(n))
+	obs.Emit(obs.EvPacketSent, tid, int64(n))
+}
+
+// observeAggTx is the aggregator txBatch's per-packet observation.
+func observeAggTx(tid uint32, n int) {
+	obsAggTxBytes.Add(int64(n))
 	obs.Emit(obs.EvPacketSent, tid, int64(n))
 }

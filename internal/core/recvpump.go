@@ -39,20 +39,45 @@ var ErrOpBackpressure = errors.New("core: operation receive queue overflow")
 //     (unreliable mode — Algorithm 2's retransmission repairs it), or the
 //     one offending operation is failed with ErrOpBackpressure (reliable
 //     mode). The pump never blocks on any operation's queue.
+// Queues outlive single collectives: a worker parks finished queues (as
+// part of opState) on a free list and re-arms them with reset. The tid
+// field makes reuse safe — the pump looks a queue up under w.mu but
+// delivers without it, so a delivery can race the queue's reassignment to
+// a new tensor; deliver rejects any message whose tensor ID is not the
+// one the queue currently serves.
 type opQueue struct {
 	ch   chan transport.Message
 	fail chan struct{} // closed on reliable-mode overflow
 
 	mu     sync.Mutex
-	done   bool // endOp ran; no further enqueues
-	failed bool // fail already closed
+	tid    uint32 // tensor this queue currently serves
+	done   bool   // endOp ran; no further enqueues
+	failed bool   // fail already closed
 }
 
-func newOpQueue(capacity int) *opQueue {
+func newOpQueue(capacity int, tid uint32) *opQueue {
 	return &opQueue{
 		ch:   make(chan transport.Message, capacity),
 		fail: make(chan struct{}),
+		tid:  tid,
 	}
+}
+
+// reset re-arms a finished queue for a new tensor. Only call between
+// operations, after finish has run and before the queue is registered for
+// the new tensor (the worker's free-list discipline guarantees no driver
+// goroutine references the queue in that window). finish drained ch under
+// the done flag, so the channel is empty; a tripped fail channel is
+// replaced.
+func (q *opQueue) reset(tid uint32) {
+	q.mu.Lock()
+	q.tid = tid
+	q.done = false
+	if q.failed {
+		q.failed = false
+		q.fail = make(chan struct{})
+	}
+	q.mu.Unlock()
 }
 
 // deliver hands one inbound message to the operation without blocking.
@@ -62,7 +87,7 @@ func newOpQueue(capacity int) *opQueue {
 func (q *opQueue) deliver(m transport.Message, reliable bool, pump *pumpCounters) {
 	tid, _ := peekTensorID(m.Data)
 	q.mu.Lock()
-	if q.done {
+	if q.done || q.tid != tid {
 		q.mu.Unlock()
 		transport.PutBuf(m.Data)
 		pump.staleDrops.Add(1)

@@ -36,10 +36,11 @@ func TestEndOpDrainsQueuedMessages(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	tid, q, err := w.beginOp()
+	tid, st, err := w.beginOp()
 	if err != nil {
 		t.Fatal(err)
 	}
+	q := st.q
 	// Queue messages the operation will never read. The buffers come
 	// from the transport pool, as on the live receive path.
 	enc := resultPacket(tid)
@@ -51,7 +52,7 @@ func TestEndOpDrainsQueuedMessages(t *testing.T) {
 	if got := w.PumpSnapshot().Delivered; got != 10 {
 		t.Fatalf("delivered = %d, want 10", got)
 	}
-	w.endOp(tid)
+	w.endOp(tid, st)
 
 	// A message racing endOp (op already gone) must be recycled too.
 	late := transport.GetBuf(len(enc))
@@ -87,11 +88,11 @@ func TestRecvPumpOverflowDoesNotStallOtherOps(t *testing.T) {
 
 	// A victim operation that never consumes its queue: register it
 	// directly so no driver goroutine drains it.
-	victim, _, err := w.beginOp()
+	victim, victimSt, err := w.beginOp()
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer w.endOp(victim)
+	defer w.endOp(victim, victimSt)
 
 	// Blast results at the victim from an extra node until its 4-slot
 	// queue overflows. With the old blocking pump this wedged recvPump
@@ -134,11 +135,12 @@ func TestReliableOverflowFailsOp(t *testing.T) {
 	defer w.Close()
 	nw.AddNode(5) // aggregator inbox exists but nobody serves it
 
-	tid, q, err := w.beginOp()
+	tid, st, err := w.beginOp()
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer w.endOp(tid)
+	q := st.q
+	defer w.endOp(tid, st)
 
 	// Fill the queue past capacity straight through the pump's delivery
 	// path, as a flood of results would.
@@ -159,7 +161,7 @@ func TestReliableOverflowFailsOp(t *testing.T) {
 
 	// A driver loop parked on this queue must surface ErrOpBackpressure.
 	errCh := make(chan error, 1)
-	go func() { errCh <- w.runAllReduce(make([]float32, 8), tid, q) }()
+	go func() { errCh <- w.runAllReduce(make([]float32, 8), tid, st) }()
 	select {
 	case err := <-errCh:
 		if !errors.Is(err, ErrOpBackpressure) {

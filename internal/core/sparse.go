@@ -24,11 +24,11 @@ import (
 // leaves a lossy realization as future work); AllReduceSparse returns an
 // error if the configuration is not Reliable.
 func (w *Worker) AllReduceSparse(in *tensor.COO) (*tensor.COO, error) {
-	tid, q, err := w.beginOp()
+	tid, st, err := w.beginOp()
 	if err != nil {
 		return nil, err
 	}
-	defer w.endOp(tid)
+	defer w.endOp(tid, st)
 
 	m, err := protocol.NewSparseWorkerMachine(w.cfg.proto(), w.id, tid, in)
 	if err != nil {
@@ -38,8 +38,7 @@ func (w *Worker) AllReduceSparse(in *tensor.COO) (*tensor.COO, error) {
 	start := time.Now()
 	defer func() { obsOpLatency.Observe(int64(time.Since(start))) }()
 
-	dec := getDecodeState()
-	defer putDecodeState(dec)
+	q, dec := st.q, st.dec
 
 	var published protocol.WorkerStats
 	sync := func() {
@@ -52,17 +51,8 @@ func (w *Worker) AllReduceSparse(in *tensor.COO) (*tensor.COO, error) {
 	}
 	defer sync()
 
-	var encBuf []byte
 	dispatch := func(emits []protocol.Emit) error {
-		for i := range emits {
-			e := &emits[i]
-			encBuf = e.Encode(encBuf[:0])
-			if err := w.conn.Send(e.Dst, encBuf); err != nil {
-				return err
-			}
-			observeWorkerTx(e, tid, len(encBuf))
-		}
-		return nil
+		return st.tx.sendEmits(w.conn, emits)
 	}
 
 	emits := m.Start()

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"omnireduce/internal/obs"
+	"omnireduce/internal/protocol"
+	"omnireduce/internal/transport"
+	"omnireduce/internal/wire"
+)
+
+// txBatchMax is the most packets a driver accumulates before forcing a
+// flush. It is deliberately larger than the transport's per-syscall batch
+// (the transport re-chunks), so the flush boundary here only bounds how
+// much encoded data sits buffered, not the syscall batch size.
+const txBatchMax = 64
+
+// txBatch is a driver's reusable transmit state: an encode arena plus the
+// batch of outgoing datagrams carved from it, handed to the transport in
+// bursts via transport.SendAll (one sendmmsg per chunk on the Linux fast
+// path, a plain Send loop elsewhere). Allocated once per driver loop —
+// a worker's persistent opState or an aggregator (shard) — and reused
+// for every emit burst, so the steady-state transmit path allocates
+// nothing.
+//
+// Emitted packets are machine-owned and read-only (see protocol.Emit);
+// batching delays the Send, not the Encode, so the ownership story is
+// unchanged: every emit is encoded into the arena before sendEmits
+// returns, and the transport releases the buffers the moment the flush
+// call returns.
+type txBatch struct {
+	// observe is called once per transmitted packet with its tensor ID
+	// and encoded size; package-level funcs only (no closure captures).
+	observe func(tid uint32, n int)
+	// flushFull/flushEnd count why each flush happened: the batch filled
+	// up mid-burst, or the burst ended. A full-heavy mix means emits come
+	// in windows larger than txBatchMax; an end-heavy mix means bursts
+	// are small and batching wins come from the transport's recv side.
+	flushFull *obs.Counter
+	flushEnd  *obs.Counter
+	// dedup enables encode-once for consecutive emits sharing a packet
+	// (aggregator result multicasts). Only safe when the machine
+	// guarantees pointer-equal packets have identical contents, which the
+	// aggregator's multicast fan-out does; worker machines keep it off.
+	dedup bool
+
+	enc  []byte
+	outs []transport.Outgoing
+	tids []uint32
+}
+
+// emitTID extracts the tensor ID an emit belongs to, for per-packet
+// observation.
+func emitTID(e *protocol.Emit) uint32 {
+	if e.Packet != nil {
+		return e.Packet.TensorID
+	}
+	if e.Sparse != nil {
+		return e.Sparse.TensorID
+	}
+	return 0
+}
+
+// sendEmits encodes one emit burst into the arena and transmits it in
+// batches. The arena is presized from the emits' exact encoded sizes
+// (Emit.Size) so appends never reallocate — reallocation would invalidate
+// the Outgoing sub-slices already queued for the flush.
+func (b *txBatch) sendEmits(conn transport.Conn, emits []protocol.Emit) error {
+	if len(emits) == 0 {
+		return nil
+	}
+	total := 0
+	for i := range emits {
+		total += emits[i].Size
+	}
+	if cap(b.enc) < total {
+		b.enc = make([]byte, 0, total)
+	} else {
+		b.enc = b.enc[:0]
+	}
+	arena := cap(b.enc)
+	b.outs = b.outs[:0]
+	b.tids = b.tids[:0]
+	var lastPkt *wire.Packet
+	var lastSparse *wire.SparsePacket
+	var lastData []byte
+	for i := range emits {
+		e := &emits[i]
+		data := lastData
+		if !b.dedup || lastData == nil || e.Packet != lastPkt || e.Sparse != lastSparse {
+			off := len(b.enc)
+			b.enc = e.Encode(b.enc)
+			data = b.enc[off:len(b.enc):len(b.enc)]
+			lastPkt, lastSparse, lastData = e.Packet, e.Sparse, data
+		}
+		b.outs = append(b.outs, transport.Outgoing{To: e.Dst, Data: data})
+		b.tids = append(b.tids, emitTID(e))
+		if len(b.outs) >= txBatchMax {
+			if err := b.flush(conn, b.flushFull); err != nil {
+				return err
+			}
+		}
+	}
+	if cap(b.enc) != arena {
+		// Emit.Size understated an encoding and the arena grew, orphaning
+		// every already-queued sub-slice. This is an encoder/Size bug; fail
+		// loudly rather than transmit stale bytes.
+		panic("core: emit Size smaller than its encoding")
+	}
+	return b.flush(conn, b.flushEnd)
+}
+
+// flush transmits the queued batch and records per-packet observations.
+func (b *txBatch) flush(conn transport.Conn, reason *obs.Counter) error {
+	if len(b.outs) == 0 {
+		return nil
+	}
+	if err := transport.SendAll(conn, b.outs); err != nil {
+		return err
+	}
+	reason.Inc()
+	for i := range b.outs {
+		b.observe(b.tids[i], len(b.outs[i].Data))
+	}
+	b.outs = b.outs[:0]
+	b.tids = b.tids[:0]
+	return nil
+}

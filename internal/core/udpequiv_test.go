@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"omnireduce/internal/obs"
+	"omnireduce/internal/transport"
+)
+
+// startUDPPair builds a real UDP loopback cluster: every endpoint binds
+// 127.0.0.1:0 and addresses are exchanged after binding (aggregators
+// learn worker ports through RegisterPeer), so parallel tests never fight
+// over fixed ports. Batching is toggled on every socket before any
+// traffic flows.
+type udpCluster struct {
+	cfg      Config
+	workers  []*Worker
+	aggConns []*transport.UDP
+	aggs     []*Aggregator
+	aggWG    sync.WaitGroup
+	aggErr   chan error
+}
+
+func startUDPCluster(t testing.TB, cfg Config, batched bool) *udpCluster {
+	t.Helper()
+	cfg = cfg.withDefaults()
+	if len(cfg.Aggregators) == 0 {
+		cfg.Aggregators = []int{cfg.Workers}
+	}
+	c := &udpCluster{cfg: cfg, aggErr: make(chan error, len(cfg.Aggregators))}
+	for _, aggID := range cfg.Aggregators {
+		conn, err := transport.NewUDP(aggID, map[int]string{aggID: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.SetBatching(batched)
+		c.aggConns = append(c.aggConns, conn)
+		agg, err := NewAggregator(conn, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.aggs = append(c.aggs, agg)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		addrs := map[int]string{i: "127.0.0.1:0"}
+		for j, aggID := range cfg.Aggregators {
+			addrs[aggID] = c.aggConns[j].Addr()
+		}
+		conn, err := transport.NewUDP(i, addrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.SetBatching(batched)
+		for _, ac := range c.aggConns {
+			if err := ac.RegisterPeer(i, conn.Addr()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w, err := NewWorker(conn, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.workers = append(c.workers, w)
+	}
+	for _, agg := range c.aggs {
+		c.aggWG.Add(1)
+		go func(a *Aggregator) {
+			defer c.aggWG.Done()
+			if err := a.Run(); err != nil {
+				c.aggErr <- err
+			}
+		}(agg)
+	}
+	return c
+}
+
+// shutdown tears the cluster down and returns the aggregator stats (only
+// readable once Run has returned).
+func (c *udpCluster) shutdown(t testing.TB) []AggStats {
+	t.Helper()
+	for _, w := range c.workers {
+		w.Close()
+	}
+	for _, conn := range c.aggConns {
+		conn.Close()
+	}
+	c.aggWG.Wait()
+	select {
+	case err := <-c.aggErr:
+		t.Fatalf("aggregator error: %v", err)
+	default:
+	}
+	var as []AggStats
+	for _, a := range c.aggs {
+		as = append(as, a.Stats)
+	}
+	return as
+}
+
+// runUDPOnce runs one AllReduce per worker over a fresh UDP loopback
+// cluster and returns the reduced tensors plus both sides' protocol
+// counters after full teardown.
+func runUDPOnce(t testing.TB, cfg Config, batched bool, inputs [][]float32) ([][]float32, []Stats, []AggStats) {
+	t.Helper()
+	c := startUDPCluster(t, cfg, batched)
+	work := make([][]float32, len(inputs))
+	for i := range inputs {
+		work[i] = append([]float32(nil), inputs[i]...)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.workers))
+	for i, w := range c.workers {
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			errs[i] = w.AllReduce(work[i])
+		}(i, w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("UDP AllReduce timed out")
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	var ws []Stats
+	for _, w := range c.workers {
+		ws = append(ws, w.Stats.Snapshot())
+	}
+	as := c.shutdown(t)
+	return work, ws, as
+}
+
+// TestBatchedScalarEquivalence drives the same seeded workload grid
+// through the batched (recvmmsg/sendmmsg) and scalar UDP paths and
+// asserts they are indistinguishable above the syscall layer: identical
+// worker Stats (packets, blocks, bytes, retransmits — every counter),
+// identical aggregator stats, and bit-identical results. Together with
+// the drift tier's live ≡ sim equivalence this closes the chain
+// live-batched ≡ live-scalar ≡ sim.
+//
+// On builds without the fast path (non-Linux, or -tags portable_net) both
+// legs run the scalar path and the test degenerates to a determinism
+// check — which is exactly what `make drift` runs under both build
+// flavors to keep the fallback exercised.
+func TestBatchedScalarEquivalence(t *testing.T) {
+	audit := obs.StartLeakAudit()
+	if !transport.BatchingSupported() {
+		t.Log("batched I/O unavailable in this build; comparing scalar vs scalar")
+	}
+	cases := []struct {
+		workers  int
+		sparsity float64
+		fusion   int
+	}{
+		{workers: 2, sparsity: 0, fusion: 1},
+		{workers: 2, sparsity: 0.5, fusion: 4},
+		{workers: 3, sparsity: 0.9, fusion: 4},
+	}
+	for _, tc := range cases {
+		name := fmt.Sprintf("w%d_s%v_f%d", tc.workers, tc.sparsity, tc.fusion)
+		t.Run(name, func(t *testing.T) {
+			cfg := Config{
+				Workers:     tc.workers,
+				Aggregators: []int{tc.workers},
+				BlockSize:   16,
+				FusionWidth: tc.fusion,
+				Reliable:    false,
+				// Loopback with 8MB socket buffers does not drop these tiny
+				// workloads; a generous timeout keeps the retransmit timer
+				// from firing, so both paths see the exact same packets.
+				RetransmitTimeout:  2 * time.Second,
+				DeterministicOrder: true,
+			}
+			inputs := randomInputs(48*16, tc.workers, tc.sparsity, int64(61+tc.workers))
+			want := expectedSum(inputs)
+
+			scalarRes, scalarWS, scalarAS := runUDPOnce(t, cfg, false, inputs)
+			preBatches := transport.BatchCounters().Get("udp_rx_batches")
+			batchRes, batchWS, batchAS := runUDPOnce(t, cfg, true, inputs)
+			if transport.BatchingSupported() {
+				if got := transport.BatchCounters().Get("udp_rx_batches"); got == preBatches {
+					t.Fatal("batched leg moved no batches through recvmmsg")
+				}
+			}
+
+			checkResult(t, scalarRes, want)
+			for w := range batchRes {
+				for i := range batchRes[w] {
+					if batchRes[w][i] != scalarRes[w][i] {
+						t.Fatalf("worker %d element %d: batched %v != scalar %v",
+							w, i, batchRes[w][i], scalarRes[w][i])
+					}
+				}
+			}
+			for w := range batchWS {
+				if batchWS[w] != scalarWS[w] {
+					t.Errorf("worker %d stats diverge:\nbatched: %+v\nscalar:  %+v",
+						w, batchWS[w], scalarWS[w])
+				}
+			}
+			for a := range batchAS {
+				if batchAS[a] != scalarAS[a] {
+					t.Errorf("aggregator %d stats diverge:\nbatched: %+v\nscalar:  %+v",
+						a, batchAS[a], scalarAS[a])
+				}
+			}
+		})
+	}
+	if leaks := audit.Settle(2 * time.Second); len(leaks) != 0 {
+		t.Fatalf("equivalence grid leaked pooled buffers: %v", obs.LeaksErr(leaks))
+	}
+}

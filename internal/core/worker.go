@@ -35,6 +35,15 @@ type Worker struct {
 	ops       map[uint32]*opQueue
 	closed    chan struct{}
 	recvErr   error
+	shutdown  bool // Close ran; released states are freed, not recycled
+
+	// free parks finished opStates for reuse; stateNew/stateReused tally
+	// how often beginOp allocated fresh state vs recycled (see
+	// OpStateStats). Steady state on a long-lived connection is one state
+	// per concurrently in-flight collective, reused forever after.
+	free        []*opState
+	stateNew    int64
+	stateReused int64
 
 	// pump tallies the receive pump's routing decisions; see PumpSnapshot.
 	pump pumpCounters
@@ -185,8 +194,11 @@ func peekTensorID(buf []byte) (uint32, bool) {
 	}
 }
 
-// beginOp allocates a tensor ID and registers its message queue.
-func (w *Worker) beginOp() (uint32, *opQueue, error) {
+// beginOp allocates a tensor ID and checks out a driver state for the
+// operation — recycled from the free list when one is parked there,
+// freshly allocated only when every state is busy (more concurrent
+// collectives in flight than the connection has ever seen).
+func (w *Worker) beginOp() (uint32, *opState, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	select {
@@ -196,25 +208,64 @@ func (w *Worker) beginOp() (uint32, *opQueue, error) {
 	}
 	w.tensorSeq++
 	tid := w.tensorSeq
-	q := newOpQueue(w.cfg.OpQueueLen)
-	w.ops[tid] = q
+	var st *opState
+	if n := len(w.free); n > 0 {
+		st = w.free[n-1]
+		w.free[n-1] = nil
+		w.free = w.free[:n-1]
+		st.q.reset(tid)
+		w.stateReused++
+		obsOpStateReused.Inc()
+	} else {
+		st = w.newOpState(tid)
+		w.stateNew++
+		obsOpStateNew.Inc()
+	}
+	w.ops[tid] = st.q
 	obsOpsStarted.Inc()
 	obs.Emit(obs.EvOpBegin, tid, 0)
-	return tid, q, nil
+	return tid, st, nil
 }
 
-// endOp unregisters the operation and recycles any message still queued
-// (or concurrently being delivered) for it.
-func (w *Worker) endOp(tid uint32) {
+// endOp unregisters the operation, recycles any message still queued (or
+// concurrently being delivered) for it, and parks the driver state for
+// reuse — or releases it if the worker has shut down meanwhile.
+func (w *Worker) endOp(tid uint32, st *opState) {
 	w.mu.Lock()
-	q := w.ops[tid]
 	delete(w.ops, tid)
 	w.mu.Unlock()
-	if q != nil {
-		q.finish()
+	// Quiesce the queue before the state becomes claimable again: after
+	// finish, no pooled buffer remains in (or can enter) the channel.
+	st.q.finish()
+	w.mu.Lock()
+	if w.shutdown {
+		w.mu.Unlock()
+		st.release()
+	} else {
+		w.free = append(w.free, st)
+		w.mu.Unlock()
 	}
 	obsOpsDone.Inc()
 	obs.Emit(obs.EvOpEnd, tid, 0)
+}
+
+// LocalAddr returns the transport's bound address when it has one
+// (":0"-style setups discover real ports through it), or "".
+func (w *Worker) LocalAddr() string {
+	type addresser interface{ Addr() string }
+	if ad, ok := w.conn.(addresser); ok {
+		return ad.Addr()
+	}
+	return ""
+}
+
+// OpStateStats reports how many per-operation driver states were freshly
+// allocated vs recycled from the free list. On a long-lived connection
+// created should stop growing after the first few collectives.
+func (w *Worker) OpStateStats() (created, reused int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stateNew, w.stateReused
 }
 
 // Pending is an in-flight collective started by AllReduceAsync.
@@ -251,14 +302,14 @@ func (w *Worker) AllReduceAsync(data []float32) (*Pending, error) {
 		close(p.done)
 		return p, nil
 	}
-	tid, q, err := w.beginOp()
+	tid, st, err := w.beginOp()
 	if err != nil {
 		return nil, err
 	}
 	go func() {
 		defer close(p.done)
-		defer w.endOp(tid)
-		p.err = w.runAllReduce(data, tid, q)
+		defer w.endOp(tid, st)
+		p.err = w.runAllReduce(data, tid, st)
 	}()
 	return p, nil
 }
@@ -266,18 +317,19 @@ func (w *Worker) AllReduceAsync(data []float32) (*Pending, error) {
 // runAllReduce drives one collective to completion: it pumps transport
 // messages and retransmission ticks through a protocol.WorkerMachine and
 // transmits the machine's emits.
-func (w *Worker) runAllReduce(data []float32, tid uint32, q *opQueue) error {
+func (w *Worker) runAllReduce(data []float32, tid uint32, st *opState) error {
 	m := protocol.NewWorkerMachine(w.cfg.proto(), w.id, tid)
 	view := protocol.NewDenseView(data, w.cfg.BlockSize, w.cfg.ForceDense)
 	start := time.Now()
 	defer func() { obsOpLatency.Observe(int64(time.Since(start))) }()
 
-	// Borrow reusable decode state for the lifetime of this collective:
-	// every inbound result decodes into the same packet shell and scratch
-	// arena (the machine copies what it keeps during HandlePacket), so the
-	// receive path stops allocating once the arena is warm.
-	dec := getDecodeState()
-	defer putDecodeState(dec)
+	// The persistent opState carries the decode state, encode arena, and
+	// inbound queue across collectives: every inbound result decodes into
+	// the same packet shell and scratch arena (the machine copies what it
+	// keeps during HandlePacket), and every emit encodes into the same
+	// arena, so the steady-state datapath stops allocating once the state
+	// is warm.
+	q, dec := st.q, st.dec
 
 	// Mirror machine counters into the shared atomic Stats after every
 	// machine interaction (including error exits) so concurrent Snapshot
@@ -293,17 +345,8 @@ func (w *Worker) runAllReduce(data []float32, tid uint32, q *opQueue) error {
 	}
 	defer sync()
 
-	var encBuf []byte
 	dispatch := func(emits []protocol.Emit) error {
-		for i := range emits {
-			e := &emits[i]
-			encBuf = e.Encode(encBuf[:0])
-			if err := w.conn.Send(e.Dst, encBuf); err != nil {
-				return err
-			}
-			observeWorkerTx(e, tid, len(encBuf))
-		}
-		return nil
+		return st.tx.sendEmits(w.conn, emits)
 	}
 
 	emits := m.Start(view, 0)
@@ -404,5 +447,17 @@ func (w *Worker) AllGather(segment, out []float32) error {
 }
 
 // Close shuts down the worker's transport endpoint; in-flight operations
-// fail with a receive error.
-func (w *Worker) Close() error { return w.conn.Close() }
+// fail with a receive error. Parked driver states are released (their
+// decode states go back to the pool, balancing the leak audit); states
+// still owned by in-flight operations are released by their endOp.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	w.shutdown = true
+	free := w.free
+	w.free = nil
+	w.mu.Unlock()
+	for _, st := range free {
+		st.release()
+	}
+	return w.conn.Close()
+}

@@ -104,6 +104,11 @@ func liveRun(t *testing.T, cfg core.Config, inputs [][]float32) ([][]float32, []
 			Backoffs:      s.Backoffs,
 		})
 	}
+	// Worker.Close releases the persistent per-op driver states (decode
+	// states return to their pool), which the grid's leak audit checks.
+	for _, wk := range workers {
+		wk.Close()
+	}
 	for _, c := range conns {
 		c.Close()
 	}

@@ -69,6 +69,13 @@ const (
 	// skipped (each zero block is skipped exactly once per worker).
 	EvLookaheadSkip
 
+	// EvTxBatch / EvRxBatch fire once per batched transport syscall
+	// (sendmmsg/recvmmsg); arg is the number of datagrams the call moved.
+	// Dividing the packet event rate by the batch event rate gives the
+	// live amortization factor the batching tentpole is gated on.
+	EvTxBatch
+	EvRxBatch
+
 	// NumEvents is the number of event kinds (array sizing).
 	NumEvents
 )
@@ -90,6 +97,8 @@ var eventNames = [NumEvents]string{
 	EvSlotIssue:      "slot_issue",
 	EvSlotComplete:   "slot_complete",
 	EvLookaheadSkip:  "lookahead_skip",
+	EvTxBatch:        "tx_batch",
+	EvRxBatch:        "rx_batch",
 }
 
 // MachineEvents lists the event kinds emitted by the protocol machines

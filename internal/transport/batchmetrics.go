@@ -1,0 +1,50 @@
+package transport
+
+// Registry counters and trace events for the batched UDP datapath, the
+// observability the batching tentpole is gated on: batch-size histograms
+// show how many datagrams each syscall actually moved (the amortization
+// factor), short/partial counters show how often the kernel returned or
+// accepted less than a full batch, and the EvTxBatch/EvRxBatch trace
+// events let the flight recorder and obsreport attribute batching
+// effectiveness per run.
+
+import (
+	"omnireduce/internal/metrics"
+	"omnireduce/internal/obs"
+)
+
+var (
+	obsTxBatches       = obs.Default.Counter("udp_tx_batches")
+	obsTxBatchDgrams   = obs.Default.Counter("udp_tx_batch_dgrams")
+	obsTxBatchSize     = obs.Default.Histogram("udp_tx_batch_size")
+	obsTxPartialWrites = obs.Default.Counter("udp_tx_partial_writes")
+
+	obsRxBatches     = obs.Default.Counter("udp_rx_batches")
+	obsRxBatchDgrams = obs.Default.Counter("udp_rx_batch_dgrams")
+	obsRxBatchSize   = obs.Default.Histogram("udp_rx_batch_size")
+	obsRxShortBatches = obs.Default.Counter("udp_rx_short_batches")
+)
+
+func obsEmitTxBatch(n int64) { obs.Emit(obs.EvTxBatch, 0, n) }
+func obsEmitRxBatch(n int64) { obs.Emit(obs.EvRxBatch, 0, n) }
+
+// BatchingSupported reports whether this build contains the batched
+// (recvmmsg/sendmmsg) UDP fast path. False off Linux and under the
+// portable_net build tag.
+func BatchingSupported() bool { return batchIOAvailable }
+
+// BatchCounters exports the batched-datapath tallies. The headline
+// effectiveness number is dgrams/batches on each direction — how many
+// syscalls the batching actually saved; short rx batches are normal
+// (the socket simply had less queued), partial tx writes mean the kernel
+// applied backpressure mid-batch.
+func BatchCounters() *metrics.Counters {
+	c := metrics.NewCounters()
+	c.Add("udp_tx_batches", obsTxBatches.Load())
+	c.Add("udp_tx_batch_dgrams", obsTxBatchDgrams.Load())
+	c.Add("udp_tx_partial_writes", obsTxPartialWrites.Load())
+	c.Add("udp_rx_batches", obsRxBatches.Load())
+	c.Add("udp_rx_batch_dgrams", obsRxBatchDgrams.Load())
+	c.Add("udp_rx_short_batches", obsRxShortBatches.Load())
+	return c
+}

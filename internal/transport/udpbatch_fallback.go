@@ -1,0 +1,32 @@
+//go:build !linux || (!amd64 && !arm64) || portable_net
+
+package transport
+
+// Portable fallback for the batched UDP datapath: no batcher is ever
+// constructed, so the UDP transport runs the byte-identical scalar
+// ReadFromUDP/WriteToUDP path on every Recv/Send, and SendBatch degrades
+// to a loop of Sends. Selected automatically off Linux and forced on
+// Linux with `-tags portable_net`, which is how the Makefile keeps the
+// scalar path from rotting behind the fast one.
+
+import "net/netip"
+
+// batchIOAvailable reports whether this build includes the batched UDP
+// fast path.
+const batchIOAvailable = false
+
+type udpBatcher struct{}
+
+func newUDPBatcher(*UDP) *udpBatcher { return nil }
+
+func (*udpBatcher) fill(*[]Message, func(netip.AddrPort) int) error { return ErrClosed }
+
+func (*udpBatcher) release() {}
+
+func (*udpBatcher) sendBatch([]Outgoing, func(int, *rawSockaddr) bool) error { return ErrClosed }
+
+// rawSockaddr is unused on the portable path; it exists so the shared
+// resolve plumbing in udp.go compiles identically under both flavors.
+type rawSockaddr struct{ _ [0]byte }
+
+func (*rawSockaddr) fill(netip.AddrPort) bool { return false }

@@ -1,0 +1,12 @@
+//go:build linux && amd64 && !portable_net
+
+package transport
+
+import "syscall"
+
+// sendmmsg is absent from the stdlib's frozen amd64 syscall table;
+// recvmmsg is present. Numbers are ABI-stable.
+const (
+	sysRecvmmsg = syscall.SYS_RECVMMSG
+	sysSendmmsg = 307
+)

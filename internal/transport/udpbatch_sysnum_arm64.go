@@ -1,0 +1,10 @@
+//go:build linux && arm64 && !portable_net
+
+package transport
+
+import "syscall"
+
+const (
+	sysRecvmmsg = syscall.SYS_RECVMMSG
+	sysSendmmsg = syscall.SYS_SENDMMSG
+)

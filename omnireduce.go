@@ -61,6 +61,13 @@ type Options struct {
 	// MaxRetries bounds per-packet retransmissions on unreliable
 	// transports; zero retries forever.
 	MaxRetries int
+	// StallTimeout arms a per-collective stall watchdog: an operation
+	// receiving no results for this long fails with a postmortem capture
+	// instead of hanging silently. Zero disables the watchdog.
+	StallTimeout time.Duration
+	// PostmortemDir is where stall postmortems are written (default: the
+	// process working directory).
+	PostmortemDir string
 }
 
 func (o Options) coreConfig(reliable bool, aggIDs []int) core.Config {
@@ -76,6 +83,8 @@ func (o Options) coreConfig(reliable bool, aggIDs []int) core.Config {
 		HalfPrecision:      o.HalfPrecision,
 		RetransmitTimeout:  o.RetransmitTimeout,
 		MaxRetries:         o.MaxRetries,
+		StallTimeout:       o.StallTimeout,
+		PostmortemDir:      o.PostmortemDir,
 	}
 }
 
@@ -274,6 +283,11 @@ func (lc *LocalCluster) Size() int { return len(lc.workers) }
 
 // Close shuts down the cluster and reports any aggregator failure.
 func (lc *LocalCluster) Close() error {
+	// Close workers (not just their conns) so each releases its pooled
+	// per-connection op state back to the pools the leak audit reconciles.
+	for _, w := range lc.workers {
+		w.Close()
+	}
 	for _, c := range lc.conns {
 		c.Close()
 	}
@@ -382,3 +396,19 @@ func aggIDsFrom(o Options) []int {
 
 // Close releases the worker's transport endpoint.
 func (w *Worker) Close() error { return w.w.Close() }
+
+// Addr returns the worker's bound transport address (useful with ":0",
+// where the real port is only known after binding). Empty for transports
+// without a listener address.
+func (w *Worker) Addr() string { return w.w.LocalAddr() }
+
+// RegisterPeer adds or updates a peer address binding on transports that
+// support late registration (UDP), for ":0"-style setups where addresses
+// are exchanged after binding.
+func (a *Aggregator) RegisterPeer(id int, addr string) error {
+	type registrar interface{ RegisterPeer(int, string) error }
+	if r, ok := a.conn.(registrar); ok {
+		return r.RegisterPeer(id, addr)
+	}
+	return fmt.Errorf("omnireduce: transport does not support late peer registration")
+}
