@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race short-race fuzz chaos bench drift obs timeline clean
+.PHONY: all tier1 vet race short-race fuzz chaos bench drift obs timeline tenants clean
 
 all: tier1
 
@@ -17,9 +17,22 @@ vet:
 	$(GO) vet ./...
 
 # Race tier: vet, the observability/leak-audit suite, the timeline
-# pipeline, then the full test suite under the race detector.
-race: vet obs timeline
+# pipeline, the multi-tenant tier, then the full test suite under the
+# race detector.
+race: vet obs timeline tenants
 	$(GO) test -race ./...
+
+# Multi-tenant tier: the job registry and DRR scheduler suites, the
+# fairness/isolation/drain end-to-end tests (multiplexed jobs must be
+# bit-identical to solo runs, quotas must reject typed, drain must finish
+# in-flight rounds with balanced buffer pools), and the 30-second
+# starvation soak that bounds a quiet tenant's p95 latency while a noisy
+# tenant floods the aggregator.
+tenants:
+	$(GO) test -race ./internal/tenant/
+	$(GO) test -race -run 'TestControl' ./internal/wire/
+	$(GO) test -race -run 'TestMultiJob|TestJobsDoNotDisturb|TestMaxJobsQuotaTyped|TestMaxInFlightOpsQuotaTyped|TestTidCollisionRejected|TestNamespaceSquattingRejected|TestAggregatorDrain|TestJobReopenAfterClose|TestSparseJobCollective' ./internal/core/
+	OMNIREDUCE_SOAK=1 $(GO) test -race -run 'TestStarvationSoak' -v -timeout 10m ./internal/core/
 
 # Observability tier: the obs package plus the race-enabled leak-audit and
 # receive-pump suites — every pooled GetBuf must be matched by a PutBuf
@@ -60,7 +73,7 @@ fuzz:
 # recorded to BENCH_datapath.json (baseline preserved across reruns) so
 # the perf trajectory is tracked across PRs.
 bench:
-	( $(GO) test -run '^$$' -bench '^(BenchmarkAllReduceLive|BenchmarkAllReduceTCPLive)$$' -benchmem -benchtime 2x . ; \
+	( $(GO) test -run '^$$' -bench '^(BenchmarkAllReduceLive|BenchmarkAllReduceTCPLive|BenchmarkMultiJobLive)$$' -benchmem -benchtime 2x . ; \
 	  $(GO) test -run '^$$' -bench '^BenchmarkAllReduceUDPLive$$' -benchmem -benchtime 10x . ; \
 	  for i in 1 2 3 4 5; do \
 	    $(GO) test -run '^$$' -bench '^BenchmarkTracerOverhead$$' -benchmem -benchtime 30x . ; \

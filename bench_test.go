@@ -165,6 +165,80 @@ func BenchmarkAllReduceSparseLive(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiJobLive measures the multi-tenant service's multiplexing
+// cost: the same total gradient volume pushed through one aggregator as
+// a single job ("jobs=1", the plain single-job API) versus four
+// concurrent jobs across two tenants ("jobs=4_tenants=2", each job
+// carrying a quarter of the volume in its own tensor-ID namespace).
+// bytes/sec is total reduced volume either way, so the delta between the
+// sub-benchmarks is the price of namespace demultiplexing, admission
+// checks, and scheduler interleaving (cmd/benchjson records both in
+// BENCH_datapath.json).
+func BenchmarkMultiJobLive(b *testing.B) {
+	const workers = 2
+	const n = 1 << 20
+	b.Run("jobs=1", func(b *testing.B) {
+		c := benchCluster(b, workers)
+		inputs := benchInputs(workers, n, 0, 19)
+		b.SetBytes(int64(4 * n))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					if err := c.Worker(w).AllReduce(inputs[w]); err != nil {
+						b.Error(err)
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+	})
+	b.Run("jobs=4_tenants=2", func(b *testing.B) {
+		c := benchCluster(b, workers)
+		names := [][2]string{
+			{"prod", "ranker"}, {"prod", "embedder"},
+			{"research", "ablation-a"}, {"research", "ablation-b"},
+		}
+		jobs := make([][]*Job, len(names)) // [job][worker]
+		for ji, nm := range names {
+			jobs[ji] = make([]*Job, workers)
+			for w := 0; w < workers; w++ {
+				j, err := c.Worker(w).OpenJob(nm[0], nm[1])
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { j.Close() })
+				jobs[ji][w] = j
+			}
+		}
+		per := n / len(names)
+		inputs := make([][][]float32, len(names))
+		for ji := range inputs {
+			inputs[ji] = benchInputs(workers, per, 0, int64(23+ji))
+		}
+		b.SetBytes(int64(4 * n))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for ji := range jobs {
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(ji, w int) {
+						defer wg.Done()
+						if err := jobs[ji][w].AllReduce(inputs[ji][w]); err != nil {
+							b.Error(err)
+						}
+					}(ji, w)
+				}
+			}
+			wg.Wait()
+		}
+	})
+}
+
 // BenchmarkTracerOverhead runs the identical AllReduce workload twice:
 // "off" with no tracer installed (the one-atomic-load disabled path) and
 // "flight" with a live flight recorder capturing every slot event.

@@ -16,11 +16,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"omnireduce"
 	"omnireduce/internal/cli"
@@ -36,6 +38,8 @@ func main() {
 	blockSize := flag.Int("block-size", 256, "elements per block")
 	fusion := flag.Int("fusion", 8, "blocks fused per packet")
 	streams := flag.Int("streams", 4, "parallel aggregation streams")
+	quotaFile := flag.String("quota-file", "", "JSON per-tenant quota/weight policy (see internal/cli.QuotaFile)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight rounds on SIGTERM before closing anyway")
 	obsAddr := flag.String("obs", "", "serve /debug/obs, /debug/vars, and /debug/pprof on this address (empty = off)")
 	flag.Parse()
 
@@ -59,6 +63,18 @@ func main() {
 		FusionWidth: *fusion,
 		Streams:     *streams,
 	}
+	if *quotaFile != "" {
+		tcfg, err := cli.ParseQuotaFile(*quotaFile)
+		if err != nil {
+			log.Fatalf("aggregator: %v", err)
+		}
+		opts.DefaultQuota = omnireduce.TenantQuota(tcfg.Default)
+		opts.Tenants = make(map[string]omnireduce.TenantQuota, len(tcfg.Tenants))
+		for name, q := range tcfg.Tenants {
+			opts.Tenants[name] = omnireduce.TenantQuota(q)
+		}
+		log.Printf("aggregator: tenancy policy loaded from %s (%d tenants)", *quotaFile, len(tcfg.Tenants))
+	}
 
 	var agg *omnireduce.Aggregator
 	switch *transportName {
@@ -77,7 +93,22 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		<-sig
-		log.Printf("aggregator: shutting down")
+		// Graceful drain: refuse new admissions (workers get typed
+		// ErrAggregatorDraining), let in-flight rounds finish, then close.
+		// A second signal skips the drain.
+		log.Printf("aggregator: draining (up to %v; signal again to force)", *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		go func() {
+			<-sig
+			log.Printf("aggregator: forced shutdown")
+			cancel()
+		}()
+		if err := agg.Drain(ctx); err != nil {
+			log.Printf("aggregator: drain incomplete: %v", err)
+		} else {
+			log.Printf("aggregator: drained cleanly")
+		}
 		agg.Close()
 	}()
 

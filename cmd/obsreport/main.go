@@ -94,6 +94,56 @@ func runSweep(workers, size, iters int, sparsity float64) (time.Duration, omnire
 	return elapsed, pump
 }
 
+// runJobsSweep runs a short multi-tenant sweep — two tenants, two jobs
+// each, on one cluster — so the per-tenant registry metrics
+// ("tenant:<name>:...") carry real numbers in the report.
+func runJobsSweep(workers, size int) {
+	cluster, err := omnireduce.NewLocalCluster(omnireduce.Options{Workers: workers})
+	if err != nil {
+		log.Fatalf("obsreport: %v", err)
+	}
+	var wg sync.WaitGroup
+	for _, id := range []struct{ tenant, job string }{
+		{"prod", "ranker"}, {"prod", "embedder"},
+		{"research", "ablation-a"}, {"research", "ablation-b"},
+	} {
+		wg.Add(1)
+		go func(tenant, jobName string) {
+			defer wg.Done()
+			jobs := make([]*omnireduce.Job, workers)
+			for w := 0; w < workers; w++ {
+				j, err := cluster.Worker(w).OpenJob(tenant, jobName)
+				if err != nil {
+					log.Fatalf("obsreport: open job %s/%s: %v", tenant, jobName, err)
+				}
+				jobs[w] = j
+			}
+			var jwg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				jwg.Add(1)
+				go func(w int) {
+					defer jwg.Done()
+					data := make([]float32, size)
+					for i := range data {
+						data[i] = float32(w + i%7)
+					}
+					if err := jobs[w].AllReduce(data); err != nil {
+						log.Fatalf("obsreport: job %s/%s worker %d: %v", tenant, jobName, w, err)
+					}
+				}(w)
+			}
+			jwg.Wait()
+			for _, j := range jobs {
+				j.Close()
+			}
+		}(id.tenant, id.job)
+	}
+	wg.Wait()
+	if err := cluster.Close(); err != nil {
+		log.Fatalf("obsreport: close: %v", err)
+	}
+}
+
 func main() {
 	out := flag.String("o", "OBS_datapath.json", "output JSON path (empty to skip)")
 	workers := flag.Int("workers", 4, "in-process workers")
@@ -118,6 +168,10 @@ func main() {
 	defer obs.SetTracer(prev)
 	traced, pump := runSweep(*workers, *size, *iters, *sparsityF)
 
+	// Multi-tenant sweep: four jobs across two tenants on one cluster, so
+	// the per-tenant admission metrics appear in the tables and snapshot.
+	runJobsSweep(*workers, *size/4)
+
 	leaks := audit.Settle(2 * time.Second)
 	overheadPct := 100 * (float64(traced-untraced) / float64(untraced))
 
@@ -126,6 +180,9 @@ func main() {
 	fmt.Printf("obsreport: untraced %v, traced %v (delta %+.1f%%; enforced budget lives in make bench)\n",
 		untraced.Round(time.Millisecond), traced.Round(time.Millisecond), overheadPct)
 	for _, t := range obs.Default.Tables("obs ") {
+		t.Render(os.Stdout)
+	}
+	if t := obs.Default.TenantTable("obs "); t != nil {
 		t.Render(os.Stdout)
 	}
 	tracer.Counters().Table("trace events").Render(os.Stdout)

@@ -26,6 +26,7 @@ import (
 
 	"omnireduce/internal/obs"
 	"omnireduce/internal/obs/timeline"
+	"omnireduce/internal/protocol"
 )
 
 func fail(format string, a ...any) {
@@ -38,6 +39,7 @@ func main() {
 	width := flag.Int("width", 64, "Gantt row width in characters")
 	check := flag.Bool("check", false, "exit nonzero unless the timeline is healthy")
 	skipTol := flag.Float64("skip-tol", 0.01, "max |measured-expected| skip ratio in -check mode")
+	ns := flag.Int("ns", -1, "only this tensor-ID namespace (one job of a multi-tenant aggregator; -1 = all)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fail("no dump files given (usage: tracetool [flags] dump.json...)")
@@ -53,6 +55,17 @@ func main() {
 		f.Close()
 		if err != nil {
 			fail("%s: %v", path, err)
+		}
+		if *ns >= 0 {
+			// Tensor IDs embed their job's namespace, so one job of a
+			// multi-tenant run is a pure record filter.
+			kept := d.Records[:0]
+			for _, r := range d.Records {
+				if int(protocol.TidNamespace(r.Tid)) == *ns {
+					kept = append(kept, r)
+				}
+			}
+			d.Records = kept
 		}
 		dumps = append(dumps, d)
 	}

@@ -38,6 +38,8 @@ func main() {
 	fusion := flag.Int("fusion", 8, "blocks fused per packet")
 	streams := flag.Int("streams", 4, "parallel aggregation streams")
 	seed := flag.Int64("seed", 1, "tensor seed (same on all workers for overlap control)")
+	tenantName := flag.String("tenant", "", "tenant name for a multi-tenant aggregator (empty = legacy default job)")
+	jobName := flag.String("job", "", "job name within -tenant (required when -tenant is set)")
 	obsAddr := flag.String("obs", "", "serve /debug/obs, /debug/vars, and /debug/pprof on this address (empty = off)")
 	flag.Parse()
 
@@ -75,6 +77,23 @@ func main() {
 	}
 	defer w.Close()
 
+	// With -tenant/-job the collectives run inside that job's tensor-ID
+	// namespace, so many such workers can share one aggregator fleet.
+	// allReduce dispatches to the job session when one is open.
+	allReduce := w.AllReduce
+	if *tenantName != "" || *jobName != "" {
+		if *tenantName == "" || *jobName == "" {
+			log.Fatalf("worker: -tenant and -job must be set together")
+		}
+		job, err := w.OpenJob(*tenantName, *jobName)
+		if err != nil {
+			log.Fatalf("worker: open job %s/%s: %v", *tenantName, *jobName, err)
+		}
+		defer job.Close()
+		log.Printf("worker %d: joined job %s/%s (namespace %d)", *id, *tenantName, *jobName, job.Namespace())
+		allReduce = job.AllReduce
+	}
+
 	rng := rand.New(rand.NewSource(*seed + int64(*id)*7919))
 	data := make([]float32, *size)
 	regen := func() {
@@ -91,7 +110,7 @@ func main() {
 	for it := 0; it < *warmup+*iters; it++ {
 		regen()
 		start := time.Now()
-		if err := w.AllReduce(data); err != nil {
+		if err := allReduce(data); err != nil {
 			log.Fatalf("worker: AllReduce: %v", err)
 		}
 		if it >= *warmup {

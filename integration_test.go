@@ -5,6 +5,7 @@ package omnireduce
 // run across hosts.
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -240,6 +241,146 @@ func TestPublicAsyncBuckets(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestCLIGracefulDrain sends SIGTERM to a real cmd/aggregator process
+// mid-collective and verifies the rolling-restart contract: the
+// in-flight operation runs to completion and yields the correct sum, a
+// job open attempted during the drain is refused with the typed
+// ErrAggregatorDraining (not a timeout), and the process exits cleanly
+// once quiescent.
+func TestCLIGracefulDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bin := dir + "/aggregator"
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/aggregator").CombinedOutput(); err != nil {
+		t.Fatalf("build aggregator: %v\n%s", err, out)
+	}
+
+	const workers = 2
+	nodes := "0=127.0.0.1:47821,1=127.0.0.1:47822,2=127.0.0.1:47823"
+	agg := exec.Command(bin, "-id", "2", "-workers", "2", "-nodes", nodes, "-drain-timeout", "60s")
+	aggOut := &strings.Builder{}
+	var aggMu sync.Mutex
+	agg.Stdout = lockedWriter{&aggMu, aggOut}
+	agg.Stderr = lockedWriter{&aggMu, aggOut}
+	if err := agg.Start(); err != nil {
+		t.Fatal(err)
+	}
+	aggLog := func() string { aggMu.Lock(); defer aggMu.Unlock(); return aggOut.String() }
+	var exitErr error
+	exited := make(chan struct{})
+	go func() { exitErr = agg.Wait(); close(exited) }()
+	defer func() {
+		select {
+		case <-exited:
+		default:
+			agg.Process.Kill()
+			<-exited
+		}
+	}()
+	bindDeadline := time.Now().Add(10 * time.Second)
+	for {
+		c, err := net.Dial("tcp", "127.0.0.1:47823")
+		if err == nil {
+			c.Close()
+			break
+		}
+		if time.Now().After(bindDeadline) {
+			t.Fatalf("aggregator never bound: %v\nagg: %s", err, aggLog())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	opts := Options{Workers: workers, Streams: 2, StallTimeout: 30 * time.Second}
+	addrs := map[int]string{0: "127.0.0.1:47821", 1: "127.0.0.1:47822", 2: "127.0.0.1:47823"}
+	ws := make([]*Worker, workers)
+	for i := 0; i < workers; i++ {
+		w, err := NewTCPWorker(i, addrs, opts)
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		defer w.Close()
+		ws[i] = w
+	}
+
+	// Worker 0 starts a collective alone; with worker 1 lagging, the
+	// operation is admitted and held in flight when the signal lands.
+	const n = 50_000
+	inputs := make([][]float32, workers)
+	want := make([]float32, n)
+	rng := rand.New(rand.NewSource(9))
+	for w := range inputs {
+		inputs[w] = make([]float32, n)
+		for i := range inputs[w] {
+			v := float32(rng.NormFloat64())
+			inputs[w][i] = v
+			want[i] += v
+		}
+	}
+	p0, err := ws[0].AllReduceAsync(inputs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond) // let worker 0's packets admit the op
+	if err := agg.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	drainDeadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(aggLog(), "draining") {
+		if time.Now().After(drainDeadline) {
+			t.Fatalf("aggregator never reported draining\nagg: %s", aggLog())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// New admissions are refused typed while the in-flight op is live.
+	if _, err := ws[1].OpenJob("prod", "latecomer"); !errors.Is(err, ErrAggregatorDraining) {
+		t.Fatalf("OpenJob during drain: got %v, want ErrAggregatorDraining", err)
+	}
+
+	// The held collective still completes: worker 1 joins, both finish.
+	if err := ws[1].AllReduce(inputs[1]); err != nil {
+		t.Fatalf("worker 1 in-flight collective: %v", err)
+	}
+	if err := p0.Wait(); err != nil {
+		t.Fatalf("worker 0 in-flight collective: %v", err)
+	}
+	for w := range inputs {
+		for i := range want {
+			d := float64(inputs[w][i]) - float64(want[i])
+			if d > 1e-3 || d < -1e-3 {
+				t.Fatalf("worker %d elem %d: %v vs %v", w, i, inputs[w][i], want[i])
+			}
+		}
+	}
+
+	select {
+	case <-exited:
+		if exitErr != nil {
+			t.Fatalf("aggregator exit: %v\nagg: %s", exitErr, aggLog())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("aggregator did not exit after drain\nagg: %s", aggLog())
+	}
+	if !strings.Contains(aggLog(), "drained cleanly") {
+		t.Fatalf("aggregator log missing clean-drain report:\n%s", aggLog())
+	}
+}
+
+// lockedWriter serializes subprocess output capture against concurrent
+// reads from the test goroutine.
+type lockedWriter struct {
+	mu *sync.Mutex
+	b  *strings.Builder
+}
+
+func (w lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
 }
 
 // TestCLIBinaries builds the actual cmd/aggregator and cmd/worker

@@ -1,6 +1,10 @@
 package cli
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestParseNodes(t *testing.T) {
 	m, err := ParseNodes("0=10.0.0.1:7000, 1=10.0.0.2:7000,2=:7002")
@@ -24,6 +28,50 @@ func TestParseNodesErrors(t *testing.T) {
 		if _, err := ParseNodes(c); err == nil {
 			t.Errorf("ParseNodes(%q) accepted", c)
 		}
+	}
+}
+
+func TestParseQuotaFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "quotas.json")
+	policy := `{
+		"default": {"weight": 1},
+		"tenants": {
+			"prod":     {"weight": 3, "max_jobs": 8, "max_inflight_ops": 64},
+			"research": {"weight": 1, "max_jobs": 2}
+		}
+	}`
+	if err := os.WriteFile(path, []byte(policy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ParseQuotaFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Default.Weight != 1 {
+		t.Fatalf("default quota: %+v", cfg.Default)
+	}
+	prod := cfg.Tenants["prod"]
+	if prod.Weight != 3 || prod.MaxJobs != 8 || prod.MaxInFlightOps != 64 {
+		t.Fatalf("prod quota: %+v", prod)
+	}
+	if r := cfg.Tenants["research"]; r.MaxJobs != 2 || r.MaxInFlightOps != 0 {
+		t.Fatalf("research quota: %+v", r)
+	}
+}
+
+func TestParseQuotaFileErrors(t *testing.T) {
+	if _, err := ParseQuotaFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{"tenants": {"": {"weight": 1}}}`), 0o644)
+	if _, err := ParseQuotaFile(bad); err == nil {
+		t.Error("empty tenant name accepted")
+	}
+	notJSON := filepath.Join(t.TempDir(), "notjson.json")
+	os.WriteFile(notJSON, []byte(`weight = 1`), 0o644)
+	if _, err := ParseQuotaFile(notJSON); err == nil {
+		t.Error("malformed JSON accepted")
 	}
 }
 

@@ -1,0 +1,61 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"omnireduce/internal/tenant"
+)
+
+// QuotaFile is the on-disk tenancy policy for cmd/aggregator's
+// -quota-file flag:
+//
+//	{
+//	  "default": {"weight": 1},
+//	  "tenants": {
+//	    "prod":     {"weight": 4, "max_jobs": 8, "max_inflight_ops": 64},
+//	    "research": {"weight": 1, "max_jobs": 2, "max_inflight_ops": 8}
+//	  }
+//	}
+//
+// Absent fields mean unlimited (weight 1); an absent tenant gets the
+// default quota.
+type QuotaFile struct {
+	Default QuotaEntry            `json:"default"`
+	Tenants map[string]QuotaEntry `json:"tenants"`
+}
+
+// QuotaEntry is one tenant's limits in the quota file.
+type QuotaEntry struct {
+	Weight         int `json:"weight"`
+	MaxJobs        int `json:"max_jobs"`
+	MaxInFlightOps int `json:"max_inflight_ops"`
+}
+
+func (e QuotaEntry) quota() tenant.Quota {
+	return tenant.Quota{Weight: e.Weight, MaxJobs: e.MaxJobs, MaxInFlightOps: e.MaxInFlightOps}
+}
+
+// ParseQuotaFile reads a JSON tenancy policy into a tenant.Config.
+func ParseQuotaFile(path string) (*tenant.Config, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("quota file: %w", err)
+	}
+	var qf QuotaFile
+	if err := json.Unmarshal(raw, &qf); err != nil {
+		return nil, fmt.Errorf("quota file %s: %w", path, err)
+	}
+	cfg := &tenant.Config{Default: qf.Default.quota()}
+	if len(qf.Tenants) > 0 {
+		cfg.Tenants = make(map[string]tenant.Quota, len(qf.Tenants))
+		for name, e := range qf.Tenants {
+			if name == "" {
+				return nil, fmt.Errorf("quota file %s: empty tenant name", path)
+			}
+			cfg.Tenants[name] = e.quota()
+		}
+	}
+	return cfg, nil
+}

@@ -1,42 +1,67 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"omnireduce/internal/metrics"
 	"omnireduce/internal/obs"
 	"omnireduce/internal/protocol"
+	"omnireduce/internal/tenant"
 	"omnireduce/internal/transport"
 	"omnireduce/internal/wire"
 )
 
-// Aggregator is one aggregator node: it owns the slots of every stream
-// mapped to it and serves the block aggregation of Algorithms 1 and 2 plus
-// the key-value aggregation of Algorithm 3. Create with NewAggregator and
-// drive with Run.
+// Aggregator is one aggregator node of the multi-tenant collective
+// service: a long-lived process that concurrently serves many jobs from
+// many tenants, each in its own tensor-ID namespace. Create with
+// NewAggregator and drive with Run.
 //
-// The aggregation logic lives in protocol.AggregatorMachine; the
-// Aggregator is its I/O driver: it decodes inbound transport messages,
-// feeds them to the machine, and encodes and transmits the machine's
-// emits. Result multicasts are encoded once and fanned out.
+// The aggregation logic lives in protocol.AggregatorMachine — one
+// instance per (shard, namespace), since jobs differ in worker count —
+// and the Aggregator is the I/O and policy driver around them:
 //
-// With Config.AggShards > 1, Run partitions the slot space across a
-// bounded pool of shard goroutines, each owning an independent machine —
-// the software analogue of the paper's multi-pipeline switch aggregation.
-// Dense packets route by slot and sparse packets by tensor ID, which are
+//   - A tenant.Registry makes every admission decision: job opens
+//     (quotas, namespace collisions), first packets of new collectives
+//     (per-tenant in-flight caps, drain refusals), and worker-to-node
+//     bindings for result routing and collision detection. Refusals are
+//     answered with typed control packets, so workers fail with
+//     ErrTenantQuota / ErrAggregatorDraining / ErrTidCollision instead
+//     of timing out.
+//   - With Config.AggShards > 1, Run partitions the slot space across a
+//     bounded pool of shard goroutines. Each shard is fed through a
+//     deficit-round-robin scheduler keyed by namespace, so a tenant
+//     flooding the aggregator gets at most its weighted share of merge
+//     time and quiet tenants' latency stays bounded.
+//   - Drain stops admissions and waits for in-flight rounds to finish —
+//     the graceful half of a rolling restart.
+//
+// Dense packets route to shards by slot and sparse packets by tensor ID,
 // exactly the keys the machine partitions its own state by, so shards
 // never share protocol state and per-slot packet order is preserved. The
-// machines stay pure either way; only the driver knows about goroutines.
+// machines stay pure; only the driver knows about goroutines.
 type Aggregator struct {
 	conn transport.Conn
 	cfg  Config
-	m    *protocol.AggregatorMachine
+	reg  *tenant.Registry
 
+	// Serial-path state (AggShards <= 1).
+	ms  machineSet
 	tx  txBatch
 	dec decodeState
+
+	// gate is the admission filter run by the single Recv-consumer
+	// thread (the serial loop or the sharded router).
+	gate admitGate
+
+	// shardsMu guards shards, which Drain polls for queued work while
+	// runSharded owns it.
+	shardsMu sync.Mutex
+	shards   []*aggShard
 
 	// pump tallies the sharded router's dispatch decisions; see
 	// PumpSnapshot.
@@ -52,18 +77,24 @@ type Aggregator struct {
 type aggPumpCounters struct {
 	routed      atomic.Int64
 	shardStalls atomic.Int64
+	schedDrops  atomic.Int64
 }
 
 // AggPumpStats is a point-in-time copy of the sharded router's counters.
-// On unsharded runs (AggShards <= 1) both fields stay zero.
+// On unsharded runs (AggShards <= 1) all fields stay zero.
 type AggPumpStats struct {
 	// Routed is the number of messages dispatched to shards.
 	Routed int64
-	// ShardStalls counts messages that found their shard's queue full and
-	// made the router block until the shard caught up. A high ratio of
-	// stalls to routed messages means one shard is the bottleneck
-	// (skewed slot distribution) or shards are starved for CPU.
+	// ShardStalls counts messages that found their flow's scheduler queue
+	// full on a reliable transport and made the router block until the
+	// shard caught up. A high ratio of stalls to routed messages means
+	// one shard is the bottleneck (skewed slot distribution) or shards
+	// are starved for CPU.
 	ShardStalls int64
+	// SchedDrops counts messages dropped because their flow's scheduler
+	// queue was full on an unreliable transport (repaired by Algorithm
+	// 2's retransmission, like any other loss).
+	SchedDrops int64
 }
 
 // PumpSnapshot returns the sharded router's dispatch counters.
@@ -71,6 +102,7 @@ func (a *Aggregator) PumpSnapshot() AggPumpStats {
 	return AggPumpStats{
 		Routed:      a.pump.routed.Load(),
 		ShardStalls: a.pump.shardStalls.Load(),
+		SchedDrops:  a.pump.schedDrops.Load(),
 	}
 }
 
@@ -91,6 +123,18 @@ type AggStats struct {
 	DupsFiltered     int64 // same-round duplicates discarded
 	StaleRounds      int64 // packets arriving for an already-concluded round
 	StaleFinished    int64 // packets for finished tensors past the archive
+}
+
+// add folds another AggStats in field for field.
+func (s *AggStats) add(o AggStats) {
+	s.PacketsRecvd += o.PacketsRecvd
+	s.BlocksAggregated += o.BlocksAggregated
+	s.RoundsCompleted += o.RoundsCompleted
+	s.ResultsSent += o.ResultsSent
+	s.Replays += o.Replays
+	s.DupsFiltered += o.DupsFiltered
+	s.StaleRounds += o.StaleRounds
+	s.StaleFinished += o.StaleFinished
 }
 
 // accumulate folds one machine's counters in field for field.
@@ -123,24 +167,104 @@ func NewAggregator(conn transport.Conn, cfg Config) (*Aggregator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Aggregator{
+	var tcfg tenant.Config
+	if cfg.Tenancy != nil {
+		tcfg = *cfg.Tenancy
+	}
+	a := &Aggregator{
 		conn: conn,
 		cfg:  cfg,
-		m:    protocol.NewAggregatorMachine(cfg.proto(), conn.LocalID()),
-		tx:   newAggTxBatch(),
-	}, nil
+		reg:  tenant.NewRegistry(tcfg, obs.Default, cfg.Workers),
+		tx:   txBatch{observe: observeAggTx, flushFull: obsAggFlushFull, flushEnd: obsAggFlushEnd, dedup: true},
+	}
+	a.ms = newMachineSet(cfg.proto(), conn.LocalID(), a.reg)
+	a.tx.resolve = a.resolveDst
+	a.gate = admitGate{a: a, verdicts: make(map[admitKey]uint8), gens: make(map[uint32]uint32)}
+	return a, nil
 }
 
-// newAggTxBatch configures an aggregator-side transmit batch: result
-// multicasts are encoded once (the machine guarantees a pointer-shared
-// packet means identical bytes), and fan-out destinations become one
-// sendmmsg burst on the Linux fast path.
-func newAggTxBatch() txBatch {
-	return txBatch{
-		observe:   observeAggTx,
-		flushFull: obsAggFlushFull,
-		flushEnd:  obsAggFlushEnd,
-		dedup:     true,
+// Registry exposes the aggregator's job registry (admission state,
+// per-tenant accounting) for inspection and tests.
+func (a *Aggregator) Registry() *tenant.Registry { return a.reg }
+
+// resolveDst maps a machine-emitted destination (a job-relative worker
+// ID) to the transport node that worker registered from. The default
+// namespace keeps the historic identity mapping — its workers never
+// register, their worker IDs are their node IDs.
+func (a *Aggregator) resolveDst(tid uint32, dst int) int {
+	if protocol.TidNamespace(tid) == 0 {
+		return dst
+	}
+	if node, ok := a.reg.NodeFor(tid, dst); ok {
+		return node
+	}
+	return dst
+}
+
+// machineSet lazily instantiates one AggregatorMachine per tensor-ID
+// namespace: jobs differ in worker count, and the machine sizes its
+// per-worker state from its config. Namespace 0 uses the aggregator's
+// own configured worker count, exactly the pre-tenancy behavior. Every
+// machine's lifecycle hooks feed the registry's in-flight accounting.
+type machineSet struct {
+	base    protocol.Config
+	localID int
+	reg     *tenant.Registry
+	ms      map[uint32]*protocol.AggregatorMachine
+	gens    map[uint32]uint32 // registration generation each machine was built under
+	retired AggStats          // counters folded out of retired machines
+}
+
+func newMachineSet(base protocol.Config, localID int, reg *tenant.Registry) machineSet {
+	return machineSet{
+		base: base, localID: localID, reg: reg,
+		ms:   make(map[uint32]*protocol.AggregatorMachine),
+		gens: make(map[uint32]uint32),
+	}
+}
+
+// machineFor returns the machine owning tid's namespace, creating it on
+// first contact. gen is the namespace's registration generation as
+// stamped by the admission gate: a job that closed and reopened restarts
+// its tensor-ID sequence, so a machine surviving from the previous
+// session would answer the new session's reused tensor IDs out of its
+// finished-tensor archive. A generation mismatch therefore retires the
+// old machine (keeping its counters) and builds a fresh one. Returns nil
+// when the namespace is not (or no longer) registered — the admission
+// gate refuses unknown namespaces up front, so this only catches packets
+// straggling behind a job close.
+func (s *machineSet) machineFor(tid uint32, gen uint32) *protocol.AggregatorMachine {
+	ns := protocol.TidNamespace(tid)
+	if m := s.ms[ns]; m != nil {
+		if s.gens[ns] == gen {
+			return m
+		}
+		var old AggStats
+		old.accumulate(m.Stats())
+		s.retired.add(old)
+		delete(s.ms, ns)
+	}
+	cfg := s.base
+	if ns != 0 {
+		w := s.reg.WorkersOf(ns)
+		if w <= 0 {
+			return nil
+		}
+		cfg.Workers = w
+	}
+	m := protocol.NewAggregatorMachine(cfg, s.localID)
+	m.SlotOpened = s.reg.SlotOpened
+	m.SlotFinished = s.reg.SlotFinished
+	s.ms[ns] = m
+	s.gens[ns] = gen
+	return m
+}
+
+// fold accumulates every machine's counters (live and retired) into sum.
+func (s *machineSet) fold(sum *AggStats) {
+	sum.add(s.retired)
+	for _, m := range s.ms {
+		sum.accumulate(m.Stats())
 	}
 }
 
@@ -161,6 +285,16 @@ func (a *Aggregator) Run() error {
 			}
 			return err
 		}
+		forward, err := a.gate.filter(m)
+		if err != nil {
+			if errors.Is(err, transport.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if !forward {
+			continue
+		}
 		if err := a.handle(m); err != nil {
 			if errors.Is(err, transport.ErrClosed) {
 				return nil
@@ -170,12 +304,17 @@ func (a *Aggregator) Run() error {
 	}
 }
 
-// handle decodes one inbound message, runs it through the machine, and
-// transmits the machine's emits. The message buffer is recycled to the
-// transport pool as soon as decoding has copied it out.
+// handle decodes one inbound message, runs it through its namespace's
+// machine, and transmits the machine's emits. The message buffer is
+// recycled to the transport pool as soon as decoding has copied it out.
 func (a *Aggregator) handle(m transport.Message) error {
-	emits, err := handleMsg(a.m, &a.dec, m)
-	a.Stats = AggStats(a.m.Stats())
+	var gen uint32
+	if tid, ok := peekTensorID(m.Data); ok {
+		gen = a.gate.genOf(tid)
+	}
+	emits, err := handleMsg(&a.ms, &a.dec, m, gen)
+	a.Stats = AggStats{}
+	a.ms.fold(&a.Stats)
 	if err != nil {
 		return err
 	}
@@ -183,12 +322,13 @@ func (a *Aggregator) handle(m transport.Message) error {
 }
 
 // handleMsg decodes one message into dec's reusable state, releases the
-// encoded buffer, and feeds the packet to machine m. Decoding copies
+// encoded buffer, and feeds the packet to its namespace's machine (built
+// or rebuilt for registration generation gen). Decoding copies
 // everything out of msg.Data (payloads land in dec's scratch arena), so
 // the buffer goes back to the transport pool before the machine runs —
 // on decode errors too, since a buffer that failed to decode is equally
 // finished with.
-func handleMsg(m *protocol.AggregatorMachine, dec *decodeState, msg transport.Message) ([]protocol.Emit, error) {
+func handleMsg(ms *machineSet, dec *decodeState, msg transport.Message, gen uint32) ([]protocol.Emit, error) {
 	n := int64(len(msg.Data))
 	obsAggPackets.Inc()
 	obsAggRxSize.Observe(n)
@@ -216,6 +356,13 @@ func handleMsg(m *protocol.AggregatorMachine, dec *decodeState, msg transport.Me
 		return nil, fmt.Errorf("core: aggregator received unexpected message type %d", wire.PeekType(msg.Data))
 	}
 	transport.PutBuf(msg.Data)
+	m := ms.machineFor(tid, gen)
+	if m == nil {
+		// The job closed with packets still queued behind the gate; too
+		// late to serve, nothing to corrupt.
+		obsAggLateDrops.Inc()
+		return nil, nil
+	}
 	if obs.Enabled() {
 		obs.Emit(obs.EvPacketRecvd, tid, n)
 		before := m.Stats().BlocksAggregated
@@ -228,29 +375,181 @@ func handleMsg(m *protocol.AggregatorMachine, dec *decodeState, msg transport.Me
 	return m.HandlePacket(pm)
 }
 
+// admitGate is the admission filter in front of the merge path, run by
+// whichever single thread consumes Recv (the serial loop or the sharded
+// router) — so every admission decision is serialized without any
+// datapath locking. It owns the control plane: job opens and closes are
+// answered here, and every (tensor ID, worker ID, sender) triple the
+// router has not seen is ruled on by the registry. Keying verdicts on
+// the full triple (not the tensor ID alone) is what catches a second
+// cluster squatting on an already-ruled tensor ID from a different node
+// — with a tid-only cache its packets would ride the first cluster's
+// admission straight into the merge. Steady-state cost per packet is one
+// map probe.
+type admitGate struct {
+	a        *Aggregator
+	verdicts map[admitKey]uint8 // wire reason; 0 = admitted
+	gens     map[uint32]uint32  // namespace registration generations (bumped on job deregistration)
+	ctrlBuf  []byte             // reusable control-reply encode buffer
+}
+
+// admitKey identifies one ruled-on packet source: the operation, the
+// job-relative worker claiming it, and the transport node it came from.
+type admitKey struct {
+	tid  uint32
+	wid  uint16
+	from int
+}
+
+// filter inspects one inbound message. It returns forward=true when the
+// message should proceed to the merge path; otherwise the message was
+// consumed here (control traffic, rejected operations) and its buffer
+// recycled. A transport error sending a refusal propagates so Run can
+// wind down.
+func (g *admitGate) filter(m transport.Message) (bool, error) {
+	t := wire.PeekType(m.Data)
+	if !wire.IsControlType(t) {
+		if t != wire.TypeData && t != wire.TypeSparseData {
+			// Results and unknown types fall through to the merge path,
+			// which reports them exactly as before tenancy existed.
+			return true, nil
+		}
+		tid, ok := peekTensorID(m.Data)
+		if !ok {
+			return true, nil // undecodable; the merge path raises the error
+		}
+		wid, _ := wire.PeekWID(m.Data)
+		key := admitKey{tid: tid, wid: wid, from: m.From}
+		reason, known := g.verdicts[key]
+		if !known {
+			var err error
+			reason, err = g.a.reg.AdmitOp(tid, int(wid), m.From)
+			if err != nil {
+				obsAggOpsRejected.Inc()
+			} else {
+				obsAggOpsAdmitted.Inc()
+			}
+			if len(g.verdicts) >= 1<<16 {
+				// Bound the memo on a long-lived service; AdmitOp is
+				// idempotent for known triples so re-deriving is safe.
+				clear(g.verdicts)
+			}
+			g.verdicts[key] = reason
+		}
+		if reason == wire.ReasonNone {
+			return true, nil
+		}
+		// Refused: answer the sender with the op's own tensor ID so the
+		// worker-side pump routes the refusal to the waiting operation.
+		from := m.From
+		transport.PutBuf(m.Data)
+		return false, g.sendControl(from, &wire.ControlPacket{
+			Type:     wire.TypeOpReject,
+			Reason:   reason,
+			TensorID: tid,
+		})
+	}
+
+	obsAggCtrlPackets.Inc()
+	cp, err := wire.DecodeControl(m.Data)
+	from := m.From
+	transport.PutBuf(m.Data)
+	if err != nil {
+		return false, nil
+	}
+	switch cp.Type {
+	case wire.TypeJobOpen:
+		key := tenant.JobKey{Tenant: cp.Tenant, Job: cp.Job}
+		ns := protocol.TidNamespace(cp.TensorID)
+		reason, oerr := g.a.reg.OpenJob(key, ns, int(cp.WID), int(cp.Workers), from)
+		reply := &wire.ControlPacket{Type: wire.TypeJobAccept, TensorID: cp.TensorID}
+		if oerr != nil {
+			reply.Type = wire.TypeJobReject
+			reply.Reason = reason
+		}
+		return false, g.sendControl(from, reply)
+	case wire.TypeJobClose:
+		ns := protocol.TidNamespace(cp.TensorID)
+		if g.a.reg.CloseJob(ns, int(cp.WID)) {
+			g.retire(ns)
+		}
+		return false, nil
+	default:
+		// Accept/Reject/OpReject are worker-bound; arriving here they are
+		// stray reflections and are dropped.
+		return false, nil
+	}
+}
+
+// retire records that ns's job fully deregistered. The next registration
+// of the namespace is a new generation — machines built for the old
+// session get rebuilt on first contact (see machineSet.machineFor) — and
+// cached verdicts for the namespace's tensor IDs are forgotten, since a
+// reincarnated job reuses tensor IDs and must not inherit the old
+// session's admissions or refusals.
+func (g *admitGate) retire(ns uint32) {
+	g.gens[ns]++
+	for k := range g.verdicts {
+		if protocol.TidNamespace(k.tid) == ns {
+			delete(g.verdicts, k)
+		}
+	}
+}
+
+// genOf reports the current registration generation of tid's namespace.
+// Must be called from the gate's owning thread (the Recv consumer).
+func (g *admitGate) genOf(tid uint32) uint32 {
+	return g.gens[protocol.TidNamespace(tid)]
+}
+
+// sendControl encodes and transmits one control packet, reusing the
+// gate's buffer.
+func (g *admitGate) sendControl(to int, cp *wire.ControlPacket) error {
+	g.ctrlBuf = wire.AppendControl(g.ctrlBuf[:0], cp)
+	if cp.Type == wire.TypeOpReject || cp.Type == wire.TypeJobReject {
+		obsAggRejectsSent.Inc()
+	}
+	return g.a.conn.Send(to, g.ctrlBuf)
+}
+
 // aggShard is one slot-partition of a sharded aggregator: its own
-// machine, decode state, and transmit batch, fed in slot order through a
-// dedicated channel. Nothing here is shared with other shards.
+// machines (one per namespace), decode state, and transmit batch, fed in
+// per-flow FIFO order through a deficit-round-robin scheduler. Nothing
+// here is shared with other shards.
 type aggShard struct {
 	conn transport.Conn
-	m    *protocol.AggregatorMachine
-	in   chan transport.Message
+	ms   machineSet
+	in   *tenant.DRR[shardItem]
 	dec  decodeState
 	tx   txBatch
 	err  error
 }
 
-// run drains the shard's inbound channel until it closes. After a
-// protocol error the shard keeps draining (discarding messages, recycling
-// their buffers) so the router never blocks on a dead shard; fail lets
-// the router learn about the failure promptly.
+// shardItem is one scheduled unit of shard work: the encoded message
+// plus the registration generation of its namespace at routing time. The
+// generation travels with the packet because the gate (router thread)
+// owns generation state while machines live on shard goroutines; per-
+// flow FIFO order makes the stamp monotonic per (shard, namespace).
+type shardItem struct {
+	m   transport.Message
+	gen uint32
+}
+
+// run drains the shard's scheduler until it closes. After a protocol
+// error the shard keeps draining (discarding messages, recycling their
+// buffers) so the router never blocks on a dead shard; fail lets the
+// router learn about the failure promptly.
 func (s *aggShard) run(fail func()) {
-	for m := range s.in {
+	for {
+		it, ok := s.in.Pop()
+		if !ok {
+			return
+		}
 		if s.err != nil {
-			transport.PutBuf(m.Data)
+			transport.PutBuf(it.m.Data)
 			continue
 		}
-		emits, err := handleMsg(s.m, &s.dec, m)
+		emits, err := handleMsg(&s.ms, &s.dec, it.m, it.gen)
 		if err == nil {
 			err = s.tx.sendEmits(s.conn, emits)
 		}
@@ -279,21 +578,38 @@ func shardOf(data []byte, n int) int {
 	return 0
 }
 
+// schedFlowCap bounds each (shard, namespace) queue. Sized like the
+// previous per-shard channel: deep enough to ride out a merge burst,
+// shallow enough that a stuck shard surfaces as stalls (reliable) or
+// drops (unreliable) rather than unbounded memory.
+const schedFlowCap = 64
+
 // runSharded is Run's bounded-parallel form: n shard goroutines, a
-// router loop feeding them, and a final fold of per-shard stats into
-// Stats. Per-slot FIFO order is preserved because the route is a pure
-// function of the slot and each shard processes its channel serially.
+// router loop feeding them through per-namespace DRR schedulers, and a
+// final fold of per-shard stats into Stats. Per-(job, slot) FIFO order
+// is preserved because the route is a pure function of (namespace,
+// slot), flows are FIFO, and each shard processes its scheduler
+// serially.
 func (a *Aggregator) runSharded(n int) error {
 	shards := make([]*aggShard, n)
 	proto := a.cfg.proto()
 	for i := range shards {
 		shards[i] = &aggShard{
 			conn: a.conn,
-			m:    protocol.NewAggregatorMachine(proto, a.conn.LocalID()),
-			in:   make(chan transport.Message, 64),
-			tx:   newAggTxBatch(),
+			ms:   newMachineSet(proto, a.conn.LocalID(), a.reg),
+			in:   tenant.NewDRR[shardItem](0, schedFlowCap, a.reg.Weight),
 		}
+		shards[i].tx = txBatch{observe: observeAggTx, flushFull: obsAggFlushFull, flushEnd: obsAggFlushEnd, dedup: true, resolve: a.resolveDst}
 	}
+	a.shardsMu.Lock()
+	a.shards = shards
+	a.shardsMu.Unlock()
+	defer func() {
+		a.shardsMu.Lock()
+		a.shards = nil
+		a.shardsMu.Unlock()
+	}()
+
 	var wg sync.WaitGroup
 	failed := make(chan struct{})
 	var failOnce sync.Once
@@ -332,6 +648,7 @@ func (a *Aggregator) runSharded(n int) error {
 	}()
 
 	var recvErr error
+	var gateErr error
 router:
 	for {
 		select {
@@ -342,30 +659,51 @@ router:
 				recvErr = r.err
 				break router
 			}
+			forward, err := a.gate.filter(r.m)
+			if err != nil {
+				gateErr = err
+				break router
+			}
+			if !forward {
+				continue
+			}
+			tid, _ := peekTensorID(r.m.Data)
+			ns := protocol.TidNamespace(tid)
+			it := shardItem{m: r.m, gen: a.gate.gens[ns]}
 			sh := shards[shardOf(r.m.Data, n)]
 			a.pump.routed.Add(1)
-			select {
-			case sh.in <- r.m:
-			default:
-				// The shard's queue is full; the router must wait for it.
-				// Counted so a bottleneck shard is visible in AggPumpStats
-				// rather than showing up only as mysteriously low
-				// throughput.
-				a.pump.shardStalls.Add(1)
-				obsAggStalls.Inc()
-				sh.in <- r.m
+			if sh.in.Push(ns, it, len(r.m.Data)) {
+				continue
+			}
+			if !a.cfg.Reliable {
+				// The flow's queue is full on a lossy fabric: drop like
+				// the network would; Algorithm 2 repairs it. Only this
+				// flow is penalized — other tenants' queues are unaffected.
+				a.pump.schedDrops.Add(1)
+				obsAggSchedDrops.Inc()
+				transport.PutBuf(r.m.Data)
+				continue
+			}
+			// Reliable transports must not drop; the router waits for the
+			// shard, counted so a bottleneck shard is visible in
+			// AggPumpStats rather than showing up only as mysteriously low
+			// throughput.
+			a.pump.shardStalls.Add(1)
+			obsAggStalls.Inc()
+			if err := sh.in.PushWait(ns, it, len(r.m.Data)); err != nil {
+				transport.PutBuf(r.m.Data)
 			}
 		}
 	}
 	close(routerDone)
 	for _, s := range shards {
-		close(s.in)
+		s.in.Close()
 	}
 	wg.Wait()
 
 	var sum AggStats
 	for _, s := range shards {
-		sum.accumulate(s.m.Stats())
+		s.ms.fold(&sum)
 	}
 	a.Stats = sum
 
@@ -374,8 +712,64 @@ router:
 			return s.err
 		}
 	}
+	if gateErr != nil && !errors.Is(gateErr, transport.ErrClosed) {
+		return gateErr
+	}
 	if recvErr != nil && recvErr != transport.ErrClosed {
 		return recvErr
 	}
 	return nil
+}
+
+// queuedPackets reports how many admitted packets sit in shard
+// schedulers (0 on the serial path, which has no queues).
+func (a *Aggregator) queuedPackets() int {
+	a.shardsMu.Lock()
+	shards := a.shards
+	a.shardsMu.Unlock()
+	total := 0
+	for _, s := range shards {
+		total += s.in.Len()
+	}
+	return total
+}
+
+// drainPoll is the interval at which Drain re-checks for quiescence.
+const drainPoll = 5 * time.Millisecond
+
+// Drain gracefully quiesces the aggregator for a rolling restart: it
+// stops admitting new jobs and collectives (refusals carry
+// ErrAggregatorDraining so workers fail over instead of hanging), lets
+// every in-flight round run to completion, and returns once no admitted
+// operation, live slot, or queued packet remains — or with ctx's error
+// if the deadline expires first. The registry's final per-tenant
+// accounting stays published on the obs registry.
+//
+// Drain does not close the transport; the caller follows up with Close
+// (or keeps serving replays) once Drain returns.
+func (a *Aggregator) Drain(ctx context.Context) error {
+	a.reg.StartDrain()
+	obsAggDraining.Set(1)
+	// Quiescent means nothing admitted is unfinished AND nothing is
+	// queued between gate and machines. Two consecutive idle reads with a
+	// settle gap close the window where a shard has popped the last
+	// packet but not yet pushed its result to the transport.
+	idleStreak := 0
+	for {
+		if a.reg.ActiveOps() == 0 && a.reg.LiveSlots() == 0 && a.queuedPackets() == 0 {
+			idleStreak++
+			if idleStreak >= 2 {
+				obsAggDrains.Inc()
+				return nil
+			}
+		} else {
+			idleStreak = 0
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("core: drain: %w (ops=%d slots=%d queued=%d)",
+				ctx.Err(), a.reg.ActiveOps(), a.reg.LiveSlots(), a.queuedPackets())
+		case <-time.After(drainPoll):
+		}
+	}
 }

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"omnireduce/internal/protocol"
+	"omnireduce/internal/tenant"
 )
 
 // Config parameterizes workers and aggregators. Every participant in a
@@ -127,6 +128,18 @@ type Config struct {
 	// JSON file per stalled operation. Empty keeps the bundle in the
 	// returned *StallError without touching the filesystem.
 	PostmortemDir string
+	// Tenancy is the aggregator's multi-tenant policy: per-tenant quotas
+	// (max jobs, max in-flight collectives) and deficit-round-robin
+	// weights for jobs sharing the merge shards. Nil applies the zero
+	// policy — one implicit default tenant, unlimited, weight 1 — which
+	// reproduces the pre-registry single-job behavior for the legacy API.
+	// Workers ignore it.
+	Tenancy *tenant.Config
+	// OpenTimeout bounds a worker's OpenJob handshake with the
+	// aggregators (on unreliable transports the request is retried every
+	// RetransmitTimeout until accepted, rejected, or this deadline).
+	// Default 5s.
+	OpenTimeout time.Duration
 }
 
 // proto converts to the protocol-machine configuration, field for field.
@@ -170,6 +183,9 @@ func (c Config) withDefaults() Config {
 	if c.OpQueueLen == 0 {
 		c.OpQueueLen = 1024
 	}
+	if c.OpenTimeout == 0 {
+		c.OpenTimeout = 5 * time.Second
+	}
 	return c
 }
 
@@ -183,6 +199,9 @@ func (c Config) Validate() error {
 	}
 	if c.StallTimeout < 0 {
 		return fmt.Errorf("core: StallTimeout must be >= 0, got %v", c.StallTimeout)
+	}
+	if c.OpenTimeout < 0 {
+		return fmt.Errorf("core: OpenTimeout must be >= 0, got %v", c.OpenTimeout)
 	}
 	return c.proto().Validate()
 }

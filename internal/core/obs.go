@@ -35,6 +35,24 @@ var (
 	obsAggTxBytes = obs.Default.Counter("agg_tx_bytes")
 	obsAggStalls  = obs.Default.Counter("agg_router_stalls")
 	obsAggRxSize  = obs.Default.Histogram("agg_rx_packet_bytes")
+
+	// Multi-tenant admission and scheduling (see admitGate, tenant.DRR,
+	// Aggregator.Drain). ops_admitted/ops_rejected count registry verdicts
+	// on first-seen (tensor, worker, sender) triples; rejects_sent counts refusal
+	// control packets actually transmitted (job rejects included);
+	// sched_drops counts packets shed by a full per-tenant scheduler queue
+	// on unreliable transports; late_drops counts admitted packets that
+	// straggled in after their job closed. The per-tenant breakdown of the
+	// admission counters lives on "tenant:<name>:..." metrics registered
+	// by the tenant registry.
+	obsAggCtrlPackets = obs.Default.Counter("agg_ctrl_packets")
+	obsAggOpsAdmitted = obs.Default.Counter("agg_ops_admitted")
+	obsAggOpsRejected = obs.Default.Counter("agg_ops_rejected")
+	obsAggRejectsSent = obs.Default.Counter("agg_rejects_sent")
+	obsAggSchedDrops  = obs.Default.Counter("agg_sched_drops")
+	obsAggLateDrops   = obs.Default.Counter("agg_late_drops")
+	obsAggDraining    = obs.Default.Gauge("agg_draining")
+	obsAggDrains      = obs.Default.Counter("agg_drains_completed")
 )
 
 // observeWorkerTx records one transmitted packet of n encoded bytes on

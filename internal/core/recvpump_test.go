@@ -161,7 +161,7 @@ func TestReliableOverflowFailsOp(t *testing.T) {
 
 	// A driver loop parked on this queue must surface ErrOpBackpressure.
 	errCh := make(chan error, 1)
-	go func() { errCh <- w.runAllReduce(make([]float32, 8), tid, st) }()
+	go func() { errCh <- w.runAllReduce(make([]float32, 8), tid, st, w.cfg.proto(), w.id) }()
 	select {
 	case err := <-errCh:
 		if !errors.Is(err, ErrOpBackpressure) {

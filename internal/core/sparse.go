@@ -29,8 +29,13 @@ func (w *Worker) AllReduceSparse(in *tensor.COO) (*tensor.COO, error) {
 		return nil, err
 	}
 	defer w.endOp(tid, st)
+	return w.runAllReduceSparse(in, tid, st, w.cfg.proto(), w.id)
+}
 
-	m, err := protocol.NewSparseWorkerMachine(w.cfg.proto(), w.id, tid, in)
+// runAllReduceSparse drives one sparse collective; pcfg and wid are the
+// operation's job parameters (see runAllReduce).
+func (w *Worker) runAllReduceSparse(in *tensor.COO, tid uint32, st *opState, pcfg protocol.Config, wid int) (*tensor.COO, error) {
+	m, err := protocol.NewSparseWorkerMachine(pcfg, wid, tid, in)
 	if err != nil {
 		return nil, err
 	}
@@ -65,7 +70,13 @@ func (w *Worker) AllReduceSparse(in *tensor.COO) (*tensor.COO, error) {
 		select {
 		case msg := <-q.ch:
 			if wire.PeekType(msg.Data) != wire.TypeSparseResult {
-				return nil, fmt.Errorf("core: worker %d: unexpected message type %d in sparse mode", w.id, wire.PeekType(msg.Data))
+				rerr := rejectError(msg.Data)
+				t := wire.PeekType(msg.Data)
+				transport.PutBuf(msg.Data)
+				if rerr != nil {
+					return nil, fmt.Errorf("core: worker %d tensor %#x: %w", w.id, tid, rerr)
+				}
+				return nil, fmt.Errorf("core: worker %d: unexpected message type %d in sparse mode", w.id, t)
 			}
 			obs.Emit(obs.EvPacketRecvd, tid, int64(len(msg.Data)))
 			p, err := dec.decodeSparse(msg.Data)

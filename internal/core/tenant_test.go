@@ -1,0 +1,645 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"omnireduce/internal/obs"
+	"omnireduce/internal/tenant"
+	"omnireduce/internal/tensor"
+	"omnireduce/internal/transport"
+	"omnireduce/internal/wire"
+)
+
+// openJobAll opens (tenantName, jobName) on every worker of the cluster
+// and fails the test on any refusal.
+func openJobAll(t testing.TB, c *cluster, tenantName, jobName string) []*Job {
+	t.Helper()
+	jobs := make([]*Job, len(c.workers))
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.workers))
+	for i, w := range c.workers {
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			jobs[i], errs[i] = w.OpenJob(tenantName, jobName)
+		}(i, w)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: OpenJob(%s/%s): %v", i, tenantName, jobName, err)
+		}
+	}
+	return jobs
+}
+
+// jobAllReduce runs one collective on an open job across all members.
+func jobAllReduce(t testing.TB, jobs []*Job, inputs [][]float32) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, len(jobs))
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j *Job) {
+			defer wg.Done()
+			errs[i] = j.AllReduce(inputs[i])
+		}(i, j)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("job worker %d: %v", i, err)
+		}
+	}
+}
+
+// TestMultiJobBitIdenticalVsSolo is the tentpole acceptance check: one
+// aggregator serving four jobs across two tenants concurrently must
+// produce, for every job, results bit-identical to that job running
+// alone on its own cluster.
+func TestMultiJobBitIdenticalVsSolo(t *testing.T) {
+	const workers, size, rounds = 2, 2048, 3
+	ids := []struct{ tenant, job string }{
+		{"prod", "ranker"}, {"prod", "embedder"},
+		{"research", "ablation-a"}, {"research", "ablation-b"},
+	}
+	cfg := Config{Workers: workers, Reliable: true, DeterministicOrder: true, AggShards: 2}
+
+	// Per-job deterministic inputs, distinct across jobs.
+	inputsFor := func(jobIdx, round int) [][]float32 {
+		return randomInputs(size, workers, 0.7, int64(1000*jobIdx+round))
+	}
+
+	// Solo reference: each job alone on a fresh single-job cluster.
+	solo := make([][][]float32, len(ids))
+	for jobIdx := range ids {
+		c := startCluster(t, cfg, 0, 1)
+		for round := 0; round < rounds; round++ {
+			in := inputsFor(jobIdx, round)
+			c.allReduce(t, in)
+			if round == rounds-1 {
+				solo[jobIdx] = in
+			}
+		}
+		for _, w := range c.workers {
+			w.Close()
+		}
+	}
+
+	// Multiplexed run: all four jobs concurrently on ONE cluster.
+	c := startCluster(t, cfg, 0, 1)
+	multi := make([][][]float32, len(ids))
+	var wg sync.WaitGroup
+	for jobIdx, id := range ids {
+		wg.Add(1)
+		go func(jobIdx int, tenantName, jobName string) {
+			defer wg.Done()
+			jobs := openJobAll(t, c, tenantName, jobName)
+			for round := 0; round < rounds; round++ {
+				in := inputsFor(jobIdx, round)
+				jobAllReduce(t, jobs, in)
+				if round == rounds-1 {
+					multi[jobIdx] = in
+				}
+			}
+			for _, j := range jobs {
+				j.Close()
+			}
+		}(jobIdx, id.tenant, id.job)
+	}
+	wg.Wait()
+
+	for jobIdx := range ids {
+		for w := 0; w < workers; w++ {
+			for i := range solo[jobIdx][w] {
+				if math.Float32bits(solo[jobIdx][w][i]) != math.Float32bits(multi[jobIdx][w][i]) {
+					t.Fatalf("job %s/%s worker %d element %d: multiplexed %v != solo %v (not bit-identical)",
+						ids[jobIdx].tenant, ids[jobIdx].job, w, i, multi[jobIdx][w][i], solo[jobIdx][w][i])
+				}
+			}
+		}
+	}
+}
+
+// TestJobsDoNotDisturbDefaultJob runs the legacy single-job API
+// concurrently with named jobs on the same cluster: both must produce
+// correct sums.
+func TestJobsDoNotDisturbDefaultJob(t *testing.T) {
+	const workers, size = 2, 1024
+	c := startCluster(t, Config{Workers: workers, Reliable: true}, 0, 1)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		in := randomInputs(size, workers, 0.5, 7)
+		want := expectedSum(in)
+		c.allReduce(t, in)
+		checkResult(t, in, want)
+	}()
+	go func() {
+		defer wg.Done()
+		jobs := openJobAll(t, c, "prod", "sidecar")
+		in := randomInputs(size, workers, 0.5, 8)
+		want := expectedSum(in)
+		jobAllReduce(t, jobs, in)
+		checkResult(t, in, want)
+		for _, j := range jobs {
+			j.Close()
+		}
+	}()
+	wg.Wait()
+}
+
+// TestMaxJobsQuotaTyped verifies the per-tenant MaxJobs quota surfaces
+// as ErrTenantQuota from OpenJob, deterministically.
+func TestMaxJobsQuotaTyped(t *testing.T) {
+	cfg := Config{
+		Workers: 2, Reliable: true,
+		Tenancy: &tenant.Config{Tenants: map[string]tenant.Quota{"small": {MaxJobs: 1}}},
+	}
+	c := startCluster(t, cfg, 0, 1)
+	jobs := openJobAll(t, c, "small", "first")
+	defer func() {
+		for _, j := range jobs {
+			j.Close()
+		}
+	}()
+	if _, err := c.workers[0].OpenJob("small", "second"); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("second job = %v; want ErrTenantQuota", err)
+	}
+	// An unconstrained tenant is unaffected.
+	other := openJobAll(t, c, "big", "fine")
+	for _, j := range other {
+		j.Close()
+	}
+}
+
+// TestMaxInFlightOpsQuotaTyped verifies the per-tenant in-flight
+// collective cap: while one op is live (held open by a worker that has
+// not joined yet), a second collective from the same tenant is refused
+// with ErrTenantQuota delivered through the data path as a typed error.
+func TestMaxInFlightOpsQuotaTyped(t *testing.T) {
+	cfg := Config{
+		Workers: 2, Reliable: true,
+		Tenancy: &tenant.Config{Tenants: map[string]tenant.Quota{"small": {MaxInFlightOps: 1}}},
+	}
+	c := startCluster(t, cfg, 0, 1)
+	jobs := openJobAll(t, c, "small", "a")
+
+	// Worker 0 starts op1; worker 1 deliberately holds back, so op1 stays
+	// in flight (the aggregator needs both workers' blocks to finish it).
+	data0 := make([]float32, 512)
+	for i := range data0 {
+		data0[i] = 1
+	}
+	p1, err := jobs[0].AllReduceAsync(data0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the aggregator has actually admitted op1.
+	reg := c.aggs[0].Registry()
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.ActiveOps() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("op1 never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A second collective from the same tenant must be refused while op1
+	// is live. Worker 0's attempt mints op2's tensor ID and gets the
+	// typed refusal, which the registry memoizes.
+	if err := jobs[0].AllReduce(make([]float32, 64)); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("op2 (worker 0) = %v; want ErrTenantQuota", err)
+	}
+
+	// Worker 1 joins op1 (its first mint is op1's tensor ID) and the
+	// held collective completes.
+	data1 := make([]float32, 512)
+	for i := range data1 {
+		data1[i] = 2
+	}
+	if err := jobs[1].AllReduce(data1); err != nil {
+		t.Fatalf("worker 1 op1: %v", err)
+	}
+	if err := p1.Wait(); err != nil {
+		t.Fatalf("op1: %v", err)
+	}
+	for i, v := range data0 {
+		if v != 3 {
+			t.Fatalf("op1 element %d = %v, want 3", i, v)
+		}
+	}
+
+	// Worker 1's op2 attempt — after op1 completed and capacity freed —
+	// still gets the memoized verdict for op2's tensor ID, so SPMD
+	// members fail with one coherent typed error instead of splitting.
+	if err := jobs[1].AllReduce(make([]float32, 64)); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("op2 (worker 1) = %v; want memoized ErrTenantQuota", err)
+	}
+	for _, j := range jobs {
+		j.Close()
+	}
+}
+
+// TestTidCollisionRejected is the regression test for the pre-registry
+// tensor-ID collision hazard: two independent collectives sharing an
+// aggregator and a tensor ID used to interleave silently into one merge,
+// corrupting both results. The registry now detects the second transport
+// node claiming an already-bound (namespace, worker ID) and refuses its
+// packets with a typed error, while the first collective completes
+// untouched.
+func TestTidCollisionRejected(t *testing.T) {
+	// Cluster A: one legacy worker (node 0) + aggregator (node 2).
+	nw := transport.NewNetwork(2, 256)
+	aggConn := nw.AddNode(2)
+	cfg := Config{Workers: 1, Aggregators: []int{2}, Reliable: true}
+	agg, err := NewAggregator(aggConn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggDone := make(chan error, 1)
+	go func() { aggDone <- agg.Run() }()
+
+	w, err := NewWorker(nw.Conn(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker A's first collective binds (ns 0, wid 0) to node 0.
+	data := []float32{1, 2, 3, 4}
+	if err := w.AllReduce(data); err != nil {
+		t.Fatal(err)
+	}
+
+	// The intruder (node 1) replays the same tensor ID and worker ID that
+	// cluster A just used — the exact wire bytes a second one-worker
+	// cluster would produce for its own first collective.
+	intruder := nw.Conn(1)
+	bad := wire.AppendPacket(nil, &wire.Packet{
+		Type: wire.TypeData, WID: 0, TensorID: 1, BlockSize: 4,
+		Nexts: []uint32{wire.Inf(0)},
+	})
+	if err := intruder.Send(2, bad); err != nil {
+		t.Fatal(err)
+	}
+	// The intruder must be answered with a typed OpReject naming the
+	// collision, not merged.
+	msg, err := intruder.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := wire.DecodeControl(msg.Data)
+	transport.PutBuf(msg.Data)
+	if err != nil {
+		t.Fatalf("intruder reply not a control packet: %v", err)
+	}
+	if cp.Type != wire.TypeOpReject || cp.Reason != wire.ReasonCollision || cp.TensorID != 1 {
+		t.Fatalf("intruder reply = %+v; want OpReject/ReasonCollision tid 1", cp)
+	}
+
+	// Cluster A keeps working after the attack.
+	data2 := []float32{5, 6, 7, 8}
+	if err := w.AllReduce(data2); err != nil {
+		t.Fatalf("cluster A after collision: %v", err)
+	}
+
+	w.Close()
+	intruder.Close()
+	aggConn.Close()
+	if err := <-aggDone; err != nil {
+		t.Fatalf("aggregator: %v", err)
+	}
+}
+
+// TestNamespaceSquattingRejected: a worker cannot open a job claiming a
+// namespace its (tenant, job) identity does not hash to.
+func TestNamespaceSquattingRejected(t *testing.T) {
+	c := startCluster(t, Config{Workers: 1, Reliable: true}, 0, 1)
+	jobs := openJobAll(t, c, "prod", "ranker")
+	defer jobs[0].Close()
+	reg := c.aggs[0].Registry()
+	// Direct registry probe: a different key on the same namespace.
+	ns := jobs[0].Namespace()
+	if _, err := reg.OpenJob(tenant.JobKey{Tenant: "evil", Job: "squatter"}, ns, 0, 1, 9); err == nil {
+		t.Fatal("squatting OpenJob accepted")
+	}
+}
+
+// TestAggregatorDrain exercises the graceful-drain path end to end: an
+// in-flight collective (held open by a lagging worker) must complete
+// during the drain, new work must be refused with
+// ErrAggregatorDraining, and Drain must return only after quiescence —
+// all with a balanced pool-leak audit.
+func TestAggregatorDrain(t *testing.T) {
+	audit := obs.StartLeakAudit()
+	cfg := Config{Workers: 2, Reliable: true, AggShards: 2}
+	c := startCluster(t, cfg, 0, 1)
+	jobs := openJobAll(t, c, "prod", "ranker")
+
+	// Op held in flight: worker 0 starts, worker 1 lags.
+	data0 := make([]float32, 4096)
+	for i := range data0 {
+		data0[i] = 1
+	}
+	p1, err := jobs[0].AllReduceAsync(data0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := c.aggs[0].Registry()
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.ActiveOps() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("op never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Start the drain; it must NOT complete while the op is in flight.
+	drained := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	go func() { drained <- c.aggs[0].Drain(ctx) }()
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned %v with an op in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// New admissions are refused with the typed drain error.
+	if _, err := c.workers[0].OpenJob("prod", "latecomer"); !errors.Is(err, ErrAggregatorDraining) {
+		t.Fatalf("OpenJob during drain = %v; want ErrAggregatorDraining", err)
+	}
+
+	// Worker 1 joins; the in-flight collective completes...
+	data1 := make([]float32, 4096)
+	for i := range data1 {
+		data1[i] = 2
+	}
+	if err := jobs[1].AllReduce(data1); err != nil {
+		t.Fatalf("worker 1: %v", err)
+	}
+	if err := p1.Wait(); err != nil {
+		t.Fatalf("in-flight op: %v", err)
+	}
+	for i, v := range data0 {
+		if v != 3 {
+			t.Fatalf("element %d = %v, want 3", i, v)
+		}
+	}
+	// ...and the drain concludes.
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("Drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain never completed after quiescence")
+	}
+
+	// A post-drain collective on the already-open job is refused typed.
+	if err := jobs[0].AllReduce(make([]float32, 64)); !errors.Is(err, ErrAggregatorDraining) {
+		t.Fatalf("op after drain = %v; want ErrAggregatorDraining", err)
+	}
+
+	for _, j := range jobs {
+		j.Close()
+	}
+	for _, w := range c.workers {
+		w.Close()
+	}
+	for _, conn := range c.aggConns {
+		conn.Close()
+	}
+	c.aggWG.Wait()
+	if leaks := audit.Settle(5 * time.Second); len(leaks) != 0 {
+		t.Fatalf("pool leaks after drain: %v", obs.LeaksErr(leaks))
+	}
+}
+
+// TestStarvationSoak runs an aggressive tenant flooding collectives
+// against a quiet tenant issuing sparse small ones on a shared sharded
+// aggregator, and bounds the quiet tenant's p95 latency relative to its
+// solo baseline. The deficit-round-robin scheduler is what keeps the
+// bound: without it the aggressive tenant's backlog would serialize in
+// front of every quiet-tenant packet. Runs ~2s normally; set -tenant.soak
+// (the make tenants tier does) for the full 30s soak.
+func TestStarvationSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short")
+	}
+	duration := 2 * time.Second
+	if soakFlag {
+		duration = 30 * time.Second
+	}
+	cfg := Config{
+		Workers: 2, Reliable: true, AggShards: 2,
+		Tenancy: &tenant.Config{Tenants: map[string]tenant.Quota{
+			"quiet":      {Weight: 1},
+			"aggressive": {Weight: 1},
+		}},
+	}
+
+	// Solo baseline: the quiet workload alone.
+	quietRound := func(jobs []*Job, size int) (time.Duration, error) {
+		ins := [][]float32{make([]float32, size), make([]float32, size)}
+		for w := range ins {
+			for i := range ins[w] {
+				ins[w][i] = float32(w + 1)
+			}
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make([]error, len(jobs))
+		for i, j := range jobs {
+			wg.Add(1)
+			go func(i int, j *Job) { defer wg.Done(); errs[i] = j.AllReduce(ins[i]) }(i, j)
+		}
+		wg.Wait()
+		return time.Since(start), errors.Join(errs...)
+	}
+	const quietSize = 1 << 10
+
+	baselineC := startCluster(t, cfg, 0, 1)
+	baseJobs := openJobAll(t, baselineC, "quiet", "telemetry")
+	var baseline []time.Duration
+	for i := 0; i < 20; i++ {
+		d, err := quietRound(baseJobs, quietSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline = append(baseline, d)
+	}
+	for _, j := range baseJobs {
+		j.Close()
+	}
+
+	// Contended run: aggressive tenant floods big collectives while the
+	// quiet tenant keeps its cadence.
+	c := startCluster(t, cfg, 0, 2)
+	quiet := openJobAll(t, c, "quiet", "telemetry")
+	loud := openJobAll(t, c, "aggressive", "flood")
+
+	stop := make(chan struct{})
+	var floodWG sync.WaitGroup
+	floodWG.Add(1)
+	go func() {
+		defer floodWG.Done()
+		big := [][]float32{make([]float32, 1<<15), make([]float32, 1<<15)}
+		for w := range big {
+			for i := range big[w] {
+				big[w][i] = 1
+			}
+		}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var wg sync.WaitGroup
+			for i, j := range loud {
+				wg.Add(1)
+				go func(i int, j *Job) { defer wg.Done(); _ = j.AllReduce(big[i]) }(i, j)
+			}
+			wg.Wait()
+		}
+	}()
+
+	var contended []time.Duration
+	soakEnd := time.Now().Add(duration)
+	for time.Now().Before(soakEnd) {
+		d, err := quietRound(quiet, quietSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		contended = append(contended, d)
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	floodWG.Wait()
+
+	p95 := func(ds []time.Duration) time.Duration {
+		s := append([]time.Duration(nil), ds...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		return s[(len(s)*95)/100]
+	}
+	base95, cont95 := p95(baseline), p95(contended)
+	t.Logf("quiet tenant p95: solo %v, contended %v (%d rounds, soak %v)",
+		base95, cont95, len(contended), duration)
+	// The bound is deliberately loose (channel-fabric timing is noisy in
+	// CI) but catches order-of-magnitude starvation: pre-DRR, the flood's
+	// backlog queues ahead of every quiet packet.
+	limit := 50*base95 + 200*time.Millisecond
+	if cont95 > limit {
+		t.Fatalf("quiet tenant starved: contended p95 %v > limit %v (solo %v)", cont95, limit, base95)
+	}
+
+	for _, j := range quiet {
+		j.Close()
+	}
+	for _, j := range loud {
+		j.Close()
+	}
+}
+
+// TestJobReopenAfterClose: closing a job frees its namespace for a
+// different job that hashes to the same slot, and reopening the same job
+// works.
+func TestJobReopenAfterClose(t *testing.T) {
+	c := startCluster(t, Config{Workers: 2, Reliable: true}, 0, 1)
+	jobs := openJobAll(t, c, "prod", "cycle")
+	in := randomInputs(256, 2, 0.5, 3)
+	want := expectedSum(in)
+	jobAllReduce(t, jobs, in)
+	checkResult(t, in, want)
+	for _, j := range jobs {
+		j.Close()
+	}
+	// Closing is asynchronous on the aggregator; reopening retries until
+	// the registry has reaped the old sessions.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		jobs2, err := func() (js []*Job, err error) {
+			js = make([]*Job, len(c.workers))
+			for i, w := range c.workers {
+				js[i], err = w.OpenJob("prod", "cycle")
+				if err != nil {
+					for _, j := range js[:i] {
+						j.Close()
+					}
+					return nil, err
+				}
+			}
+			return js, nil
+		}()
+		if err == nil {
+			in2 := randomInputs(256, 2, 0.5, 4)
+			want2 := expectedSum(in2)
+			jobAllReduce(t, jobs2, in2)
+			checkResult(t, in2, want2)
+			for _, j := range jobs2 {
+				j.Close()
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reopen never succeeded: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSparseJobCollective: Algorithm 3 sparse collectives work inside a
+// named job's namespace, and match the dense reference sum.
+func TestSparseJobCollective(t *testing.T) {
+	c := startCluster(t, Config{Workers: 2, Reliable: true}, 0, 1)
+	jobs := openJobAll(t, c, "prod", "sparse")
+	rng := rand.New(rand.NewSource(11))
+	ins := []*tensor.COO{randomCOO(1024, 60, rng), randomCOO(1024, 60, rng)}
+	want := expectedSparseSum(ins)
+	outs := make([]*tensor.COO, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j *Job) {
+			defer wg.Done()
+			out, err := j.AllReduceSparse(ins[i])
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+				return
+			}
+			outs[i] = out
+		}(i, j)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i, out := range outs {
+		got := out.ToDense()
+		for k := range want.Data {
+			d := float64(got.Data[k]) - float64(want.Data[k])
+			if d > 1e-4 || d < -1e-4 {
+				t.Fatalf("worker %d element %d: got %v want %v", i, k, got.Data[k], want.Data[k])
+			}
+		}
+	}
+	for _, j := range jobs {
+		j.Close()
+	}
+}
+
+// soakFlag stretches TestStarvationSoak to the full 30 seconds; the
+// make tenants tier sets OMNIREDUCE_SOAK=1.
+var soakFlag = os.Getenv("OMNIREDUCE_SOAK") != ""

@@ -41,6 +41,12 @@ type txBatch struct {
 	// guarantees pointer-equal packets have identical contents, which the
 	// aggregator's multicast fan-out does; worker machines keep it off.
 	dedup bool
+	// resolve, when set, maps an emit's destination — the machine speaks
+	// job-relative worker IDs — to a transport node ID using the emit's
+	// tensor ID. Multi-tenant aggregators route named jobs' results to
+	// the nodes their workers registered from; nil keeps the historic
+	// identity mapping (worker ID == node ID).
+	resolve func(tid uint32, dst int) int
 
 	enc  []byte
 	outs []transport.Outgoing
@@ -91,7 +97,11 @@ func (b *txBatch) sendEmits(conn transport.Conn, emits []protocol.Emit) error {
 			data = b.enc[off:len(b.enc):len(b.enc)]
 			lastPkt, lastSparse, lastData = e.Packet, e.Sparse, data
 		}
-		b.outs = append(b.outs, transport.Outgoing{To: e.Dst, Data: data})
+		dst := e.Dst
+		if b.resolve != nil {
+			dst = b.resolve(emitTID(e), dst)
+		}
+		b.outs = append(b.outs, transport.Outgoing{To: dst, Data: data})
 		b.tids = append(b.tids, emitTID(e))
 		if len(b.outs) >= txBatchMax {
 			if err := b.flush(conn, b.flushFull); err != nil {

@@ -9,6 +9,7 @@ import (
 	"omnireduce/internal/metrics"
 	"omnireduce/internal/obs"
 	"omnireduce/internal/protocol"
+	"omnireduce/internal/tenant"
 	"omnireduce/internal/transport"
 	"omnireduce/internal/wire"
 )
@@ -176,15 +177,19 @@ func (w *Worker) recvPump() {
 // PumpSnapshot returns the receive pump's routing counters.
 func (w *Worker) PumpSnapshot() PumpStats { return w.pump.snapshot() }
 
-// peekTensorID extracts the tensor ID without a full decode.
+// peekTensorID extracts the tensor ID without a full decode. Control
+// packets carry their tensor ID at the sparse offset by design, so one
+// rule routes the whole control plane: job lifecycle replies route to the
+// job's control queue (namespace<<TidSeqBits, sequence 0) and per-op
+// rejects route to the rejected operation itself.
 func peekTensorID(buf []byte) (uint32, bool) {
-	switch wire.PeekType(buf) {
-	case wire.TypeData, wire.TypeResult:
+	switch t := wire.PeekType(buf); {
+	case t == wire.TypeData || t == wire.TypeResult:
 		if len(buf) < 12 {
 			return 0, false
 		}
 		return uint32(buf[8]) | uint32(buf[9])<<8 | uint32(buf[10])<<16 | uint32(buf[11])<<24, true
-	case wire.TypeSparseData, wire.TypeSparseResult:
+	case t == wire.TypeSparseData || t == wire.TypeSparseResult || wire.IsControlType(t):
 		if len(buf) < 8 {
 			return 0, false
 		}
@@ -194,20 +199,64 @@ func peekTensorID(buf []byte) (uint32, bool) {
 	}
 }
 
-// beginOp allocates a tensor ID and checks out a driver state for the
-// operation — recycled from the free list when one is parked there,
-// freshly allocated only when every state is busy (more concurrent
-// collectives in flight than the connection has ever seen).
+// rejectError translates an aggregator TypeOpReject control packet into
+// its typed admission error; any other message yields nil.
+func rejectError(data []byte) error {
+	if wire.PeekType(data) != wire.TypeOpReject {
+		return nil
+	}
+	cp, err := wire.DecodeControl(data)
+	if err != nil {
+		return nil
+	}
+	if e := tenant.ErrorForReason(cp.Reason); e != nil {
+		return e
+	}
+	return tenant.ErrAdmissionRejected
+}
+
+// beginOp allocates a default-namespace tensor ID and checks out a
+// driver state for the operation. Named-job operations mint their tensor
+// IDs in the job's namespace and go through beginOpAt directly; the
+// legacy path is namespace 0, where TidFor(0, seq) == seq keeps the
+// pre-namespace wire IDs byte-identical.
 func (w *Worker) beginOp() (uint32, *opState, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	select {
-	case <-w.closed:
-		return 0, nil, fmt.Errorf("core: worker %d receive: %w", w.id, w.recvErr)
-	default:
+	if w.tensorSeq >= protocol.MaxTidSeq {
+		return 0, nil, fmt.Errorf("core: worker %d exhausted the default job's tensor-ID space", w.id)
 	}
 	w.tensorSeq++
-	tid := w.tensorSeq
+	tid := protocol.TidFor(0, w.tensorSeq)
+	st, err := w.beginOpAtLocked(tid)
+	if err != nil {
+		return 0, nil, err
+	}
+	return tid, st, nil
+}
+
+// beginOpAt checks out a driver state for an operation on a caller-minted
+// tensor ID (a job session's namespace) — recycled from the free list
+// when one is parked there, freshly allocated only when every state is
+// busy (more concurrent collectives in flight than the connection has
+// ever seen). The free list is shared across all jobs on the connection:
+// driver states carry no job identity beyond the queue's re-stamped
+// tensor ID.
+func (w *Worker) beginOpAt(tid uint32) (*opState, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.beginOpAtLocked(tid)
+}
+
+func (w *Worker) beginOpAtLocked(tid uint32) (*opState, error) {
+	select {
+	case <-w.closed:
+		return nil, fmt.Errorf("core: worker %d receive: %w", w.id, w.recvErr)
+	default:
+	}
+	if w.ops[tid] != nil {
+		return nil, fmt.Errorf("core: worker %d: tensor %#x already in flight", w.id, tid)
+	}
 	var st *opState
 	if n := len(w.free); n > 0 {
 		st = w.free[n-1]
@@ -224,7 +273,7 @@ func (w *Worker) beginOp() (uint32, *opState, error) {
 	w.ops[tid] = st.q
 	obsOpsStarted.Inc()
 	obs.Emit(obs.EvOpBegin, tid, 0)
-	return tid, st, nil
+	return st, nil
 }
 
 // endOp unregisters the operation, recycles any message still queued (or
@@ -309,16 +358,18 @@ func (w *Worker) AllReduceAsync(data []float32) (*Pending, error) {
 	go func() {
 		defer close(p.done)
 		defer w.endOp(tid, st)
-		p.err = w.runAllReduce(data, tid, st)
+		p.err = w.runAllReduce(data, tid, st, w.cfg.proto(), w.id)
 	}()
 	return p, nil
 }
 
 // runAllReduce drives one collective to completion: it pumps transport
 // messages and retransmission ticks through a protocol.WorkerMachine and
-// transmits the machine's emits.
-func (w *Worker) runAllReduce(data []float32, tid uint32, st *opState) error {
-	m := protocol.NewWorkerMachine(w.cfg.proto(), w.id, tid)
+// transmits the machine's emits. pcfg and wid are the operation's job
+// parameters — the default job's are the worker's own, a named job
+// session substitutes its job-relative worker ID and worker count.
+func (w *Worker) runAllReduce(data []float32, tid uint32, st *opState, pcfg protocol.Config, wid int) error {
+	m := protocol.NewWorkerMachine(pcfg, wid, tid)
 	view := protocol.NewDenseView(data, w.cfg.BlockSize, w.cfg.ForceDense)
 	start := time.Now()
 	defer func() { obsOpLatency.Observe(int64(time.Since(start))) }()
@@ -378,7 +429,13 @@ func (w *Worker) runAllReduce(data []float32, tid uint32, st *opState) error {
 		select {
 		case msg := <-q.ch:
 			if wire.PeekType(msg.Data) != wire.TypeResult {
-				return fmt.Errorf("core: worker %d: unexpected message type %d", w.id, wire.PeekType(msg.Data))
+				rerr := rejectError(msg.Data)
+				t := wire.PeekType(msg.Data)
+				transport.PutBuf(msg.Data)
+				if rerr != nil {
+					return fmt.Errorf("core: worker %d tensor %#x: %w", w.id, tid, rerr)
+				}
+				return fmt.Errorf("core: worker %d: unexpected message type %d", w.id, t)
 			}
 			obs.Emit(obs.EvPacketRecvd, tid, int64(len(msg.Data)))
 			p, err := dec.decodeDense(msg.Data)

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+
+	"omnireduce/internal/metrics"
+)
+
+// tenantMetricPrefix namespaces the per-tenant metrics the aggregator's
+// job registry publishes: "tenant:<name>:<metric>". Keeping the
+// convention here lets reporting tools group them without knowing the
+// registry.
+const tenantMetricPrefix = "tenant:"
+
+// TenantTable regroups the registry's per-tenant metrics
+// ("tenant:<name>:<metric>") into one table row per tenant, one column
+// per metric, sorted by tenant name. Returns nil when no tenant metrics
+// exist, so single-tenant reports stay unchanged.
+func (r *Registry) TenantTable(titlePrefix string) *metrics.Table {
+	snap := r.Snapshot()
+	byTenant := make(map[string]map[string]int64)
+	cols := make(map[string]bool)
+	add := func(nv NamedValue) {
+		rest, ok := strings.CutPrefix(nv.Name, tenantMetricPrefix)
+		if !ok {
+			return
+		}
+		name, metric, ok := strings.Cut(rest, ":")
+		if !ok || name == "" || metric == "" {
+			return
+		}
+		if byTenant[name] == nil {
+			byTenant[name] = make(map[string]int64)
+		}
+		byTenant[name][metric] = nv.Value
+		cols[metric] = true
+	}
+	for _, nv := range snap.Counters {
+		add(nv)
+	}
+	for _, nv := range snap.Gauges {
+		add(nv)
+	}
+	if len(byTenant) == 0 {
+		return nil
+	}
+	colNames := make([]string, 0, len(cols))
+	for c := range cols {
+		colNames = append(colNames, c)
+	}
+	sort.Strings(colNames)
+	t := metrics.NewTable(titlePrefix+"tenants", append([]string{"tenant"}, colNames...)...)
+	tenants := make([]string, 0, len(byTenant))
+	for name := range byTenant {
+		tenants = append(tenants, name)
+	}
+	sort.Strings(tenants)
+	for _, name := range tenants {
+		row := make([]any, 0, 1+len(colNames))
+		row = append(row, name)
+		for _, c := range colNames {
+			row = append(row, byTenant[name][c])
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -60,15 +60,31 @@ type AggregatorMachine struct {
 	// archive keeps, per slot, the final result of recently finished
 	// tensors so a lost final multicast can be replayed to a
 	// retransmitting worker even after the slot moved on (unreliable
-	// mode). Bounded to the archiveDepth most recent tensors per slot.
+	// mode). Bounded to the archiveDepth most recent tensors per
+	// (slot, namespace), so one busy job cannot evict a quiet job's
+	// replayable results.
 	archive map[uint16]map[uint32]*archived
-	// finished tracks exactly which tensor IDs have completed per slot
-	// (compactly: a completed prefix plus out-of-order exceptions), so
-	// stale packets cannot resurrect zombie slot state after their
-	// archive entry was evicted. Concurrent tensors may finish out of
-	// order, so a simple high-water mark would wrongly drop bootstraps of
-	// lower-numbered tensors still in flight.
-	finished map[uint16]*finishedTracker
+	// finished tracks exactly which tensor IDs have completed per
+	// (slot, tid-namespace) (compactly: a completed prefix plus
+	// out-of-order exceptions over the per-job sequence), so stale
+	// packets cannot resurrect zombie slot state after their archive
+	// entry was evicted. Concurrent tensors may finish out of order, so a
+	// simple high-water mark would wrongly drop bootstraps of
+	// lower-numbered tensors still in flight; and sequences are dense
+	// only within a job, so the tracker is per namespace.
+	finished map[uint16]map[uint32]*finishedTracker
+
+	// SlotOpened/SlotFinished, when set, are called with the tensor ID
+	// each time per-tensor aggregation state is created on a slot and
+	// each time it concludes (dense: one call per (slot, tensor) pair;
+	// sparse: one per tensor). They let a multi-tenant driver refcount
+	// in-flight operations for admission control and graceful drain
+	// without scraping machine internals. The callbacks run synchronously
+	// inside HandlePacket and must not call back into the machine; the
+	// machine stays pure — no goroutines, clocks, or I/O — and substrates
+	// that leave them nil (the simulator) are unaffected.
+	SlotOpened   func(tensorID uint32)
+	SlotFinished func(tensorID uint32)
 
 	stats AggStats
 }
@@ -82,9 +98,15 @@ func NewAggregatorMachine(cfg Config, localID int) *AggregatorMachine {
 		slots:    make(map[slotKey]*aggSlot),
 		sparse:   make(map[uint32]*sparseAgg),
 		archive:  make(map[uint16]map[uint32]*archived),
-		finished: make(map[uint16]*finishedTracker),
+		finished: make(map[uint16]map[uint32]*finishedTracker),
 	}
 }
+
+// ActiveSlots reports how many per-tensor aggregation states (dense slot
+// entries plus sparse tensors) are currently live. A draining driver
+// polls this alongside its own admission refcounts to decide when all
+// in-flight rounds have concluded.
+func (m *AggregatorMachine) ActiveSlots() int { return len(m.slots) + len(m.sparse) }
 
 // Stats returns a copy of the machine's traffic counters.
 func (m *AggregatorMachine) Stats() AggStats { return m.stats }
@@ -193,6 +215,9 @@ func (m *AggregatorMachine) handleDense(p *wire.Packet) ([]Emit, error) {
 		}
 		sl = m.newSlot(p)
 		m.slots[key] = sl
+		if m.SlotOpened != nil {
+			m.SlotOpened(p.TensorID)
+		}
 	}
 	if p.Cols() != sl.cols || int(p.BlockSize) != sl.blockSize || p.DType != sl.dtype {
 		return nil, fmt.Errorf("protocol: slot %d: inconsistent geometry from worker %d", p.Slot, p.WID)
@@ -204,46 +229,54 @@ func (m *AggregatorMachine) handleDense(p *wire.Packet) ([]Emit, error) {
 	return m.processVersioned(p, sl)
 }
 
-// finishedTracker records a set of finished tensor IDs compactly: every
-// ID <= upTo has finished, plus the out-of-order exceptions above it.
-// Tensor IDs are allocated densely (1, 2, 3, ...) by the workers, so the
-// exception set stays bounded by the number of concurrent operations.
+// finishedTracker records a set of finished operation sequences compactly:
+// every seq <= upTo has finished, plus the out-of-order exceptions above
+// it. Sequence numbers are allocated densely (1, 2, 3, ...) within a job's
+// tid namespace, so the exception set stays bounded by the number of that
+// job's concurrent operations. (Full tensor IDs are dense only per
+// namespace, hence one tracker per (slot, namespace).)
 type finishedTracker struct {
 	upTo   uint32
 	except map[uint32]bool
 }
 
-func (f *finishedTracker) add(tid uint32) {
-	if tid <= f.upTo {
+func (f *finishedTracker) add(seq uint32) {
+	if seq <= f.upTo {
 		return
 	}
 	if f.except == nil {
 		f.except = make(map[uint32]bool)
 	}
-	f.except[tid] = true
+	f.except[seq] = true
 	for f.except[f.upTo+1] {
 		delete(f.except, f.upTo+1)
 		f.upTo++
 	}
 }
 
-func (f *finishedTracker) has(tid uint32) bool {
-	return tid <= f.upTo || f.except[tid]
+func (f *finishedTracker) has(seq uint32) bool {
+	return seq <= f.upTo || f.except[seq]
 }
 
 // isFinished reports whether tensorID already completed on this slot.
 func (m *AggregatorMachine) isFinished(slot uint16, tensorID uint32) bool {
-	f := m.finished[slot]
-	return f != nil && f.has(tensorID)
+	f := m.finished[slot][TidNamespace(tensorID)]
+	return f != nil && f.has(TidSeq(tensorID))
 }
 
 func (m *AggregatorMachine) markFinished(slot uint16, tensorID uint32) {
-	f := m.finished[slot]
+	ns := TidNamespace(tensorID)
+	fm := m.finished[slot]
+	if fm == nil {
+		fm = make(map[uint32]*finishedTracker)
+		m.finished[slot] = fm
+	}
+	f := fm[ns]
 	if f == nil {
 		f = &finishedTracker{}
-		m.finished[slot] = f
+		fm[ns] = f
 	}
-	f.add(tensorID)
+	f.add(TidSeq(tensorID))
 }
 
 // processReliable implements Algorithm 1 (+ Block Fusion): silent workers,
@@ -384,6 +417,9 @@ func (m *AggregatorMachine) finishRound(sl *aggSlot, slot uint16, round uint8, m
 		sl.finished = true
 		m.archiveResult(slot, sl.tensorID, res, size)
 		delete(m.slots, slotKey{slot, sl.tensorID})
+		if m.SlotFinished != nil {
+			m.SlotFinished(sl.tensorID)
+		}
 	}
 	m.stats.RoundsCompleted++
 	m.stats.BlocksAggregated += int64(len(res.Blocks))
@@ -396,9 +432,11 @@ func (m *AggregatorMachine) finishRound(sl *aggSlot, slot uint16, round uint8, m
 	return emits, nil
 }
 
-// archiveDepth bounds the per-slot final-result archive; it must exceed
-// the number of concurrently outstanding tensors so a straggler can
-// always recover a lost final multicast.
+// archiveDepth bounds the per-(slot, namespace) final-result archive; it
+// must exceed the number of concurrently outstanding tensors per job so a
+// straggler can always recover a lost final multicast. Eviction is scoped
+// to the finishing tensor's namespace: a busy job churning through
+// results must not evict a quiet job's still-replayable ones.
 const archiveDepth = 16
 
 func (m *AggregatorMachine) archiveResult(slot uint16, tensorID uint32, res *wire.Packet, size int) {
@@ -409,11 +447,21 @@ func (m *AggregatorMachine) archiveResult(slot uint16, tensorID uint32, res *wir
 	}
 	am[tensorID] = &archived{pkt: res, size: size}
 	m.markFinished(slot, tensorID)
-	// Bound the archive to the most recent tensor IDs.
-	if len(am) > archiveDepth {
-		ids := make([]uint32, 0, len(am))
+	// Bound the archive to the namespace's most recent operation
+	// sequences.
+	ns := TidNamespace(tensorID)
+	inNs := 0
+	for id := range am {
+		if TidNamespace(id) == ns {
+			inNs++
+		}
+	}
+	if inNs > archiveDepth {
+		ids := make([]uint32, 0, inNs)
 		for id := range am {
-			ids = append(ids, id)
+			if TidNamespace(id) == ns {
+				ids = append(ids, id)
+			}
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		for _, id := range ids[:len(ids)-archiveDepth] {

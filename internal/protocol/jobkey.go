@@ -1,0 +1,52 @@
+package protocol
+
+import "hash/fnv"
+
+// Tensor-ID namespacing (multi-tenant collective service).
+//
+// The 32-bit wire tensor ID is split into a job namespace (high bits) and
+// a per-job operation sequence (low bits):
+//
+//	tid = namespace << TidSeqBits | seq
+//
+// Namespace 0 is the default/legacy namespace: a worker that never opens
+// a named job mints tids 1, 2, 3, ... exactly as before this layer
+// existed, and every pre-namespace tid parses as (ns 0, seq tid). Named
+// jobs derive their namespace deterministically from the (tenant, job)
+// identity — every worker of a job computes the same namespace with no
+// coordination, which is what lets SPMD workers mint identical tids for
+// the same collective — and the aggregator-side registry verifies the
+// mapping at job-open time, turning a hash collision between two distinct
+// jobs into a typed admission error instead of silent tid interleaving.
+const (
+	// TidSeqBits is the width of the per-job operation sequence.
+	TidSeqBits = 20
+	// MaxTidSeq is the largest operation sequence number; a job session
+	// exhausting it must be reopened (about one million collectives).
+	MaxTidSeq = 1<<TidSeqBits - 1
+	// MaxNamespace is the largest job namespace (12 bits).
+	MaxNamespace = 1<<(32-TidSeqBits) - 1
+)
+
+// TidFor composes a wire tensor ID from a job namespace and an operation
+// sequence number.
+func TidFor(ns, seq uint32) uint32 {
+	return ns<<TidSeqBits | (seq & MaxTidSeq)
+}
+
+// TidNamespace extracts the job namespace of a tensor ID.
+func TidNamespace(tid uint32) uint32 { return tid >> TidSeqBits }
+
+// TidSeq extracts the per-job operation sequence of a tensor ID.
+func TidSeq(tid uint32) uint32 { return tid & MaxTidSeq }
+
+// NamespaceOf derives the tid namespace for a (tenant, job) identity:
+// FNV-1a over "tenant\x00job", folded into [1, MaxNamespace]. Namespace 0
+// is reserved for the default/legacy job.
+func NamespaceOf(tenant, job string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(tenant))
+	h.Write([]byte{0})
+	h.Write([]byte(job))
+	return h.Sum32()%MaxNamespace + 1
+}

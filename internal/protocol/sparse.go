@@ -164,6 +164,9 @@ func (m *AggregatorMachine) handleSparse(p *wire.SparsePacket) ([]Emit, error) {
 			sa.nextKey[i] = -1
 		}
 		m.sparse[p.TensorID] = sa
+		if m.SlotOpened != nil {
+			m.SlotOpened(p.TensorID)
+		}
 	}
 	if sa.finished {
 		return nil, nil
@@ -193,6 +196,9 @@ func (m *AggregatorMachine) handleSparse(p *wire.SparsePacket) ([]Emit, error) {
 		emits := m.flushSparse(sa, nextDone)
 		sa.finished = true
 		delete(m.sparse, p.TensorID)
+		if m.SlotFinished != nil {
+			m.SlotFinished(p.TensorID)
+		}
 		return emits, nil
 	}
 	if min > sa.sent {

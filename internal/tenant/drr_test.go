@@ -1,0 +1,193 @@
+package tenant
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDRRPerFlowFIFO(t *testing.T) {
+	d := NewDRR[int](0, 0, nil)
+	for i := 0; i < 10; i++ {
+		if !d.Push(7, i, 1) {
+			t.Fatalf("Push %d refused", i)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := d.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %d, %v; want %d in order", v, ok, i)
+		}
+	}
+}
+
+// TestDRRFairShare floods two equal-weight flows with equal-cost items
+// and checks the scheduler interleaves service instead of draining one
+// flow first.
+func TestDRRFairShare(t *testing.T) {
+	d := NewDRR[uint32](64, 0, nil)
+	const n = 64
+	for i := 0; i < n; i++ {
+		d.Push(1, 1, 16)
+		d.Push(2, 2, 16)
+	}
+	served := map[uint32]int{}
+	for i := 0; i < n; i++ { // first half of the backlog
+		v, ok := d.Pop()
+		if !ok {
+			t.Fatal("Pop failed with items queued")
+		}
+		served[v]++
+	}
+	// With equal weights the half-way point must have served both flows
+	// near-equally (exact alternation in quanta of 64/16 = 4 items).
+	if served[1] < n/4 || served[2] < n/4 {
+		t.Fatalf("unfair service at midpoint: %v", served)
+	}
+}
+
+// TestDRRWeightedShare gives one flow 3x the weight and checks its share
+// of service is proportionally larger over a window.
+func TestDRRWeightedShare(t *testing.T) {
+	weights := map[uint32]int{1: 3, 2: 1}
+	d := NewDRR[uint32](16, 0, func(flow uint32) int { return weights[flow] })
+	const n = 400
+	for i := 0; i < n; i++ {
+		d.Push(1, 1, 16)
+		d.Push(2, 2, 16)
+	}
+	served := map[uint32]int{}
+	for i := 0; i < n; i++ {
+		v, ok := d.Pop()
+		if !ok {
+			t.Fatal("Pop failed with items queued")
+		}
+		served[v]++
+	}
+	ratio := float64(served[1]) / float64(served[2])
+	if ratio < 2.0 || ratio > 4.0 {
+		t.Fatalf("weighted share ratio = %.2f (served %v); want ~3", ratio, served)
+	}
+}
+
+func TestDRRFlowCapAndPushWait(t *testing.T) {
+	d := NewDRR[int](0, 2, nil)
+	if !d.Push(1, 10, 1) || !d.Push(1, 11, 1) {
+		t.Fatal("pushes under cap refused")
+	}
+	if d.Push(1, 12, 1) {
+		t.Fatal("push over cap accepted")
+	}
+	// Another flow's cap is independent.
+	if !d.Push(2, 20, 1) {
+		t.Fatal("push to second flow refused")
+	}
+
+	// PushWait blocks until a Pop frees space.
+	done := make(chan error, 1)
+	go func() { done <- d.PushWait(1, 12, 1) }()
+	select {
+	case err := <-done:
+		t.Fatalf("PushWait returned %v before space freed", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, ok := d.Pop(); !ok {
+		t.Fatal("Pop failed")
+	}
+	// Draining one item from flow 1 (or flow 2 — either way flow 1 will
+	// free within two pops) unblocks the waiter.
+	d.Pop()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("PushWait = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("PushWait never unblocked")
+	}
+}
+
+func TestDRRCloseDrains(t *testing.T) {
+	d := NewDRR[int](0, 0, nil)
+	d.Push(1, 1, 1)
+	d.Push(1, 2, 1)
+	d.Close()
+	// Queued items remain poppable after close...
+	if v, ok := d.Pop(); !ok || v != 1 {
+		t.Fatalf("Pop after close = %d, %v; want 1, true", v, ok)
+	}
+	if v, ok := d.Pop(); !ok || v != 2 {
+		t.Fatalf("Pop after close = %d, %v; want 2, true", v, ok)
+	}
+	// ...then Pop reports closed instead of blocking.
+	if _, ok := d.Pop(); ok {
+		t.Fatal("Pop on drained closed scheduler = true")
+	}
+	if d.Push(1, 3, 1) {
+		t.Fatal("Push accepted after close")
+	}
+	if err := d.PushWait(1, 3, 1); !errors.Is(err, ErrSchedClosed) {
+		t.Fatalf("PushWait after close = %v; want ErrSchedClosed", err)
+	}
+}
+
+func TestDRRPopBlocksUntilWork(t *testing.T) {
+	d := NewDRR[int](0, 0, nil)
+	got := make(chan int, 1)
+	go func() {
+		v, ok := d.Pop()
+		if ok {
+			got <- v
+		}
+		close(got)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	d.Push(3, 42, 1)
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("Pop = %d, want 42", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Pop never woke")
+	}
+	d.Close()
+}
+
+// TestDRRConcurrent hammers the scheduler from several producers and one
+// consumer under the race detector.
+func TestDRRConcurrent(t *testing.T) {
+	d := NewDRR[int](256, 64, nil)
+	const producers, per = 4, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := d.PushWait(uint32(p), p*per+i, 8); err != nil {
+					t.Errorf("PushWait: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	seen := 0
+	consumed := make(chan struct{})
+	go func() {
+		defer close(consumed)
+		for {
+			if _, ok := d.Pop(); !ok {
+				return
+			}
+			seen++
+		}
+	}()
+	wg.Wait()
+	d.Close()
+	<-consumed
+	if seen != producers*per {
+		t.Fatalf("consumed %d items, want %d", seen, producers*per)
+	}
+}

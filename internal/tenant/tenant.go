@@ -1,0 +1,152 @@
+// Package tenant implements the multi-tenant collective service layer:
+// job identity and tensor-ID namespacing policy, per-tenant quotas, the
+// aggregator-side job registry (admission control, collision detection,
+// drain accounting), and the deficit-round-robin scheduler that shares an
+// aggregator's merge shards fairly across jobs.
+//
+// The package is deliberately transport- and protocol-agnostic: the core
+// drivers feed it job opens, first-packet admissions, and slot lifecycle
+// events, and it answers with typed verdicts. Wire reason codes
+// (internal/wire control packets) map 1:1 to the typed errors here, so a
+// rejection crosses the network and resurfaces as the same error value on
+// the worker side.
+package tenant
+
+import (
+	"errors"
+	"fmt"
+
+	"omnireduce/internal/wire"
+)
+
+// DefaultTenant is the tenant identity of the legacy single-job API:
+// workers that never open a named job aggregate under it, in tensor-ID
+// namespace 0.
+const DefaultTenant = "default"
+
+// DefaultJob is the job name of the legacy single-job API.
+const DefaultJob = "default"
+
+// JobKey identifies one training job's collective session: a tenant (the
+// isolation and quota boundary) and a job name within it. The derived
+// tensor-ID namespace (protocol.NamespaceOf) is what appears on the wire.
+type JobKey struct {
+	Tenant string
+	Job    string
+}
+
+func (k JobKey) String() string { return k.Tenant + "/" + k.Job }
+
+// Validate rejects empty or oversized identities (names travel in control
+// packets with one-byte length prefixes).
+func (k JobKey) Validate() error {
+	if k.Tenant == "" || k.Job == "" {
+		return fmt.Errorf("tenant: empty tenant or job name in %q", k.String())
+	}
+	if len(k.Tenant) > wire.MaxControlName || len(k.Job) > wire.MaxControlName {
+		return fmt.Errorf("tenant: tenant/job name too long in %q (max %d bytes)", k.String(), wire.MaxControlName)
+	}
+	return nil
+}
+
+// Quota bounds one tenant's share of an aggregator.
+type Quota struct {
+	// Weight is the tenant's deficit-round-robin share of the merge
+	// shards' service time relative to other tenants (default 1).
+	Weight int
+	// MaxJobs caps concurrently open jobs; 0 means unlimited.
+	MaxJobs int
+	// MaxInFlightOps caps concurrently admitted collectives across the
+	// tenant's jobs; 0 means unlimited. Exceeding it yields a typed
+	// ErrTenantQuota rejection, not silent queueing.
+	MaxInFlightOps int
+}
+
+func (q Quota) weight() int {
+	if q.Weight <= 0 {
+		return 1
+	}
+	return q.Weight
+}
+
+// Config is an aggregator's tenancy policy.
+type Config struct {
+	// Tenants maps tenant name to its quota. Tenants absent from the map
+	// get Default.
+	Tenants map[string]Quota
+	// Default applies to tenants without an explicit entry (zero value =
+	// weight 1, no caps).
+	Default Quota
+}
+
+// QuotaFor resolves the effective quota of a tenant.
+func (c *Config) QuotaFor(name string) Quota {
+	if c != nil && c.Tenants != nil {
+		if q, ok := c.Tenants[name]; ok {
+			return q
+		}
+	}
+	if c != nil {
+		return c.Default
+	}
+	return Quota{}
+}
+
+// Typed admission errors. Worker-side drivers surface these from
+// AllReduce/OpenJob when the aggregator refuses service; they wrap across
+// the wire via the reason codes below.
+var (
+	// ErrTenantQuota reports a per-tenant limit (MaxJobs or
+	// MaxInFlightOps) was exceeded.
+	ErrTenantQuota = errors.New("tenant: per-tenant quota exceeded")
+	// ErrAdmissionRejected is the generic admission refusal.
+	ErrAdmissionRejected = errors.New("tenant: admission rejected")
+	// ErrDraining reports the aggregator is draining for a rolling
+	// restart: in-flight rounds finish, new work must retry elsewhere.
+	ErrDraining = errors.New("tenant: aggregator draining, retry elsewhere")
+	// ErrTidCollision reports a tensor-ID namespace collision: two
+	// distinct jobs resolved to the same namespace (hash collision), or
+	// two unrelated legacy workers reused the same worker ID in the
+	// default namespace. Before the registry existed such collectives
+	// interleaved silently and corrupted both results.
+	ErrTidCollision = errors.New("tenant: tensor-id namespace collision")
+	// ErrUnknownJob reports a data packet for a namespace never opened on
+	// this aggregator.
+	ErrUnknownJob = errors.New("tenant: operation for a job not opened here")
+)
+
+// ErrorForReason maps a wire rejection reason code to its typed error.
+func ErrorForReason(reason uint8) error {
+	switch reason {
+	case wire.ReasonQuota:
+		return ErrTenantQuota
+	case wire.ReasonDraining:
+		return ErrDraining
+	case wire.ReasonCollision:
+		return ErrTidCollision
+	case wire.ReasonUnknown:
+		return ErrUnknownJob
+	case wire.ReasonRejected:
+		return ErrAdmissionRejected
+	default:
+		return nil
+	}
+}
+
+// ReasonForError maps a typed admission error to its wire reason code.
+func ReasonForError(err error) uint8 {
+	switch {
+	case errors.Is(err, ErrTenantQuota):
+		return wire.ReasonQuota
+	case errors.Is(err, ErrDraining):
+		return wire.ReasonDraining
+	case errors.Is(err, ErrTidCollision):
+		return wire.ReasonCollision
+	case errors.Is(err, ErrUnknownJob):
+		return wire.ReasonUnknown
+	case err != nil:
+		return wire.ReasonRejected
+	default:
+		return wire.ReasonNone
+	}
+}

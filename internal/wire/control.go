@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Control message types (multi-tenant job/admission plane). They share
+// the one-byte type prefix with the data-plane formats, so PeekType and
+// the receive pumps route them without a full decode.
+const (
+	// TypeJobOpen is a worker->aggregator request to register a job
+	// session in the aggregator's tenant registry: it announces the
+	// (tenant, job) identity behind a tensor-ID namespace, the sender's
+	// job-relative worker ID, and the job's worker count.
+	TypeJobOpen uint8 = iota + 5
+	// TypeJobAccept is the aggregator->worker admission acknowledgment.
+	TypeJobAccept
+	// TypeJobReject is the aggregator->worker admission refusal; Reason
+	// carries a typed rejection code (quota, drain, collision, ...).
+	TypeJobReject
+	// TypeJobClose is a worker->aggregator notice that the sender is done
+	// with the job session (best effort; registries also reap on drain).
+	TypeJobClose
+	// TypeOpReject is an aggregator->worker per-operation admission
+	// refusal: the TensorID names the rejected collective, so the worker
+	// receive pump routes it to the in-flight operation, which fails with
+	// the typed error for Reason.
+	TypeOpReject
+)
+
+// Rejection reason codes carried by TypeJobReject / TypeOpReject.
+// internal/tenant maps them to typed errors.
+const (
+	ReasonNone      uint8 = 0
+	ReasonQuota     uint8 = 1 // per-tenant quota exceeded
+	ReasonDraining  uint8 = 2 // aggregator draining for restart; retry elsewhere
+	ReasonCollision uint8 = 3 // tensor-ID namespace collision detected
+	ReasonUnknown   uint8 = 4 // operation for a job never opened here
+	ReasonRejected  uint8 = 5 // generic admission refusal
+)
+
+// MaxControlName bounds the tenant and job name lengths on the wire.
+const MaxControlName = 255
+
+const controlHeaderLen = 12
+
+// ControlPacket is a decoded control-plane message. TensorID is the job's
+// control-channel tensor ID (namespace << TidSeqBits, sequence 0) for the
+// job lifecycle types, or the rejected operation's tensor ID for
+// TypeOpReject.
+type ControlPacket struct {
+	Type     uint8
+	Reason   uint8
+	WID      uint16 // job-relative worker id of the subject worker
+	TensorID uint32
+	Workers  uint16 // job worker count (TypeJobOpen); 0 otherwise
+	Tenant   string
+	Job      string
+}
+
+// EncodedControlSize returns the exact byte length AppendControl produces.
+func EncodedControlSize(p *ControlPacket) int {
+	return controlHeaderLen + len(p.Tenant) + len(p.Job)
+}
+
+// AppendControl encodes p, appending to dst. Layout:
+//
+//	[0] type, [1] reason
+//	[2] wid uint16
+//	[4] tensorID uint32
+//	[8] workers uint16
+//	[10] tenant length, [11] job length
+//	[12] tenant bytes, then job bytes
+//
+// The tensor ID sits at offset 4, the same offset the sparse formats use,
+// so the worker pump's tensor-ID peek covers all control types with one
+// rule. Names longer than MaxControlName panic (callers validate at job
+// open, not per packet).
+func AppendControl(dst []byte, p *ControlPacket) []byte {
+	if len(p.Tenant) > MaxControlName || len(p.Job) > MaxControlName {
+		panic(fmt.Sprintf("wire: control name too long (%d/%d bytes)", len(p.Tenant), len(p.Job)))
+	}
+	dst, w := grow(dst, EncodedControlSize(p))
+	w[0] = p.Type
+	w[1] = p.Reason
+	binary.LittleEndian.PutUint16(w[2:], p.WID)
+	binary.LittleEndian.PutUint32(w[4:], p.TensorID)
+	binary.LittleEndian.PutUint16(w[8:], p.Workers)
+	w[10] = uint8(len(p.Tenant))
+	w[11] = uint8(len(p.Job))
+	off := controlHeaderLen
+	copy(w[off:], p.Tenant)
+	off += len(p.Tenant)
+	copy(w[off:], p.Job)
+	return dst
+}
+
+// DecodeControl parses an encoded control packet. The name strings are
+// copied out of buf, so buf may be recycled immediately. Control packets
+// are off the datapath (a handful per job lifetime), so there is no
+// reuse-oriented decode form.
+func DecodeControl(buf []byte) (*ControlPacket, error) {
+	if len(buf) < controlHeaderLen {
+		return nil, ErrTruncated
+	}
+	p := &ControlPacket{
+		Type:     buf[0],
+		Reason:   buf[1],
+		WID:      binary.LittleEndian.Uint16(buf[2:]),
+		TensorID: binary.LittleEndian.Uint32(buf[4:]),
+		Workers:  binary.LittleEndian.Uint16(buf[8:]),
+	}
+	if p.Type < TypeJobOpen || p.Type > TypeOpReject {
+		return nil, fmt.Errorf("wire: not a control packet (type %d)", p.Type)
+	}
+	tl, jl := int(buf[10]), int(buf[11])
+	if len(buf) < controlHeaderLen+tl+jl {
+		return nil, ErrTruncated
+	}
+	off := controlHeaderLen
+	p.Tenant = string(buf[off : off+tl])
+	off += tl
+	p.Job = string(buf[off : off+jl])
+	return p, nil
+}
+
+// IsControlType reports whether t is one of the control-plane types.
+func IsControlType(t uint8) bool { return t >= TypeJobOpen && t <= TypeOpReject }
+
+// PeekWID returns the worker ID of an encoded packet of any type without
+// decoding it. The aggregator's admission gate uses it to attribute the
+// first packet of an operation to a job-relative worker.
+func PeekWID(buf []byte) (uint16, bool) {
+	switch t := PeekType(buf); {
+	case t == TypeData || t == TypeResult:
+		if len(buf) < 8 {
+			return 0, false
+		}
+		return binary.LittleEndian.Uint16(buf[6:]), true
+	case t == TypeSparseData || t == TypeSparseResult || IsControlType(t):
+		if len(buf) < 4 {
+			return 0, false
+		}
+		return binary.LittleEndian.Uint16(buf[2:]), true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestControlRoundTrip(t *testing.T) {
+	cases := []ControlPacket{
+		{Type: TypeJobOpen, WID: 3, TensorID: 7 << 20, Workers: 8, Tenant: "prod", Job: "ranker"},
+		{Type: TypeJobAccept, TensorID: 7 << 20},
+		{Type: TypeJobReject, Reason: ReasonQuota, TensorID: 7 << 20},
+		{Type: TypeJobClose, WID: 1, TensorID: 9 << 20, Tenant: "t", Job: "j"},
+		{Type: TypeOpReject, Reason: ReasonDraining, TensorID: 7<<20 | 42},
+		{Type: TypeJobOpen, TensorID: 1 << 20, Workers: 1, Tenant: "", Job: ""},
+		{Type: TypeJobOpen, WID: 65535, TensorID: 0xFFF << 20, Workers: 65535,
+			Tenant: strings.Repeat("t", MaxControlName), Job: strings.Repeat("j", MaxControlName)},
+	}
+	for _, c := range cases {
+		enc := AppendControl(nil, &c)
+		if len(enc) != EncodedControlSize(&c) {
+			t.Fatalf("type %d: encoded %d bytes, EncodedControlSize says %d", c.Type, len(enc), EncodedControlSize(&c))
+		}
+		if !IsControlType(PeekType(enc)) {
+			t.Fatalf("type %d: PeekType %d not a control type", c.Type, PeekType(enc))
+		}
+		if wid, ok := PeekWID(enc); !ok || wid != c.WID {
+			t.Fatalf("type %d: PeekWID = %d, %v; want %d", c.Type, wid, ok, c.WID)
+		}
+		got, err := DecodeControl(enc)
+		if err != nil {
+			t.Fatalf("type %d: DecodeControl: %v", c.Type, err)
+		}
+		if *got != c {
+			t.Fatalf("round trip mismatch:\n got  %+v\n want %+v", *got, c)
+		}
+	}
+}
+
+func TestControlDecodeErrors(t *testing.T) {
+	full := AppendControl(nil, &ControlPacket{
+		Type: TypeJobOpen, WID: 1, TensorID: 5 << 20, Workers: 4, Tenant: "prod", Job: "ranker",
+	})
+	// Truncation anywhere inside the packet must error, never panic.
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeControl(full[:n]); err == nil {
+			t.Fatalf("DecodeControl accepted %d/%d bytes", n, len(full))
+		}
+	}
+	// Non-control types are refused.
+	notCtrl := append([]byte(nil), full...)
+	notCtrl[0] = TypeData
+	if _, err := DecodeControl(notCtrl); err == nil {
+		t.Fatal("DecodeControl accepted a data packet")
+	}
+}
+
+func TestAppendControlNameTooLongPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for oversized name")
+		}
+	}()
+	AppendControl(nil, &ControlPacket{Type: TypeJobOpen, Tenant: strings.Repeat("x", MaxControlName+1)})
+}
+
+func TestControlTypesDisjointFromData(t *testing.T) {
+	for _, dt := range []uint8{TypeData, TypeResult, TypeSparseData, TypeSparseResult} {
+		if IsControlType(dt) {
+			t.Fatalf("data type %d classified as control", dt)
+		}
+	}
+}

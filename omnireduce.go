@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"omnireduce/internal/core"
+	"omnireduce/internal/tenant"
 	"omnireduce/internal/tensor"
 	"omnireduce/internal/transport"
 )
@@ -68,10 +69,29 @@ type Options struct {
 	// PostmortemDir is where stall postmortems are written (default: the
 	// process working directory).
 	PostmortemDir string
+	// Tenants sets per-tenant quotas and scheduling weights for
+	// multi-tenant aggregators (see Worker.OpenJob). Tenants absent from
+	// the map get DefaultQuota; a nil map leaves every tenant unlimited
+	// with weight 1.
+	Tenants map[string]TenantQuota
+	// DefaultQuota applies to tenants not listed in Tenants.
+	DefaultQuota TenantQuota
 }
 
 func (o Options) coreConfig(reliable bool, aggIDs []int) core.Config {
+	var tcfg *tenant.Config
+	if len(o.Tenants) > 0 || o.DefaultQuota != (TenantQuota{}) {
+		tc := tenant.Config{
+			Tenants: make(map[string]tenant.Quota, len(o.Tenants)),
+			Default: tenant.Quota(o.DefaultQuota),
+		}
+		for name, q := range o.Tenants {
+			tc.Tenants[name] = tenant.Quota(q)
+		}
+		tcfg = &tc
+	}
 	return core.Config{
+		Tenancy: tcfg,
 		Workers:            o.Workers,
 		Aggregators:        aggIDs,
 		BlockSize:          o.BlockSize,

@@ -1,6 +1,7 @@
 package omnireduce
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -62,6 +63,84 @@ func TestLocalClusterAllReduce(t *testing.T) {
 	}
 	if c.Worker(0).Stats().PacketsSent == 0 {
 		t.Fatal("stats not recorded")
+	}
+}
+
+func TestLocalClusterMultiTenantJobs(t *testing.T) {
+	c, err := NewLocalCluster(Options{
+		Workers: 2,
+		Tenants: map[string]TenantQuota{"prod": {Weight: 3, MaxJobs: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Two jobs from different tenants multiplex over the same workers and
+	// aggregator; each sums only its own members' data.
+	names := [][2]string{{"prod", "ranker"}, {"research", "ablation"}}
+	jobs := make([][]*Job, len(names))
+	for ji, nm := range names {
+		jobs[ji] = make([]*Job, 2)
+		for w := 0; w < 2; w++ {
+			j, err := c.Worker(w).OpenJob(nm[0], nm[1])
+			if err != nil {
+				t.Fatalf("OpenJob %v worker %d: %v", nm, w, err)
+			}
+			defer j.Close()
+			if j.Tenant() != nm[0] || j.Name() != nm[1] || j.Namespace() == 0 {
+				t.Fatalf("job identity: tenant=%q name=%q ns=%d", j.Tenant(), j.Name(), j.Namespace())
+			}
+			jobs[ji][w] = j
+		}
+	}
+	rng := rand.New(rand.NewSource(8))
+	const n = 4096
+	inputs := make([][][]float32, len(names))
+	wants := make([][]float32, len(names))
+	for ji := range names {
+		inputs[ji] = make([][]float32, 2)
+		wants[ji] = make([]float32, n)
+		for w := 0; w < 2; w++ {
+			inputs[ji][w] = make([]float32, n)
+			for i := range inputs[ji][w] {
+				inputs[ji][w][i] = float32(rng.NormFloat64())
+				wants[ji][i] += inputs[ji][w][i]
+			}
+		}
+	}
+	runAll(t, 2, func(w int) error {
+		for ji := range jobs {
+			if err := jobs[ji][w].AllReduce(inputs[ji][w]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	for ji := range names {
+		for w := 0; w < 2; w++ {
+			for i := range wants[ji] {
+				d := float64(inputs[ji][w][i]) - float64(wants[ji][i])
+				if d > 1e-4 || d < -1e-4 {
+					t.Fatalf("job %v worker %d elem %d: %v vs %v", names[ji], w, i, inputs[ji][w][i], wants[ji][i])
+				}
+			}
+		}
+	}
+
+	// prod's MaxJobs=2: ranker is its first job, embedder fits as the
+	// second, and a third is refused with the typed quota error.
+	extra := make([]*Job, 2)
+	for w := 0; w < 2; w++ {
+		j, err := c.Worker(w).OpenJob("prod", "embedder")
+		if err != nil {
+			t.Fatalf("OpenJob within quota: %v", err)
+		}
+		defer j.Close()
+		extra[w] = j
+	}
+	if _, err := c.Worker(0).OpenJob("prod", "overflow"); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("OpenJob beyond MaxJobs: got %v, want ErrTenantQuota", err)
 	}
 }
 
