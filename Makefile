@@ -71,16 +71,23 @@ fuzz:
 
 # Bench tier: the wall-clock datapath benchmarks with allocation stats,
 # recorded to BENCH_datapath.json (baseline preserved across reruns) so
-# the perf trajectory is tracked across PRs.
+# the perf trajectory is tracked across PRs. Repeated runs (-count=3 on
+# the live collectives and wire microbenches) record the best observed
+# value per metric, which filters scheduler and GC noise on shared
+# boxes. benchjson also gates the pinned benchmark families against the
+# previous recording: >10% growth in allocs/op or >35% loss in MB/s
+# (throughput is the noisier metric) fails the tier.
 bench:
-	( $(GO) test -run '^$$' -bench '^(BenchmarkAllReduceLive|BenchmarkAllReduceTCPLive|BenchmarkMultiJobLive)$$' -benchmem -benchtime 2x . ; \
+	( $(GO) test -run '^$$' -bench '^(BenchmarkAllReduceLive|BenchmarkAllReduceTCPLive|BenchmarkMultiJobLive)$$' -benchmem -benchtime 5x -count=3 . ; \
 	  $(GO) test -run '^$$' -bench '^BenchmarkAllReduceUDPLive$$' -benchmem -benchtime 10x . ; \
-	  for i in 1 2 3 4 5; do \
+	  for i in 1 2 3 4 5 6 7; do \
 	    $(GO) test -run '^$$' -bench '^BenchmarkTracerOverhead$$' -benchmem -benchtime 30x . ; \
 	  done ; \
-	  $(GO) test -run '^$$' -bench '^(BenchmarkPacketEncode|BenchmarkPacketDecode|BenchmarkPacketDecodeInto)$$' -benchmem ./internal/wire/ ; \
+	  $(GO) test -run '^$$' -bench '^(BenchmarkPacketEncode|BenchmarkPacketDecode|BenchmarkPacketDecodeInto)$$' -benchmem -count=3 ./internal/wire/ ; \
 	  $(GO) test -run '^$$' -bench '^(BenchmarkComputeBitmap|BenchmarkDenseAdd)$$' -benchmem ./internal/tensor/ ) \
-	| $(GO) run ./cmd/benchjson -o BENCH_datapath.json
+	| $(GO) run ./cmd/benchjson -o BENCH_datapath.json \
+	    -gate 'BenchmarkAllReduceLive,BenchmarkPacketEncode,BenchmarkPacketDecode' \
+	    -gate-pct 10 -gate-mbs-pct 35
 	$(GO) run ./cmd/obsreport -o OBS_datapath.json
 	# Portable-flavor sanity run (scalar syscalls even on Linux); not
 	# recorded to BENCH_datapath.json because the "scalar" sub-benchmark

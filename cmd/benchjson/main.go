@@ -11,11 +11,27 @@
 // (this run). Comparing the two shows the cumulative effect of perf work
 // since the baseline was captured.
 //
+// Repeated runs of the same benchmark (from -count=N or repeated
+// invocations) are deduplicated before recording: each metric keeps its
+// best observed value (lowest ns/op and allocs/op, highest MB/s), so
+// noisy outliers on a shared box do not pollute the trajectory.
+//
 // When the input contains the BenchmarkTracerOverhead off/flight pair,
 // benchjson also enforces the flight-recorder enabled-path budget: the
 // traced run may cost at most -tracer-budget percent (default 5) more
 // than the untraced run, or the command exits nonzero and fails the
-// bench tier.
+// bench tier. The budget is computed on the raw (pre-dedup) run list so
+// the off/flight pairing by input order is preserved.
+//
+// With -gate "prefix1,prefix2", benchjson additionally acts as a
+// regression gate: each new current entry whose name starts with a
+// listed prefix is compared against the same-named entry in the
+// previous recording's "current" section, and the command exits nonzero
+// if allocs/op grew by more than -gate-pct percent (default 10) or MB/s
+// shrank by more than -gate-mbs-pct percent (default 35; throughput is
+// far noisier than allocation counts on a shared box). The file is
+// still written first, so the offending numbers are on disk for
+// inspection.
 package main
 
 import (
@@ -79,6 +95,41 @@ func parse(line string) (Result, bool) {
 	return r, r.NsPerOp > 0
 }
 
+// dedupe collapses repeated runs of the same benchmark into one entry,
+// preserving first-appearance order and keeping the best observed value
+// per metric: lowest ns/op (and its iteration count), highest MB/s,
+// lowest B/op and allocs/op. Best-of-N per metric is the standard
+// answer to measurement noise — the fastest run is the one least
+// perturbed by the machine, and the leanest run is the one the GC
+// didn't interrupt (a pool cleared mid-run shows up as a burst of
+// re-warming allocations that says nothing about the code).
+func dedupe(results []Result) []Result {
+	idx := make(map[string]int, len(results))
+	out := results[:0:0]
+	for _, r := range results {
+		i, ok := idx[r.Name]
+		if !ok {
+			idx[r.Name] = len(out)
+			out = append(out, r)
+			continue
+		}
+		b := &out[i]
+		if r.NsPerOp < b.NsPerOp {
+			b.NsPerOp, b.Iters = r.NsPerOp, r.Iters
+		}
+		if r.MBPerS > b.MBPerS {
+			b.MBPerS = r.MBPerS
+		}
+		if r.BPerOp < b.BPerOp {
+			b.BPerOp = r.BPerOp
+		}
+		if r.AllocsOp < b.AllocsOp {
+			b.AllocsOp = r.AllocsOp
+		}
+	}
+	return out
+}
+
 // The tracer-overhead benchmark pair: the same AllReduce workload with no
 // tracer vs with a live flight recorder. Budget enforcement keys on these
 // exact names (bench_test.go's BenchmarkTracerOverhead sub-benchmarks).
@@ -129,39 +180,98 @@ func checkTracerBudget(results []Result, budgetPct float64) (float64, bool, erro
 	return pct, true, nil
 }
 
+// allocGateSlack is the absolute allocs/op slack added on top of the
+// percentage gate. Tiny benchmarks sit at a handful of allocations where
+// a single extra object is a >10% "regression"; the slack keeps the gate
+// meaningful for the big datapath numbers without tripping on noise in
+// the small ones.
+const allocGateSlack = 8
+
+// checkGate compares the new recording against the previous one for
+// every benchmark whose name starts with one of the pinned prefixes.
+// A benchmark regresses when allocs/op grows past old*(1+pct/100)+slack
+// or MB/s (when both runs report it) falls below old*(1-mbsPct/100).
+// The two tolerances differ because the metrics' noise differs:
+// allocation counts are near-deterministic (best-of-N filters the GC's
+// pool clears), while wall-clock throughput on a shared box swings with
+// neighbor load in phases longer than a benchmark invocation — the MB/s
+// gate is a backstop against structural collapses, not a 10% ratchet.
+// Benchmarks present on only one side are skipped: the gate guards
+// known quantities, it does not enforce suite membership.
+func checkGate(newCur, oldCur []Result, prefixes []string, pct, mbsPct float64) []error {
+	old := make(map[string]Result, len(oldCur))
+	for _, r := range oldCur {
+		old[r.Name] = r
+	}
+	var errs []error
+	for _, r := range newCur {
+		pinned := false
+		for _, p := range prefixes {
+			if p != "" && strings.HasPrefix(r.Name, p) {
+				pinned = true
+				break
+			}
+		}
+		if !pinned {
+			continue
+		}
+		o, ok := old[r.Name]
+		if !ok {
+			continue
+		}
+		if limit := int64(float64(o.AllocsOp)*(1+pct/100)) + allocGateSlack; r.AllocsOp > limit {
+			errs = append(errs, fmt.Errorf("%s: allocs/op regressed %d -> %d (limit %d, +%.0f%%+%d)",
+				r.Name, o.AllocsOp, r.AllocsOp, limit, pct, int64(allocGateSlack)))
+		}
+		if o.MBPerS > 0 && r.MBPerS > 0 {
+			if floor := o.MBPerS * (1 - mbsPct/100); r.MBPerS < floor {
+				errs = append(errs, fmt.Errorf("%s: MB/s regressed %.2f -> %.2f (floor %.2f, -%.0f%%)",
+					r.Name, o.MBPerS, r.MBPerS, floor, mbsPct))
+			}
+		}
+	}
+	return errs
+}
+
 func main() {
 	out := flag.String("o", "BENCH_datapath.json", "output JSON path")
 	budget := flag.Float64("tracer-budget", 5, "max flight-recorder overhead %% over the untraced pair (<0 disables)")
+	gate := flag.String("gate", "", "comma-separated benchmark name prefixes to gate against the previous recording")
+	gatePct := flag.Float64("gate-pct", 10, "max %% regression in allocs/op for gated benchmarks")
+	gateMBsPct := flag.Float64("gate-mbs-pct", 35, "max %% regression in MB/s for gated benchmarks (throughput is noisier than allocation counts)")
 	flag.Parse()
 
-	var current []Result
+	var runs []Result
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line) // pass the raw output through for the console
 		if r, ok := parse(line); ok {
-			current = append(current, r)
+			runs = append(runs, r)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
 		os.Exit(1)
 	}
-	if len(current) == 0 {
+	if len(runs) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
 	}
+	current := dedupe(runs)
 
 	f := File{
-		Note:     "datapath wall-clock benchmarks; baseline is the first recording at this path and is preserved across reruns",
+		Note:     "datapath wall-clock benchmarks; baseline is the first recording at this path and is preserved across reruns; repeated runs record the best observed value per metric",
 		Baseline: current,
 		Current:  current,
 	}
+	var prevCur []Result
 	if prev, err := os.ReadFile(*out); err == nil {
 		var old File
 		if json.Unmarshal(prev, &old) == nil && len(old.Baseline) > 0 {
 			f.Baseline = old.Baseline
+			prevCur = old.Current
 		}
 	}
 	enc, err := json.MarshalIndent(&f, "", "  ")
@@ -173,16 +283,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(current), *out)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks (%d runs) to %s\n", len(current), len(runs), *out)
 
+	fail := false
 	if *budget >= 0 {
-		pct, found, err := checkTracerBudget(current, *budget)
+		// The budget pairs the i-th off run with the i-th flight run, so it
+		// consumes the raw run list, not the deduplicated recording.
+		pct, found, err := checkTracerBudget(runs, *budget)
 		switch {
 		case err != nil:
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-			os.Exit(1)
+			fail = true
 		case found:
 			fmt.Fprintf(os.Stderr, "benchjson: flight-recorder overhead %+.1f%% (budget %.0f%%)\n", pct, *budget)
 		}
 	}
+	if *gate != "" && len(prevCur) > 0 {
+		prefixes := strings.Split(*gate, ",")
+		if errs := checkGate(current, prevCur, prefixes, *gatePct, *gateMBsPct); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "benchjson: gate: %v\n", e)
+			}
+			fail = true
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: %d pinned benchmarks within limits (allocs %.0f%%, MB/s %.0f%%) of previous recording\n",
+				countPinned(current, prefixes), *gatePct, *gateMBsPct)
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
+
+func countPinned(results []Result, prefixes []string) int {
+	n := 0
+	for _, r := range results {
+		for _, p := range prefixes {
+			if p != "" && strings.HasPrefix(r.Name, p) {
+				n++
+				break
+			}
+		}
+	}
+	return n
 }

@@ -53,6 +53,7 @@ type Aggregator struct {
 	ms  machineSet
 	tx  txBatch
 	dec decodeState
+	eb  protocol.EmitBuf
 
 	// gate is the admission filter run by the single Recv-consumer
 	// thread (the serial loop or the sharded router).
@@ -242,22 +243,44 @@ func (s *machineSet) machineFor(tid uint32, gen uint32) *protocol.AggregatorMach
 		var old AggStats
 		old.accumulate(m.Stats())
 		s.retired.add(old)
+		m.Release() // return live slot state, balancing the pool audit
 		delete(s.ms, ns)
 	}
 	cfg := s.base
+	inFlight := 0
 	if ns != 0 {
 		w := s.reg.WorkersOf(ns)
 		if w <= 0 {
 			return nil
 		}
 		cfg.Workers = w
+		inFlight = s.reg.MaxInFlightOf(ns)
 	}
 	m := protocol.NewAggregatorMachine(cfg, s.localID)
+	// Presize the slot table: one bucket per stream slot, each deep
+	// enough for the tenant's in-flight operation window (default 4 when
+	// uncapped) so steady-state admission never grows it.
+	if inFlight <= 0 {
+		inFlight = 4
+	}
+	m.Presize(cfg.WithDefaults().Streams, inFlight)
 	m.SlotOpened = s.reg.SlotOpened
 	m.SlotFinished = s.reg.SlotFinished
 	s.ms[ns] = m
 	s.gens[ns] = gen
 	return m
+}
+
+// release retires every machine in the set, returning slot state to the
+// protocol pools (leak-audit balance) and folding counters into retired.
+func (s *machineSet) release() {
+	for ns, m := range s.ms {
+		var old AggStats
+		old.accumulate(m.Stats())
+		s.retired.add(old)
+		m.Release()
+		delete(s.ms, ns)
+	}
 }
 
 // fold accumulates every machine's counters (live and retired) into sum.
@@ -277,6 +300,13 @@ func (a *Aggregator) Run() error {
 	if a.cfg.AggShards > 1 {
 		return a.runSharded(a.cfg.AggShards)
 	}
+	// On exit, retire the surviving machines so their pooled slot state is
+	// returned (leak-audit balance) while the folded stats stay readable.
+	defer func() {
+		a.ms.release()
+		a.Stats = AggStats{}
+		a.ms.fold(&a.Stats)
+	}()
 	for {
 		m, err := a.conn.Recv()
 		if err != nil {
@@ -312,23 +342,27 @@ func (a *Aggregator) handle(m transport.Message) error {
 	if tid, ok := peekTensorID(m.Data); ok {
 		gen = a.gate.genOf(tid)
 	}
-	emits, err := handleMsg(&a.ms, &a.dec, m, gen)
+	a.eb.Reset()
+	err := handleMsg(&a.ms, &a.dec, &a.eb, m, gen)
 	a.Stats = AggStats{}
 	a.ms.fold(&a.Stats)
 	if err != nil {
 		return err
 	}
-	return a.tx.sendEmits(a.conn, emits)
+	return a.tx.sendEmits(a.conn, a.eb.Emits())
 }
 
 // handleMsg decodes one message into dec's reusable state, releases the
 // encoded buffer, and feeds the packet to its namespace's machine (built
-// or rebuilt for registration generation gen). Decoding copies
-// everything out of msg.Data (payloads land in dec's scratch arena), so
-// the buffer goes back to the transport pool before the machine runs —
-// on decode errors too, since a buffer that failed to decode is equally
-// finished with.
-func handleMsg(ms *machineSet, dec *decodeState, msg transport.Message, gen uint32) ([]protocol.Emit, error) {
+// or rebuilt for registration generation gen), which appends its emits to
+// eb (reset here). Decoding copies everything out of msg.Data (payloads
+// land in dec's scratch arena), so the buffer goes back to the transport
+// pool before the machine runs — on decode errors too, since a buffer
+// that failed to decode is equally finished with. The emits reference the
+// machine's reusable shells; the caller must consume them before the next
+// handleMsg on the same machine set (sendEmits encodes them immediately).
+func handleMsg(ms *machineSet, dec *decodeState, eb *protocol.EmitBuf, msg transport.Message, gen uint32) error {
+	eb.Reset()
 	n := int64(len(msg.Data))
 	obsAggPackets.Inc()
 	obsAggRxSize.Observe(n)
@@ -339,7 +373,7 @@ func handleMsg(ms *machineSet, dec *decodeState, msg transport.Message, gen uint
 		p, err := dec.decodeDense(msg.Data)
 		if err != nil {
 			transport.PutBuf(msg.Data)
-			return nil, fmt.Errorf("core: aggregator decode: %w", err)
+			return fmt.Errorf("core: aggregator decode: %w", err)
 		}
 		pm.Dense = p
 		tid = p.TensorID
@@ -347,13 +381,13 @@ func handleMsg(ms *machineSet, dec *decodeState, msg transport.Message, gen uint
 		p, err := dec.decodeSparse(msg.Data)
 		if err != nil {
 			transport.PutBuf(msg.Data)
-			return nil, fmt.Errorf("core: aggregator decode sparse: %w", err)
+			return fmt.Errorf("core: aggregator decode sparse: %w", err)
 		}
 		pm.Sparse = p
 		tid = p.TensorID
 	default:
 		transport.PutBuf(msg.Data)
-		return nil, fmt.Errorf("core: aggregator received unexpected message type %d", wire.PeekType(msg.Data))
+		return fmt.Errorf("core: aggregator received unexpected message type %d", wire.PeekType(msg.Data))
 	}
 	transport.PutBuf(msg.Data)
 	m := ms.machineFor(tid, gen)
@@ -361,18 +395,18 @@ func handleMsg(ms *machineSet, dec *decodeState, msg transport.Message, gen uint
 		// The job closed with packets still queued behind the gate; too
 		// late to serve, nothing to corrupt.
 		obsAggLateDrops.Inc()
-		return nil, nil
+		return nil
 	}
 	if obs.Enabled() {
 		obs.Emit(obs.EvPacketRecvd, tid, n)
 		before := m.Stats().BlocksAggregated
-		emits, err := m.HandlePacket(pm)
+		err := m.HandlePacket(pm, eb)
 		if after := m.Stats().BlocksAggregated; after > before {
 			obs.Emit(obs.EvBlockRecvd, tid, after-before)
 		}
-		return emits, err
+		return err
 	}
-	return m.HandlePacket(pm)
+	return m.HandlePacket(pm, eb)
 }
 
 // admitGate is the admission filter in front of the merge path, run by
@@ -521,6 +555,7 @@ type aggShard struct {
 	ms   machineSet
 	in   *tenant.DRR[shardItem]
 	dec  decodeState
+	eb   protocol.EmitBuf
 	tx   txBatch
 	err  error
 }
@@ -540,6 +575,9 @@ type shardItem struct {
 // buffers) so the router never blocks on a dead shard; fail lets the
 // router learn about the failure promptly.
 func (s *aggShard) run(fail func()) {
+	// Machines retire when the shard exits; stats stay readable through
+	// the retired fold (runSharded folds after the shards join).
+	defer s.ms.release()
 	for {
 		it, ok := s.in.Pop()
 		if !ok {
@@ -549,9 +587,9 @@ func (s *aggShard) run(fail func()) {
 			transport.PutBuf(it.m.Data)
 			continue
 		}
-		emits, err := handleMsg(&s.ms, &s.dec, it.m, it.gen)
+		err := handleMsg(&s.ms, &s.dec, &s.eb, it.m, it.gen)
 		if err == nil {
-			err = s.tx.sendEmits(s.conn, emits)
+			err = s.tx.sendEmits(s.conn, s.eb.Emits())
 		}
 		if err != nil {
 			s.err = err

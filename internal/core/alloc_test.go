@@ -8,16 +8,16 @@ import (
 // steadyStateAllocBudget pins the per-collective allocation count on a
 // warmed worker connection (2nd and later collectives, opState recycled
 // from the free list), measured across the whole process — worker AND
-// aggregator side. Profiling shows the remaining allocations live almost
-// entirely inside the protocol machines (aggregator accum/slot state,
-// result archiving, the worker machine and view), which are per-operation
-// by design; the driver layer's persistent pump state — op queue, decode
-// arenas, encode arena, outgoing batch — contributes approximately zero.
-// Measured ~505 for this workload (64 blocks x 32); the budget leaves
+// aggregator side. The protocol machines are pooled and their round state
+// is generation-recycled (slots, accumulator arenas, emit shells), so
+// steady-state rounds allocate nothing; what remains per collective is
+// the operation envelope — the worker goroutine, the tensor view, the
+// occasional pool Get, and the aggregator's archived result clone.
+// Measured ~57 for this workload (64 blocks x 32); the budget leaves
 // headroom for runtime jitter while still catching any reintroduced
-// per-op driver churn (the op queue alone would add a 1024-slot channel
-// per collective).
-const steadyStateAllocBudget = 600
+// per-op churn (the op queue alone would add a 1024-slot channel per
+// collective, and per-round slot churn would add hundreds).
+const steadyStateAllocBudget = 120
 
 // TestSteadyStateAllocsPerOp measures whole-process allocations per
 // steady-state collective (worker and aggregator side together) and pins

@@ -1,14 +1,17 @@
 package core
 
+import "omnireduce/internal/protocol"
+
 // opState is the per-collective driver state a worker keeps hot across
 // operations: the inbound message queue, the receive-side decode state,
 // and the transmit batch (encode arena + outgoing queue). One collective
 // owns the state exclusively from beginOp to endOp; between collectives
 // it parks on the worker's free list, so the second and later operations
 // on a connection run the whole datapath — decode, encode, queueing —
-// against already-allocated memory. Only the protocol machine itself is
-// per-operation (machines are cheap and carry the round state that must
-// not leak between tensors).
+// against already-allocated memory. The protocol machine is pooled too
+// (protocol.GetWorkerMachine/Recycle) and appends its emits to the
+// state's reusable EmitBuf, so steady-state rounds run without any
+// allocation at all.
 //
 // Reuse safety is anchored in opQueue: the queue carries the tensor ID it
 // currently serves and deliver drops (as stale) any message whose tensor
@@ -19,6 +22,7 @@ type opState struct {
 	q   *opQueue
 	dec *decodeState
 	tx  txBatch
+	eb  protocol.EmitBuf
 }
 
 // newOpState builds the state for its first operation.

@@ -56,13 +56,14 @@ func (w *Worker) runAllReduceSparse(in *tensor.COO, tid uint32, st *opState, pcf
 	}
 	defer sync()
 
-	dispatch := func(emits []protocol.Emit) error {
-		return st.tx.sendEmits(w.conn, emits)
+	dispatch := func() error {
+		return st.tx.sendEmits(w.conn, st.eb.Emits())
 	}
 
-	emits := m.Start()
+	st.eb.Reset()
+	m.Start(&st.eb)
 	sync()
-	if err := dispatch(emits); err != nil {
+	if err := dispatch(); err != nil {
 		return nil, err
 	}
 
@@ -84,12 +85,13 @@ func (w *Worker) runAllReduceSparse(in *tensor.COO, tid uint32, st *opState, pcf
 				return nil, err
 			}
 			transport.PutBuf(msg.Data)
-			emits, err := m.HandlePacket(p)
+			st.eb.Reset()
+			err = m.HandlePacket(p, &st.eb)
 			sync()
 			if err != nil {
 				return nil, err
 			}
-			if err := dispatch(emits); err != nil {
+			if err := dispatch(); err != nil {
 				return nil, err
 			}
 		case <-q.fail:

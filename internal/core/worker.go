@@ -369,7 +369,8 @@ func (w *Worker) AllReduceAsync(data []float32) (*Pending, error) {
 // parameters — the default job's are the worker's own, a named job
 // session substitutes its job-relative worker ID and worker count.
 func (w *Worker) runAllReduce(data []float32, tid uint32, st *opState, pcfg protocol.Config, wid int) error {
-	m := protocol.NewWorkerMachine(pcfg, wid, tid)
+	m := protocol.GetWorkerMachine(pcfg, wid, tid)
+	defer m.Recycle()
 	view := protocol.NewDenseView(data, w.cfg.BlockSize, w.cfg.ForceDense)
 	start := time.Now()
 	defer func() { obsOpLatency.Observe(int64(time.Since(start))) }()
@@ -396,13 +397,18 @@ func (w *Worker) runAllReduce(data []float32, tid uint32, st *opState, pcfg prot
 	}
 	defer sync()
 
-	dispatch := func(emits []protocol.Emit) error {
-		return st.tx.sendEmits(w.conn, emits)
+	// The machine appends its emits to the opState's reusable EmitBuf; the
+	// Emit contract requires consuming them before the next machine call,
+	// which dispatch satisfies (sendEmits encodes everything before
+	// returning).
+	dispatch := func() error {
+		return st.tx.sendEmits(w.conn, st.eb.Emits())
 	}
 
-	emits := m.Start(view, 0)
+	st.eb.Reset()
+	m.Start(view, 0, &st.eb)
 	sync()
-	if err := dispatch(emits); err != nil {
+	if err := dispatch(); err != nil {
 		return err
 	}
 
@@ -443,12 +449,13 @@ func (w *Worker) runAllReduce(data []float32, tid uint32, st *opState, pcfg prot
 				return fmt.Errorf("core: worker decode: %w", err)
 			}
 			transport.PutBuf(msg.Data)
-			emits, err := m.HandlePacket(p, time.Since(start))
+			st.eb.Reset()
+			err = m.HandlePacket(p, time.Since(start), &st.eb)
 			sync()
 			if err != nil {
 				return err
 			}
-			if err := dispatch(emits); err != nil {
+			if err := dispatch(); err != nil {
 				return err
 			}
 		case <-q.fail:
@@ -459,11 +466,12 @@ func (w *Worker) runAllReduce(data []float32, tid uint32, st *opState, pcfg prot
 			w.mu.Unlock()
 			return fmt.Errorf("core: worker %d receive: %w", w.id, err)
 		case <-tickCh:
-			emits, err := m.HandleTimeout(time.Since(start))
+			st.eb.Reset()
+			err := m.HandleTimeout(time.Since(start), &st.eb)
 			sync()
 			// Transmit the resends accumulated before any MaxRetries
 			// failure, then surface the error.
-			if derr := dispatch(emits); derr != nil {
+			if derr := dispatch(); derr != nil {
 				return derr
 			}
 			if err != nil {

@@ -14,10 +14,18 @@ import (
 // the same protocol.WorkerMachine / protocol.AggregatorMachine state
 // machines that internal/core drives over real transports, but feeds them
 // from the netsim discrete-event loop. Messages are delivered as decoded
-// packets by reference and charged to the simulated fabric at their exact
-// wire-encoded size (Emit.Size, computed by internal/wire). There is no
+// packets and charged to the simulated fabric at their exact wire-encoded
+// size (Emit.Size, computed by internal/wire). There is no
 // simulator-private round schedule or packet-size formula: whatever the
 // machines emit is what the fabric carries.
+//
+// Because the machines emit reusable packet shells (see the protocol.Emit
+// ownership contract: consume before the next call into the machine) and
+// simulated delivery happens at a future virtual time, the router
+// deep-copies every emitted packet into a pooled shell at send time; the
+// receiving handler recycles the shell once the machine consumed it
+// (machines copy what they keep during HandlePacket). The fabric never
+// duplicates a message, so each shell has exactly one consumer.
 
 // SimStreams is the simulator's default pipeline depth. It intentionally
 // overrides protocol.Defaults().Streams (4, the live default sized for
@@ -45,6 +53,14 @@ type OmniOpts struct {
 	SwitchAgg bool
 	// NoCopy skips the staging-copy model regardless of cluster CopyBW.
 	NoCopy bool
+}
+
+// simPkt is one in-flight simulated packet: a deep copy of an emitted
+// machine shell (header, nexts, and block payloads carved from data),
+// pooled per run and recycled by the receiving handler.
+type simPkt struct {
+	p    wire.Packet
+	data []float32
 }
 
 func (o OmniOpts) withDefaults() OmniOpts {
@@ -215,10 +231,45 @@ func runOmni(c Cluster, views []protocol.TensorView, cfg protocol.Config, opts O
 	}
 
 	now := func() time.Duration { return time.Duration(n.Sim.Now() * nsPerSec) }
+
+	// One emit buffer for the whole run: handlers run one machine call at
+	// a time and route (consume) its emits before returning, so the buffer
+	// is free again before the next event fires.
+	eb := &protocol.EmitBuf{}
+
+	// Pooled in-flight packet copies (see the file comment). Dropped
+	// messages simply never return their shell — bounded garbage on lossy
+	// runs, zero on reliable ones.
+	var pktFree []*simPkt
+	clone := func(src *wire.Packet) *simPkt {
+		var sp *simPkt
+		if k := len(pktFree); k > 0 {
+			sp = pktFree[k-1]
+			pktFree[k-1] = nil
+			pktFree = pktFree[:k-1]
+		} else {
+			sp = &simPkt{}
+		}
+		nexts := sp.p.Nexts[:0]
+		blocks := sp.p.Blocks[:0]
+		data := sp.data[:0]
+		sp.p = *src
+		sp.p.Nexts = append(nexts, src.Nexts...)
+		for _, b := range src.Blocks {
+			start := len(data)
+			data = append(data, b.Data...)
+			blocks = append(blocks, wire.Block{Index: b.Index, Data: data[start:len(data):len(data)]})
+		}
+		sp.p.Blocks = blocks
+		sp.data = data
+		return sp
+	}
+	recycle := func(sp *simPkt) { pktFree = append(pktFree, sp) }
+
 	route := func(src int, emits []protocol.Emit) {
 		nd := n.Node(src)
 		for i := range emits {
-			nd.Send(emits[i].Dst, float64(emits[i].Size), emits[i].Packet)
+			nd.Send(emits[i].Dst, float64(emits[i].Size), clone(emits[i].Packet))
 		}
 	}
 
@@ -264,36 +315,39 @@ func runOmni(c Cluster, views []protocol.TensorView, cfg protocol.Config, opts O
 			if tm < d {
 				tm = d
 			}
-			emits, err := wm[w].HandleTimeout(tm)
-			if err != nil {
+			eb.Reset()
+			if err := wm[w].HandleTimeout(tm, eb); err != nil {
 				panic(fmt.Sprintf("simproto: worker %d: %v", w, err))
 			}
-			route(w, emits)
+			route(w, eb.Emits())
 			arm(w)
 		})
 	}
 
 	runAgg := func(nodeID int, p *wire.Packet) {
-		emits, err := am[nodeID].HandlePacket(protocol.Msg{Dense: p})
-		if err != nil {
+		eb.Reset()
+		if err := am[nodeID].HandlePacket(protocol.Msg{Dense: p}, eb); err != nil {
 			panic(fmt.Sprintf("simproto: aggregator %d: %v", nodeID, err))
 		}
-		route(nodeID, emits)
+		route(nodeID, eb.Emits())
 	}
 
 	for w := 0; w < N; w++ {
 		w := w
 		workers[w].Handler = func(m netsim.Message) {
-			p := m.Payload.(*wire.Packet)
+			sp := m.Payload.(*simPkt)
+			p := &sp.p
 			if p.Type == wire.TypeData {
 				runAgg(w, p) // colocated aggregator shard
+				recycle(sp)
 				return
 			}
-			emits, err := wm[w].HandlePacket(p, now())
-			if err != nil {
+			eb.Reset()
+			if err := wm[w].HandlePacket(p, now(), eb); err != nil {
 				panic(fmt.Sprintf("simproto: worker %d: %v", w, err))
 			}
-			route(w, emits)
+			route(w, eb.Emits())
+			recycle(sp)
 			checkDone(w)
 			arm(w)
 		}
@@ -302,7 +356,9 @@ func runOmni(c Cluster, views []protocol.TensorView, cfg protocol.Config, opts O
 		for _, id := range aggIDs {
 			id := id
 			n.Node(id).Handler = func(m netsim.Message) {
-				runAgg(id, m.Payload.(*wire.Packet))
+				sp := m.Payload.(*simPkt)
+				runAgg(id, &sp.p)
+				recycle(sp)
 			}
 		}
 	}
@@ -315,7 +371,9 @@ func runOmni(c Cluster, views []protocol.TensorView, cfg protocol.Config, opts O
 				copyFinished = t
 			}
 		})
-		route(w, wm[w].Start(views[w], 0))
+		eb.Reset()
+		wm[w].Start(views[w], 0, eb)
+		route(w, eb.Emits())
 		checkDone(w)
 		arm(w)
 	}

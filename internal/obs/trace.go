@@ -76,6 +76,13 @@ const (
 	EvTxBatch
 	EvRxBatch
 
+	// EvMachinePoolGet / EvMachinePoolPut fire when a protocol machine's
+	// pooled state (worker machines, aggregator slots, sparse slots) is
+	// acquired or released; appended after the batch events so earlier
+	// serialized traces keep their numeric values.
+	EvMachinePoolGet
+	EvMachinePoolPut
+
 	// NumEvents is the number of event kinds (array sizing).
 	NumEvents
 )
@@ -99,6 +106,8 @@ var eventNames = [NumEvents]string{
 	EvLookaheadSkip:  "lookahead_skip",
 	EvTxBatch:        "tx_batch",
 	EvRxBatch:        "rx_batch",
+	EvMachinePoolGet: "machine_pool_get",
+	EvMachinePoolPut: "machine_pool_put",
 }
 
 // MachineEvents lists the event kinds emitted by the protocol machines

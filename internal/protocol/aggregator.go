@@ -26,15 +26,14 @@ type AggStats struct {
 	StaleFinished    int64 // packets for finished tensors past the archive
 }
 
-// slotKey identifies one tensor's aggregation state on one stream slot:
-// several tensors may be in flight concurrently (bucket pipelining), each
-// with independent slot state.
-type slotKey struct {
-	slot     uint16
-	tensorID uint32
+// slotEnt is one live tensor's aggregation state within a slot bucket.
+type slotEnt struct {
+	tid uint32
+	sl  *aggSlot
 }
 
-// archived is a finished tensor's final result retained for replay.
+// archived is a finished tensor's final result retained for replay. The
+// packet is a deep copy (live result packets are recycled shells).
 type archived struct {
 	pkt  *wire.Packet
 	size int
@@ -45,17 +44,34 @@ type archived struct {
 // Algorithms 1 and 2 plus the key-value aggregation of Algorithm 3.
 //
 // The machine is purely event-driven: HandlePacket consumes one decoded
-// inbound message and returns the messages to transmit. It requests no
-// timers (the aggregator side of the protocol is passive). Methods must
-// not be called concurrently.
+// inbound message and appends the messages to transmit to the caller's
+// EmitBuf. It requests no timers (the aggregator side of the protocol is
+// passive). Methods must not be called concurrently.
+//
+// All per-tensor round state (slots, accumulators, result shells) is
+// free-listed inside the machine and recycled across tensors, so the
+// steady state aggregates and emits without allocating. The free-list
+// traffic is reported through the obs pool counters (protocol_agg_slots,
+// protocol_sparse_slots).
 type AggregatorMachine struct {
 	cfg Config
 	// localID is stamped as the WID of emitted results (the aggregator
 	// shard identity, matching the live driver's transport node ID).
 	localID int
 
-	slots  map[slotKey]*aggSlot
+	// table is the slot-indexed live-tensor table: table[slot] is the
+	// bucket of tensors currently aggregating on that stream slot (several
+	// tensors may be in flight concurrently under bucket pipelining, but
+	// the bucket stays tiny — it is bounded by the job's in-flight window,
+	// so a linear scan beats hashing a composite key).
+	table []([]slotEnt)
+	live  int // total live dense entries across all buckets
+
 	sparse map[uint32]*sparseAgg
+
+	// slotFree / sparseFree recycle retired per-tensor state.
+	slotFree   []*aggSlot
+	sparseFree []*sparseAgg
 
 	// archive keeps, per slot, the final result of recently finished
 	// tensors so a lost final multicast can be replayed to a
@@ -95,10 +111,27 @@ func NewAggregatorMachine(cfg Config, localID int) *AggregatorMachine {
 	return &AggregatorMachine{
 		cfg:      cfg.WithDefaults(),
 		localID:  localID,
-		slots:    make(map[slotKey]*aggSlot),
 		sparse:   make(map[uint32]*sparseAgg),
 		archive:  make(map[uint16]map[uint32]*archived),
 		finished: make(map[uint16]map[uint32]*finishedTracker),
+	}
+}
+
+// Presize reserves the slot table for `slots` stream slots with room for
+// `perSlot` concurrently live tensors each, so the steady state never
+// grows the table. Drivers size it from their registry (stream count ×
+// in-flight window); calling it is optional and never shrinks.
+func (m *AggregatorMachine) Presize(slots, perSlot int) {
+	if perSlot < 1 {
+		perSlot = 1
+	}
+	for len(m.table) < slots {
+		m.table = append(m.table, nil)
+	}
+	for i := range m.table {
+		if m.table[i] == nil {
+			m.table[i] = make([]slotEnt, 0, perSlot)
+		}
 	}
 }
 
@@ -106,29 +139,53 @@ func NewAggregatorMachine(cfg Config, localID int) *AggregatorMachine {
 // entries plus sparse tensors) are currently live. A draining driver
 // polls this alongside its own admission refcounts to decide when all
 // in-flight rounds have concluded.
-func (m *AggregatorMachine) ActiveSlots() int { return len(m.slots) + len(m.sparse) }
+func (m *AggregatorMachine) ActiveSlots() int { return m.live + len(m.sparse) }
+
+// Release returns every live slot's state to the machine's free lists and
+// balances the obs pool counters. Drivers call it when retiring a machine
+// (tenant teardown, generation bump); the machine must not be used
+// afterwards except to be garbage collected.
+func (m *AggregatorMachine) Release() {
+	for si := range m.table {
+		for _, e := range m.table[si] {
+			aggSlotPuts.Add(1)
+			obs.Emit(obs.EvMachinePoolPut, e.tid, 1)
+		}
+		m.table[si] = nil
+	}
+	m.live = 0
+	for tid := range m.sparse {
+		sparseSlotPuts.Add(1)
+		obs.Emit(obs.EvMachinePoolPut, tid, 2)
+		delete(m.sparse, tid)
+	}
+}
 
 // Stats returns a copy of the machine's traffic counters.
 func (m *AggregatorMachine) Stats() AggStats { return m.stats }
 
 // HandlePacket processes one decoded inbound message (dense data or
-// sparse key-value) and returns the messages to transmit. Emitted result
-// packets are never mutated afterwards, so drivers may encode once and
-// fan out, or multicast the decoded packet by reference.
-func (m *AggregatorMachine) HandlePacket(msg Msg) ([]Emit, error) {
+// sparse key-value) and appends the messages to transmit to eb. Emitted
+// result packets are reusable shells under the Emit ownership contract:
+// the caller must consume them before the next HandlePacket call. Within
+// one call, a multicast result is pointer-equal across its fan-out, so
+// drivers may encode once and send N times.
+func (m *AggregatorMachine) HandlePacket(msg Msg, eb *EmitBuf) error {
 	m.stats.PacketsRecvd++
 	switch {
 	case msg.Dense != nil:
-		return m.handleDense(msg.Dense)
+		return m.handleDense(msg.Dense, eb)
 	case msg.Sparse != nil:
-		return m.handleSparse(msg.Sparse)
+		return m.handleSparse(msg.Sparse, eb)
 	default:
-		return nil, fmt.Errorf("protocol: aggregator received empty message")
+		return fmt.Errorf("protocol: aggregator received empty message")
 	}
 }
 
 // aggSlot is the per-stream aggregation state. Column arrays are indexed
-// by the fusion column (§3.2).
+// by the fusion column (§3.2). Retired slots park on the machine's free
+// list with their arrays intact, so a recycled slot re-arms without
+// allocating.
 //
 // Loss recovery generalizes Algorithm 2's two-way slot versioning to a
 // mod-256 round counter carried in the packet's Version byte: the paper's
@@ -155,78 +212,171 @@ type aggSlot struct {
 	nexts [][]int64
 
 	// Current-round aggregation state.
-	acc         []*accum // per column
-	minNext     []int64  // per-round min next (unreliable mode)
+	acc         []accum // per column
+	minNext     []int64 // per-round min next (unreliable mode)
+	mins        []int64 // scratch: the concluded round's global nexts
 	seen        []bool
 	count       int
 	round       uint8 // current round number mod 256 (unreliable mode)
 	lastRes     *wire.Packet
 	lastResSize int
 	finished    bool
+
+	// shells/arenas are the slot's two reusable result packets and their
+	// block-payload arenas, flipped each finished round: the shell emitted
+	// for round r is only rebuilt at round r+2, after the driver consumed
+	// it (and after any stale-round replay of it went out).
+	shells [2]wire.Packet
+	arenas [2][]float32
+	flip   int
 }
 
-func (m *AggregatorMachine) newSlot(p *wire.Packet) *aggSlot {
-	cols := p.Cols()
-	s := &aggSlot{
-		tensorID:  p.TensorID,
-		blockSize: int(p.BlockSize),
-		cols:      cols,
-		dtype:     p.DType,
-		cur:       make([]int64, cols),
-		nexts:     make([][]int64, cols),
+// resizeI64 returns s with length n, reusing capacity; contents are
+// unspecified (callers refill).
+func resizeI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
 	}
-	for c := range s.cur {
+	return s[:n]
+}
+
+func (m *AggregatorMachine) slotAt(slot uint16, tid uint32) *aggSlot {
+	if int(slot) >= len(m.table) {
+		return nil
+	}
+	for _, e := range m.table[slot] {
+		if e.tid == tid {
+			return e.sl
+		}
+	}
+	return nil
+}
+
+func (m *AggregatorMachine) putSlot(slot uint16, tid uint32, sl *aggSlot) {
+	for int(slot) >= len(m.table) {
+		m.table = append(m.table, nil)
+	}
+	m.table[slot] = append(m.table[slot], slotEnt{tid: tid, sl: sl})
+	m.live++
+}
+
+// dropSlot removes (slot, tid) from the table (swap-remove within the
+// bucket) and returns its state, or nil if absent.
+func (m *AggregatorMachine) dropSlot(slot uint16, tid uint32) *aggSlot {
+	b := m.table[slot]
+	for i, e := range b {
+		if e.tid == tid {
+			last := len(b) - 1
+			b[i] = b[last]
+			b[last] = slotEnt{}
+			m.table[slot] = b[:last]
+			m.live--
+			return e.sl
+		}
+	}
+	return nil
+}
+
+// freeSlot parks a retired slot on the free list. Its shells may still be
+// referenced by emits pending consumption; they are only rewritten after
+// the slot is re-armed AND finishes a round, which is at least one
+// machine call later — past the Emit contract's consumption deadline.
+func (m *AggregatorMachine) freeSlot(sl *aggSlot) {
+	aggSlotPuts.Add(1)
+	obs.Emit(obs.EvMachinePoolPut, sl.tensorID, 1)
+	sl.lastRes = nil
+	m.slotFree = append(m.slotFree, sl)
+}
+
+// newSlot re-arms a free-listed (or fresh) slot for p's tensor.
+func (m *AggregatorMachine) newSlot(p *wire.Packet) *aggSlot {
+	aggSlotGets.Add(1)
+	obs.Emit(obs.EvMachinePoolGet, p.TensorID, 1)
+	var s *aggSlot
+	if n := len(m.slotFree); n > 0 {
+		s = m.slotFree[n-1]
+		m.slotFree[n-1] = nil
+		m.slotFree = m.slotFree[:n-1]
+	} else {
+		s = &aggSlot{}
+	}
+	cols := p.Cols()
+	s.tensorID = p.TensorID
+	s.blockSize = int(p.BlockSize)
+	s.cols = cols
+	s.dtype = p.DType
+	s.count = 0
+	s.round = 0
+	s.lastRes = nil
+	s.lastResSize = 0
+	s.finished = false
+	s.cur = resizeI64(s.cur, cols)
+	s.minNext = resizeI64(s.minNext, cols)
+	s.mins = resizeI64(s.mins, cols)
+	for c := 0; c < cols; c++ {
 		s.cur[c] = nextUnknown
-		s.nexts[c] = make([]int64, m.cfg.Workers)
+		s.minNext[c] = nextDone
+	}
+	for cap(s.nexts) < cols {
+		s.nexts = append(s.nexts[:cap(s.nexts)], nil)
+	}
+	s.nexts = s.nexts[:cols]
+	for c := range s.nexts {
+		s.nexts[c] = resizeI64(s.nexts[c], m.cfg.Workers)
 		for w := range s.nexts[c] {
 			s.nexts[c][w] = nextUnknown
 		}
 	}
-	s.acc = make([]*accum, cols)
+	for cap(s.acc) < cols {
+		s.acc = append(s.acc[:cap(s.acc)], accum{})
+	}
+	s.acc = s.acc[:cols]
 	for c := range s.acc {
-		s.acc[c] = newAccum(m.cfg)
+		s.acc[c].init(m.cfg)
 	}
-	s.minNext = make([]int64, cols)
-	for c := range s.minNext {
-		s.minNext[c] = nextDone
+	if cap(s.seen) < m.cfg.Workers {
+		s.seen = make([]bool, m.cfg.Workers)
 	}
-	s.seen = make([]bool, m.cfg.Workers)
+	s.seen = s.seen[:m.cfg.Workers]
+	for i := range s.seen {
+		s.seen[i] = false
+	}
 	return s
 }
 
-func (m *AggregatorMachine) handleDense(p *wire.Packet) ([]Emit, error) {
+func (m *AggregatorMachine) handleDense(p *wire.Packet, eb *EmitBuf) error {
 	if int(p.WID) >= m.cfg.Workers {
-		return nil, fmt.Errorf("protocol: packet from unknown worker %d", p.WID)
+		return fmt.Errorf("protocol: packet from unknown worker %d", p.WID)
 	}
-	key := slotKey{p.Slot, p.TensorID}
-	sl := m.slots[key]
+	sl := m.slotAt(p.Slot, p.TensorID)
 	if sl == nil {
 		if ar, ok := m.archive[p.Slot][p.TensorID]; ok {
 			// Stale retransmission for a finished tensor: replay the
 			// final result to the sender (Algorithm 2 replay path).
 			m.stats.Replays++
-			return []Emit{{Dst: int(p.WID), Packet: ar.pkt, Size: ar.size}}, nil
+			eb.Append(Emit{Dst: int(p.WID), Packet: ar.pkt, Size: ar.size})
+			return nil
 		}
 		if m.isFinished(p.Slot, p.TensorID) {
 			// A finished tensor already evicted from the archive: cannot
 			// replay, but must not resurrect state either.
 			m.stats.StaleFinished++
-			return nil, nil
+			return nil
 		}
 		sl = m.newSlot(p)
-		m.slots[key] = sl
+		m.putSlot(p.Slot, p.TensorID, sl)
 		if m.SlotOpened != nil {
 			m.SlotOpened(p.TensorID)
 		}
 	}
 	if p.Cols() != sl.cols || int(p.BlockSize) != sl.blockSize || p.DType != sl.dtype {
-		return nil, fmt.Errorf("protocol: slot %d: inconsistent geometry from worker %d", p.Slot, p.WID)
+		return fmt.Errorf("protocol: slot %d: inconsistent geometry from worker %d", p.Slot, p.WID)
 	}
 
 	if m.cfg.Reliable {
-		return m.processReliable(p, sl)
+		return m.processReliable(p, sl, eb)
 	}
-	return m.processVersioned(p, sl)
+	return m.processVersioned(p, sl, eb)
 }
 
 // finishedTracker records a set of finished operation sequences compactly:
@@ -281,30 +431,33 @@ func (m *AggregatorMachine) markFinished(slot uint16, tensorID uint32) {
 
 // processReliable implements Algorithm 1 (+ Block Fusion): silent workers,
 // min-based completion.
-func (m *AggregatorMachine) processReliable(p *wire.Packet, sl *aggSlot) ([]Emit, error) {
+func (m *AggregatorMachine) processReliable(p *wire.Packet, sl *aggSlot, eb *EmitBuf) error {
 	wid := int(p.WID)
 	if err := sl.merge(p, wid); err != nil {
-		return nil, err
+		return err
 	}
 	for c := 0; c < sl.cols; c++ {
 		sl.nexts[c][wid] = decodeNext(p.Nexts[c])
 	}
 	// Completion: every column's current block is strictly below the
-	// global minimum next (line 22 of Algorithm 1, per column).
+	// global minimum next (line 22 of Algorithm 1, per column). The mins
+	// double as the concluded round's global nexts for finishRound.
 	for c := 0; c < sl.cols; c++ {
 		if sl.cur[c] == nextDone {
+			sl.mins[c] = nextDone
 			continue
 		}
 		min := minOf(sl.nexts[c])
 		if min == nextUnknown || min <= sl.cur[c] {
-			return nil, nil // column still collecting
+			return nil // column still collecting
 		}
 		// An uninitialized column (cur == nextUnknown) completes only
 		// once every worker reported, which min > nextUnknown implies.
+		sl.mins[c] = min
 	}
 	concluded := sl.round
 	sl.round++
-	return m.finishRound(sl, p.Slot, concluded, func(c int) int64 { return minOf(sl.nexts[c]) })
+	return m.finishRound(sl, p.Slot, concluded, eb)
 }
 
 // processVersioned implements Algorithm 2 with the round-counter
@@ -312,7 +465,7 @@ func (m *AggregatorMachine) processReliable(p *wire.Packet, sl *aggSlot) ([]Emit
 // per round; duplicates within the current round are ignored; packets for
 // earlier rounds indicate the sender missed a result, which is replayed
 // unicast (the paper's lines 47-49 generalized).
-func (m *AggregatorMachine) processVersioned(p *wire.Packet, sl *aggSlot) ([]Emit, error) {
+func (m *AggregatorMachine) processVersioned(p *wire.Packet, sl *aggSlot, eb *EmitBuf) error {
 	wid := int(p.WID)
 	if p.Version != sl.round {
 		// An old-round packet (retransmission or reordered duplicate):
@@ -322,18 +475,18 @@ func (m *AggregatorMachine) processVersioned(p *wire.Packet, sl *aggSlot) ([]Emi
 		m.stats.StaleRounds++
 		if sl.lastRes != nil {
 			m.stats.Replays++
-			return []Emit{{Dst: wid, Packet: sl.lastRes, Size: sl.lastResSize}}, nil
+			eb.Append(Emit{Dst: wid, Packet: sl.lastRes, Size: sl.lastResSize})
 		}
-		return nil, nil
+		return nil
 	}
 	if sl.seen[wid] {
 		m.stats.DupsFiltered++
-		return nil, nil // duplicate within the live round; original counted
+		return nil // duplicate within the live round; original counted
 	}
 	sl.seen[wid] = true
 	sl.count++
 	if err := sl.merge(p, wid); err != nil {
-		return nil, err
+		return err
 	}
 	for c := 0; c < sl.cols; c++ {
 		n := decodeNext(p.Nexts[c])
@@ -342,9 +495,9 @@ func (m *AggregatorMachine) processVersioned(p *wire.Packet, sl *aggSlot) ([]Emi
 		}
 	}
 	if sl.count < m.cfg.Workers {
-		return nil, nil
+		return nil
 	}
-	mins := append([]int64(nil), sl.minNext...)
+	sl.mins = append(sl.mins[:0], sl.minNext...)
 	// Advance the round before emitting so the result carries the round
 	// it concludes while new state is clean for the next one.
 	sl.count = 0
@@ -353,7 +506,7 @@ func (m *AggregatorMachine) processVersioned(p *wire.Packet, sl *aggSlot) ([]Emi
 	}
 	concluded := sl.round
 	sl.round++
-	return m.finishRound(sl, p.Slot, concluded, func(c int) int64 { return mins[c] })
+	return m.finishRound(sl, p.Slot, concluded, eb)
 }
 
 // merge accumulates the packet's blocks into the slot's accumulators and
@@ -373,29 +526,43 @@ func (sl *aggSlot) merge(p *wire.Packet, wid int) error {
 	return nil
 }
 
-// finishRound emits the multicast result for a completed round and
-// advances or finishes the slot. minFor(c) yields the new global next for
-// column c; round is the concluded round's number.
-func (m *AggregatorMachine) finishRound(sl *aggSlot, slot uint16, round uint8, minFor func(int) int64) ([]Emit, error) {
-	res := &wire.Packet{
-		Type:      wire.TypeResult,
-		Version:   round,
-		DType:     sl.dtype,
-		Slot:      slot,
-		WID:       uint16(m.localID & 0xFFFF),
-		TensorID:  sl.tensorID,
-		BlockSize: uint32(sl.blockSize),
-		Nexts:     make([]uint32, sl.cols),
+// finishRound emits the multicast result for a completed round into eb
+// and advances or finishes the slot. sl.mins[c] holds the new global next
+// for column c; round is the concluded round's number. The result packet
+// is the slot's flipped shell with block payloads carved from its arena —
+// consumed by the driver before the shell's next rewrite two rounds out.
+func (m *AggregatorMachine) finishRound(sl *aggSlot, slot uint16, round uint8, eb *EmitBuf) error {
+	sl.flip ^= 1
+	res := &sl.shells[sl.flip]
+	if cap(res.Nexts) < sl.cols {
+		res.Nexts = make([]uint32, sl.cols)
 	}
+	res.Nexts = res.Nexts[:sl.cols]
+	res.Blocks = res.Blocks[:0]
+	res.Type = wire.TypeResult
+	res.Version = round
+	res.DType = sl.dtype
+	res.Slot = slot
+	res.WID = uint16(m.localID & 0xFFFF)
+	res.TensorID = sl.tensorID
+	res.BlockSize = uint32(sl.blockSize)
+	// Block payloads are carved from the shell's arena. If the arena
+	// reallocates mid-loop, earlier blocks keep reading the old backing
+	// (their copied values are intact there) and the grown capacity is
+	// kept for the next use of this shell, so the steady state stops
+	// reallocating.
+	arena := sl.arenas[sl.flip][:0]
 	allDone := true
 	for c := 0; c < sl.cols; c++ {
 		if sl.cur[c] != nextUnknown && sl.cur[c] != nextDone {
+			start := len(arena)
+			arena = sl.acc[c].appendResult(arena)
 			res.Blocks = append(res.Blocks, wire.Block{
 				Index: uint32(sl.cur[c]),
-				Data:  sl.acc[c].result(),
+				Data:  arena[start:len(arena):len(arena)],
 			})
 		}
-		min := minFor(c)
+		min := sl.mins[c]
 		if sl.cur[c] == nextDone {
 			min = nextDone
 		}
@@ -410,13 +577,16 @@ func (m *AggregatorMachine) finishRound(sl *aggSlot, slot uint16, round uint8, m
 		sl.acc[c].reset()
 		sl.minNext[c] = nextDone
 	}
+	sl.arenas[sl.flip] = arena
 	size := wire.EncodedPacketSize(res)
 	sl.lastRes = res
 	sl.lastResSize = size
 	if allDone {
 		sl.finished = true
 		m.archiveResult(slot, sl.tensorID, res, size)
-		delete(m.slots, slotKey{slot, sl.tensorID})
+		if freed := m.dropSlot(slot, sl.tensorID); freed != nil {
+			m.freeSlot(freed)
+		}
 		if m.SlotFinished != nil {
 			m.SlotFinished(sl.tensorID)
 		}
@@ -424,12 +594,11 @@ func (m *AggregatorMachine) finishRound(sl *aggSlot, slot uint16, round uint8, m
 	m.stats.RoundsCompleted++
 	m.stats.BlocksAggregated += int64(len(res.Blocks))
 	obs.EmitSlot(obs.EvSlotComplete, int32(m.localID), sl.tensorID, slot, round, int64(len(res.Blocks)))
-	emits := make([]Emit, 0, m.cfg.Workers)
 	for w := 0; w < m.cfg.Workers; w++ {
-		emits = append(emits, Emit{Dst: w, Packet: res, Size: size})
+		eb.Append(Emit{Dst: w, Packet: res, Size: size})
 		m.stats.ResultsSent++
 	}
-	return emits, nil
+	return nil
 }
 
 // archiveDepth bounds the per-(slot, namespace) final-result archive; it
@@ -439,13 +608,34 @@ func (m *AggregatorMachine) finishRound(sl *aggSlot, slot uint16, round uint8, m
 // results must not evict a quiet job's still-replayable ones.
 const archiveDepth = 16
 
+// clonePacket deep-copies a result packet (header, nexts, and block
+// payloads into one fresh arena) for the archive: archived replays must
+// outlive the recycled shell they were built in.
+func clonePacket(p *wire.Packet) *wire.Packet {
+	c := &wire.Packet{}
+	*c = *p
+	c.Nexts = append([]uint32(nil), p.Nexts...)
+	n := 0
+	for _, b := range p.Blocks {
+		n += len(b.Data)
+	}
+	data := make([]float32, 0, n)
+	c.Blocks = make([]wire.Block, len(p.Blocks))
+	for i, b := range p.Blocks {
+		start := len(data)
+		data = append(data, b.Data...)
+		c.Blocks[i] = wire.Block{Index: b.Index, Data: data[start:len(data):len(data)]}
+	}
+	return c
+}
+
 func (m *AggregatorMachine) archiveResult(slot uint16, tensorID uint32, res *wire.Packet, size int) {
 	am := m.archive[slot]
 	if am == nil {
 		am = make(map[uint32]*archived)
 		m.archive[slot] = am
 	}
-	am[tensorID] = &archived{pkt: res, size: size}
+	am[tensorID] = &archived{pkt: clonePacket(res), size: size}
 	m.markFinished(slot, tensorID)
 	// Bound the archive to the namespace's most recent operation
 	// sequences.
@@ -472,28 +662,44 @@ func (m *AggregatorMachine) archiveResult(slot uint16, tensorID uint32, res *wir
 
 // accum accumulates one block-sized unit of aggregation, supporting plain
 // float32 summation, fixed-point (switch-mode) summation, and
-// deterministic worker-ID-ordered reduction.
+// deterministic worker-ID-ordered reduction. All backing arrays are
+// retained across rounds and tensors (init/reset truncate, never free).
 type accum struct {
 	det   bool
 	scale float64
 	f     []float32
 	q     []int64
-	per   map[int][]float32
+	// Deterministic mode: per[wid] is worker wid's block copy for the
+	// current round (nil = absent), carved from arena. If arena
+	// reallocates as workers arrive, earlier per-slices keep reading the
+	// old backing — their copied values are intact there — and the grown
+	// capacity makes later rounds allocation-free.
+	arena []float32
+	per   [][]float32
 }
 
 func newAccum(cfg Config) *accum {
-	a := &accum{det: cfg.DeterministicOrder, scale: cfg.QuantizeScale}
-	if a.det {
-		a.per = make(map[int][]float32)
-	}
+	a := &accum{}
+	a.init(cfg)
 	return a
+}
+
+// init re-arms the accumulator for a (possibly different) config,
+// truncating but keeping backing arrays.
+func (a *accum) init(cfg Config) {
+	a.det = cfg.DeterministicOrder
+	a.scale = cfg.QuantizeScale
+	a.reset()
 }
 
 func (a *accum) add(wid int, data []float32) {
 	if a.det {
-		c := make([]float32, len(data))
-		copy(c, data)
-		a.per[wid] = c
+		for wid >= len(a.per) {
+			a.per = append(a.per, nil)
+		}
+		start := len(a.arena)
+		a.arena = append(a.arena, data...)
+		a.per[wid] = a.arena[start:len(a.arena):len(a.arena)]
 		return
 	}
 	if a.scale != 0 {
@@ -511,19 +717,22 @@ func (a *accum) add(wid int, data []float32) {
 	tensor.AddF32(a.f, data)
 }
 
-func (a *accum) result() []float32 {
+// appendResult appends the round's aggregate to dst and returns the
+// extended slice. Deterministic mode folds worker contributions in
+// ascending worker-ID order (the same float-op sequence as summing a
+// sorted map), so results are bit-identical run to run.
+func (a *accum) appendResult(dst []float32) []float32 {
 	if a.det {
-		wids := make([]int, 0, len(a.per))
-		for w := range a.per {
-			wids = append(wids, w)
-		}
-		sort.Ints(wids)
-		var out []float32
-		for _, w := range wids {
+		start := len(dst)
+		for w := 0; w < len(a.per); w++ {
 			d := a.per[w]
-			if len(out) < len(d) {
-				out = append(out, make([]float32, len(d)-len(out))...)
+			if d == nil {
+				continue
 			}
+			for len(dst)-start < len(d) {
+				dst = append(dst, 0)
+			}
+			out := dst[start:]
 			if a.scale != 0 {
 				// Deterministic + quantized: quantize each contribution.
 				for i, v := range d {
@@ -533,24 +742,22 @@ func (a *accum) result() []float32 {
 				tensor.AddF32(out, d)
 			}
 		}
-		return out
+		return dst
 	}
 	if a.scale != 0 {
-		out := make([]float32, len(a.q))
-		for i, v := range a.q {
-			out[i] = float32(float64(v) / a.scale)
+		for _, v := range a.q {
+			dst = append(dst, float32(float64(v)/a.scale))
 		}
-		return out
+		return dst
 	}
-	out := make([]float32, len(a.f))
-	copy(out, a.f)
-	return out
+	return append(dst, a.f...)
 }
 
 func (a *accum) reset() {
 	a.f = a.f[:0]
 	a.q = a.q[:0]
-	if a.det {
-		clear(a.per)
+	a.arena = a.arena[:0]
+	for i := range a.per {
+		a.per[i] = nil
 	}
 }

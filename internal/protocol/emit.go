@@ -28,20 +28,24 @@ type Msg struct {
 // Emit is one outbound message requested by a machine: a decoded packet,
 // its destination node ID, and the exact number of bytes the wire encoding
 // occupies (per internal/wire's encoders). Real drivers call Encode and
-// transmit; the simulator charges Size bytes to the virtual fabric and
-// delivers the decoded packet by reference.
+// transmit; the simulator deep-copies the packet and charges Size bytes to
+// the virtual fabric.
 //
-// Machines never mutate a packet after emitting it and never mutate
-// received packets, so a single packet value may safely be multicast by
-// reference (the simulator) or encoded once and sent N times (the real
-// driver).
+// Machines never mutate a packet while it is emitted and never mutate
+// received packets, so a single packet value may safely be encoded once
+// and sent N times within one consuming burst (aggregator result
+// multicasts are pointer-equal across their fan-out).
 //
-// Ownership: emitted packets belong to the machine (a worker keeps its
-// last packet for retransmission; an aggregator archives final results
-// for replay). Drivers must treat them as read-only — encode and
-// transmit, never recycle or mutate. Emitted block payloads may alias the
-// machine's TensorView, which is another reason encoding must finish
-// before the driver hands the view back to application code.
+// Ownership: emitted packets belong to the machine, and they are reusable
+// shells — the machine recycles a shell two rounds after emitting it
+// (double buffering), and emitted payloads may alias the machine's
+// TensorView or internal arenas. A driver must therefore CONSUME every
+// emit — encode it onto the wire, or deep-copy it — before the next call
+// into the emitting machine, and must never mutate or recycle the packet
+// itself. The live drivers satisfy this by construction (txBatch encodes
+// the whole burst before returning); the simulator copies packets into
+// its own pooled shells at route time, because simulated delivery happens
+// at a future virtual time.
 type Emit struct {
 	Dst    int
 	Packet *wire.Packet

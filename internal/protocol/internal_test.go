@@ -15,13 +15,13 @@ func TestAccumFloat(t *testing.T) {
 	a := newAccum(Config{})
 	a.add(1, []float32{1, 2})
 	a.add(0, []float32{10, 20, 30}) // longer contribution grows the slot
-	got := a.result()
+	got := a.appendResult(nil)
 	if len(got) != 3 || got[0] != 11 || got[1] != 22 || got[2] != 30 {
 		t.Fatalf("result = %v", got)
 	}
 	a.reset()
 	a.add(0, []float32{5})
-	if got := a.result(); len(got) != 1 || got[0] != 5 {
+	if got := a.appendResult(nil); len(got) != 1 || got[0] != 5 {
 		t.Fatalf("after reset: %v", got)
 	}
 }
@@ -30,7 +30,7 @@ func TestAccumQuantized(t *testing.T) {
 	a := newAccum(Config{QuantizeScale: 4}) // quarter resolution
 	a.add(0, []float32{0.1})                // 0.1*4 = 0.4 rounds to 0
 	a.add(1, []float32{0.5})                // 0.5*4 = 2
-	got := a.result()
+	got := a.appendResult(nil)
 	if len(got) != 1 {
 		t.Fatalf("result = %v", got)
 	}
@@ -51,7 +51,7 @@ func TestAccumDeterministicOrder(t *testing.T) {
 		for _, w := range order {
 			a.add(w, vals[w])
 		}
-		return a.result()
+		return a.appendResult(nil)
 	}
 	r1 := mk([]int{0, 1, 2, 3})
 	r2 := mk([]int{3, 2, 1, 0})
@@ -65,7 +65,7 @@ func TestAccumDeterministicQuantized(t *testing.T) {
 	a := newAccum(Config{DeterministicOrder: true, QuantizeScale: 1 << 10})
 	a.add(1, []float32{0.25})
 	a.add(0, []float32{0.5})
-	got := a.result()
+	got := a.appendResult(nil)
 	if math.Abs(float64(got[0])-0.75) > 1e-3 {
 		t.Fatalf("det+quant = %v", got)
 	}

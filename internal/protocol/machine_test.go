@@ -22,6 +22,28 @@ type tmsg struct {
 	pkt      *wire.Packet
 }
 
+// testClone deep-copies an emitted dense packet. Machines emit reusable
+// shells valid only until the next call into the emitting machine, so
+// the pump — which queues messages for later delivery — must copy them
+// at enqueue time, exactly as a real driver would encode them.
+func testClone(p *wire.Packet) *wire.Packet {
+	c := *p
+	c.Nexts = append([]uint32(nil), p.Nexts...)
+	c.Blocks = append([]wire.Block(nil), p.Blocks...)
+	for i := range c.Blocks {
+		c.Blocks[i].Data = append([]float32(nil), c.Blocks[i].Data...)
+	}
+	return &c
+}
+
+// testCloneSparse is testClone for key-value packets.
+func testCloneSparse(p *wire.SparsePacket) *wire.SparsePacket {
+	c := *p
+	c.Keys = append([]uint32(nil), p.Keys...)
+	c.Values = append([]float32(nil), p.Values...)
+	return &c
+}
+
 // pump drives the machines to completion with deterministic, synchronous
 // delivery. tamper sees every enqueued message and returns the copies to
 // actually deliver (nil drops it); swapLinks additionally swaps adjacent
@@ -36,6 +58,7 @@ type pump struct {
 	tamper    func(n int, m tmsg) []tmsg
 	swapLinks bool
 	seq       int
+	eb        EmitBuf
 }
 
 func newPump(t *testing.T, cfg Config, inputs [][]float32, tamper func(n int, m tmsg) []tmsg, swap bool) (*pump, [][]float32) {
@@ -55,14 +78,16 @@ func newPump(t *testing.T, cfg Config, inputs [][]float32, tamper func(n int, m 
 	}
 	for w, m := range p.wms {
 		view := NewDenseView(work[w], cfg.BlockSize, cfg.ForceDense)
-		p.push(w, m.Start(view, 0))
+		p.eb.Reset()
+		m.Start(view, 0, &p.eb)
+		p.push(w, p.eb.Emits())
 	}
 	return p, work
 }
 
 func (p *pump) push(src int, emits []Emit) {
 	for i := range emits {
-		m := tmsg{src: src, dst: emits[i].Dst, pkt: emits[i].Packet}
+		m := tmsg{src: src, dst: emits[i].Dst, pkt: testClone(emits[i].Packet)}
 		out := []tmsg{m}
 		if p.tamper != nil {
 			out = p.tamper(p.seq, m)
@@ -84,18 +109,18 @@ func (p *pump) drain() {
 		m := p.q[0]
 		p.q = p.q[1:]
 		if m.dst == aggNode {
-			emits, err := p.am.HandlePacket(Msg{Dense: m.pkt})
-			if err != nil {
+			p.eb.Reset()
+			if err := p.am.HandlePacket(Msg{Dense: m.pkt}, &p.eb); err != nil {
 				p.t.Fatalf("aggregator: %v", err)
 			}
-			p.push(aggNode, emits)
+			p.push(aggNode, p.eb.Emits())
 			continue
 		}
-		emits, err := p.wms[m.dst].HandlePacket(m.pkt, p.now)
-		if err != nil {
+		p.eb.Reset()
+		if err := p.wms[m.dst].HandlePacket(m.pkt, p.now, &p.eb); err != nil {
 			p.t.Fatalf("worker %d: %v", m.dst, err)
 		}
-		p.push(m.dst, emits)
+		p.push(m.dst, p.eb.Emits())
 	}
 }
 
@@ -110,11 +135,11 @@ func (p *pump) tick() {
 	}
 	p.now = latest + time.Nanosecond
 	for w, m := range p.wms {
-		emits, err := m.HandleTimeout(p.now)
-		if err != nil {
+		p.eb.Reset()
+		if err := m.HandleTimeout(p.now, &p.eb); err != nil {
 			p.t.Fatalf("worker %d timeout: %v", w, err)
 		}
-		p.push(w, emits)
+		p.push(w, p.eb.Emits())
 	}
 }
 
@@ -289,26 +314,32 @@ func TestWorkerMachineResultErrors(t *testing.T) {
 		BlockSize: 4, FusionWidth: 1, Streams: 1}
 	m := NewWorkerMachine(cfg, 0, 1)
 	data := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
-	if emits := m.Start(NewDenseView(data, 4, false), 0); len(emits) != 1 {
-		t.Fatalf("bootstrap emits = %d", len(emits))
+	var eb EmitBuf
+	m.Start(NewDenseView(data, 4, false), 0, &eb)
+	if eb.Len() != 1 {
+		t.Fatalf("bootstrap emits = %d", eb.Len())
 	}
-	if _, err := m.HandlePacket(&wire.Packet{Type: wire.TypeData, TensorID: 1}, 0); err == nil || !strings.Contains(err.Error(), "unexpected message type") {
+	eb.Reset()
+	if err := m.HandlePacket(&wire.Packet{Type: wire.TypeData, TensorID: 1}, 0, &eb); err == nil || !strings.Contains(err.Error(), "unexpected message type") {
 		t.Fatalf("wrong type: err = %v", err)
 	}
-	if _, err := m.HandlePacket(&wire.Packet{Type: wire.TypeResult, TensorID: 1, Slot: 9, Nexts: []uint32{wire.Inf(0)}}, 0); err == nil || !strings.Contains(err.Error(), "unknown stream") {
+	eb.Reset()
+	if err := m.HandlePacket(&wire.Packet{Type: wire.TypeResult, TensorID: 1, Slot: 9, Nexts: []uint32{wire.Inf(0)}}, 0, &eb); err == nil || !strings.Contains(err.Error(), "unknown stream") {
 		t.Fatalf("unknown stream: err = %v", err)
 	}
 	// Stale tensor IDs are silently dropped and counted.
-	emits, err := m.HandlePacket(&wire.Packet{Type: wire.TypeResult, TensorID: 7, Nexts: []uint32{wire.Inf(0)}}, 0)
-	if err != nil || emits != nil {
-		t.Fatalf("stale result not dropped: %v %v", emits, err)
+	eb.Reset()
+	err := m.HandlePacket(&wire.Packet{Type: wire.TypeResult, TensorID: 7, Nexts: []uint32{wire.Inf(0)}}, 0, &eb)
+	if err != nil || eb.Len() != 0 {
+		t.Fatalf("stale result not dropped: %d emits, err %v", eb.Len(), err)
 	}
 	if m.Stats().StaleResults != 1 {
 		t.Fatalf("StaleResults = %d, want 1", m.Stats().StaleResults)
 	}
 	// A request past our local next (2 when we still hold block 1) is a
 	// protocol violation.
-	if _, err := m.HandlePacket(&wire.Packet{Type: wire.TypeResult, TensorID: 1, BlockSize: 4, Nexts: []uint32{2}}, 0); err == nil || !strings.Contains(err.Error(), "past local next") {
+	eb.Reset()
+	if err := m.HandlePacket(&wire.Packet{Type: wire.TypeResult, TensorID: 1, BlockSize: 4, Nexts: []uint32{2}}, 0, &eb); err == nil || !strings.Contains(err.Error(), "past local next") {
 		t.Fatalf("past-next: err = %v", err)
 	}
 }
@@ -338,9 +369,10 @@ func TestSparseMachineTrace(t *testing.T) {
 		pkt *wire.SparsePacket
 	}
 	var q []smsg
+	var eb EmitBuf
 	push := func(emits []Emit) {
 		for i := range emits {
-			q = append(q, smsg{dst: emits[i].Dst, pkt: emits[i].Sparse})
+			q = append(q, smsg{dst: emits[i].Dst, pkt: testCloneSparse(emits[i].Sparse)})
 		}
 	}
 	for w := range ins {
@@ -349,24 +381,26 @@ func TestSparseMachineTrace(t *testing.T) {
 			t.Fatal(err)
 		}
 		wms = append(wms, m)
-		push(m.Start())
+		eb.Reset()
+		m.Start(&eb)
+		push(eb.Emits())
 	}
 	for len(q) > 0 {
 		m := q[0]
 		q = q[1:]
 		if m.dst == aggNode {
-			emits, err := am.HandlePacket(Msg{Sparse: m.pkt})
-			if err != nil {
+			eb.Reset()
+			if err := am.HandlePacket(Msg{Sparse: m.pkt}, &eb); err != nil {
 				t.Fatal(err)
 			}
-			push(emits)
+			push(eb.Emits())
 			continue
 		}
-		emits, err := wms[m.dst].HandlePacket(m.pkt)
-		if err != nil {
+		eb.Reset()
+		if err := wms[m.dst].HandlePacket(m.pkt, &eb); err != nil {
 			t.Fatal(err)
 		}
-		push(emits)
+		push(eb.Emits())
 	}
 	want := map[int32]float32{3: 1, 7: 12, 8: 11, 50: 3, 51: 16, 99: 5}
 	for w, m := range wms {

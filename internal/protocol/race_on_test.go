@@ -1,0 +1,5 @@
+//go:build race
+
+package protocol
+
+const raceEnabled = true

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"omnireduce/internal/obs"
 	"omnireduce/internal/tensor"
 	"omnireduce/internal/wire"
 )
@@ -38,6 +39,11 @@ type SparseWorkerMachine struct {
 	idx   int // next unsent pair index into in
 	done  bool
 	stats WorkerStats
+
+	// shells are the machine's reusable outbound packets (see the Emit
+	// ownership contract); Values alias the input tensor zero-copy.
+	shells [2]wire.SparsePacket
+	flip   int
 }
 
 // NewSparseWorkerMachine validates the input tensor's key range and
@@ -70,28 +76,31 @@ func (m *SparseWorkerMachine) Done() bool { return m.done }
 // Result returns the assembled global reduction; valid once Done.
 func (m *SparseWorkerMachine) Result() *tensor.COO { return m.out }
 
-// Start emits the first block of pairs (Algorithm 3 lines 2-7).
-func (m *SparseWorkerMachine) Start() []Emit {
-	return []Emit{m.sendNext()}
+// Start emits the first block of pairs (Algorithm 3 lines 2-7) into eb.
+func (m *SparseWorkerMachine) Start(eb *EmitBuf) {
+	m.sendNext(eb)
 }
 
-// sendNext builds and accounts the next BlockSize-pair packet.
-func (m *SparseWorkerMachine) sendNext() Emit {
+// sendNext builds and accounts the next BlockSize-pair packet in a
+// flipped shell. Keys are converted into the shell's reused array; Values
+// alias the input tensor (machines never mutate it).
+func (m *SparseWorkerMachine) sendNext(eb *EmitBuf) {
 	bs := m.cfg.BlockSize
 	hi := m.idx + bs
 	if hi > m.in.Len() {
 		hi = m.in.Len()
 	}
-	p := &wire.SparsePacket{
-		Type:     wire.TypeSparseData,
-		WID:      uint16(m.id),
-		TensorID: m.tid,
-		NextKey:  wire.InfKey,
-	}
+	m.flip ^= 1
+	p := &m.shells[m.flip]
+	p.Type = wire.TypeSparseData
+	p.WID = uint16(m.id)
+	p.TensorID = m.tid
+	p.NextKey = wire.InfKey
+	p.Keys = p.Keys[:0]
 	for i := m.idx; i < hi; i++ {
 		p.Keys = append(p.Keys, uint32(m.in.Keys[i]))
-		p.Values = append(p.Values, m.in.Values[i])
 	}
+	p.Values = m.in.Values[m.idx:hi]
 	m.idx = hi
 	if m.idx < m.in.Len() {
 		p.NextKey = uint32(m.in.Keys[m.idx])
@@ -99,40 +108,68 @@ func (m *SparseWorkerMachine) sendNext() Emit {
 	size := wire.EncodedSparsePacketSize(p)
 	m.stats.PacketsSent++
 	m.stats.BytesSent += int64(size)
-	return Emit{Dst: m.cfg.Aggregators[0], Sparse: p, Size: size}
+	eb.Append(Emit{Dst: m.cfg.Aggregators[0], Sparse: p, Size: size})
 }
 
 // HandlePacket consumes one sparse result chunk: appends the flushed
 // prefix to the output and, when the global progress reaches our next
-// unsent key, emits the next block (Algorithm 3 line 10).
-func (m *SparseWorkerMachine) HandlePacket(p *wire.SparsePacket) ([]Emit, error) {
+// unsent key, emits the next block into eb (Algorithm 3 line 10).
+func (m *SparseWorkerMachine) HandlePacket(p *wire.SparsePacket, eb *EmitBuf) error {
 	if p.Type != wire.TypeSparseResult {
-		return nil, fmt.Errorf("protocol: worker %d: unexpected message type %d in sparse mode", m.id, p.Type)
+		return fmt.Errorf("protocol: worker %d: unexpected message type %d in sparse mode", m.id, p.Type)
 	}
 	if p.TensorID != m.tid {
-		return nil, nil // stale
+		return nil // stale
 	}
 	for i, k := range p.Keys {
 		m.out.Append(int32(k), p.Values[i])
 	}
 	if p.NextKey == wire.InfKey {
 		m.done = true
-		return nil, nil
+		return nil
 	}
 	if m.idx < m.in.Len() && p.NextKey != MoreComing && int64(p.NextKey) >= int64(m.in.Keys[m.idx]) {
-		return []Emit{m.sendNext()}, nil
+		m.sendNext(eb)
 	}
-	return nil, nil
+	return nil
 }
 
 // sparseAgg is the aggregator-side state of Algorithm 3.
+//
+// The steady state holds the aggregate as parallel sorted runs
+// (keys/vals) with a flushed-prefix watermark: workers stream their pairs
+// in key order, so each inbound packet is an ascending run that merges
+// into the unflushed suffix in O(suffix + packet) with zero allocation
+// (the suffix is bounded by Workers × BlockSize through flow control).
+// Flushes emit subslices of the runs zero-copy; the flushed prefix is
+// retained (never compacted) so emitted subslices stay valid while the
+// driver consumes them. If a packet ever violates the ordering
+// assumptions (unsorted keys, or keys below the flush watermark), the
+// state falls back permanently to the map+heap path, which accepts
+// arbitrary key orderings at allocation cost.
 type sparseAgg struct {
 	tensorID uint32
-	values   map[uint32]float32
-	pending  keyHeap // aggregated keys not yet flushed
+
+	// Sorted-run fast path.
+	sorted  bool
+	keys    []uint32
+	vals    []float32
+	flushed int // keys[:flushed] already flushed
+	mergeK  []uint32
+	mergeV  []float32
+
+	// Fallback path (map + heap), engaged by fallbackify.
+	values  map[uint32]float32
+	pending keyHeap // aggregated keys not yet flushed
+
 	nextKey  []int64 // per-worker next key; -1 unknown, maxInt64 done
 	sent     int64   // smallest unflushed key
 	finished bool
+
+	// shells are the reusable result-chunk packets of one flush; the
+	// array is reserved to the flush's chunk count up front so earlier
+	// chunks' pointers stay stable while later ones are built.
+	shells []wire.SparsePacket
 }
 
 type keyHeap []uint32
@@ -149,38 +186,158 @@ func (h *keyHeap) Pop() interface{} {
 	return x
 }
 
-func (m *AggregatorMachine) handleSparse(p *wire.SparsePacket) ([]Emit, error) {
+// newSparse re-arms a free-listed (or fresh) sparse aggregation state.
+func (m *AggregatorMachine) newSparse(tensorID uint32) *sparseAgg {
+	sparseSlotGets.Add(1)
+	obs.Emit(obs.EvMachinePoolGet, tensorID, 2)
+	var sa *sparseAgg
+	if n := len(m.sparseFree); n > 0 {
+		sa = m.sparseFree[n-1]
+		m.sparseFree[n-1] = nil
+		m.sparseFree = m.sparseFree[:n-1]
+	} else {
+		sa = &sparseAgg{}
+	}
+	sa.tensorID = tensorID
+	sa.sorted = true
+	sa.keys = sa.keys[:0]
+	sa.vals = sa.vals[:0]
+	sa.flushed = 0
+	if sa.values != nil {
+		clear(sa.values)
+	}
+	sa.pending = sa.pending[:0]
+	sa.nextKey = resizeI64(sa.nextKey, m.cfg.Workers)
+	for i := range sa.nextKey {
+		sa.nextKey[i] = -1
+	}
+	sa.sent = 0
+	sa.finished = false
+	return sa
+}
+
+func (m *AggregatorMachine) freeSparse(sa *sparseAgg) {
+	sparseSlotPuts.Add(1)
+	obs.Emit(obs.EvMachinePoolPut, sa.tensorID, 2)
+	m.sparseFree = append(m.sparseFree, sa)
+}
+
+// fallbackify abandons the sorted-run representation: all aggregated
+// pairs move into the values map (flushed ones included, so late
+// contributions to already-flushed keys keep folding in, matching the
+// historical map semantics), unflushed keys into the pending heap.
+func (sa *sparseAgg) fallbackify() {
+	if sa.values == nil {
+		sa.values = make(map[uint32]float32, len(sa.keys))
+	}
+	for i, k := range sa.keys {
+		sa.values[k] = sa.vals[i]
+	}
+	sa.pending = append(sa.pending[:0], sa.keys[sa.flushed:]...)
+	heap.Init(&sa.pending)
+	sa.keys = sa.keys[:0]
+	sa.vals = sa.vals[:0]
+	sa.flushed = 0
+	sa.sorted = false
+}
+
+// runSortedFor reports whether p's keys can merge into the sorted runs:
+// non-descending and nothing below the flush watermark. In-order workers
+// always satisfy this (a worker's new keys are >= its announced next key
+// >= the flushed global minimum).
+func (sa *sparseAgg) runSortedFor(p *wire.SparsePacket) bool {
+	if len(p.Keys) == 0 {
+		return true
+	}
+	if int64(p.Keys[0]) < sa.sent {
+		return false
+	}
+	for i := 1; i < len(p.Keys); i++ {
+		if p.Keys[i] < p.Keys[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeRun folds p's ascending key-value run into the unflushed suffix of
+// the sorted runs. Equal keys fold in arrival order, the same float-op
+// sequence as the map path's `+=`.
+func (sa *sparseAgg) mergeRun(p *wire.SparsePacket) {
+	suf := sa.keys[sa.flushed:]
+	sufV := sa.vals[sa.flushed:]
+	mk := sa.mergeK[:0]
+	mv := sa.mergeV[:0]
+	i, j := 0, 0
+	for i < len(suf) && j < len(p.Keys) {
+		switch {
+		case suf[i] < p.Keys[j]:
+			mk = append(mk, suf[i])
+			mv = append(mv, sufV[i])
+			i++
+		case suf[i] > p.Keys[j]:
+			mk, mv = appendFold(mk, mv, p.Keys[j], p.Values[j])
+			j++
+		default:
+			mk = append(mk, suf[i])
+			mv = append(mv, sufV[i]+p.Values[j])
+			i++
+			j++
+		}
+	}
+	for ; i < len(suf); i++ {
+		mk = append(mk, suf[i])
+		mv = append(mv, sufV[i])
+	}
+	for ; j < len(p.Keys); j++ {
+		mk, mv = appendFold(mk, mv, p.Keys[j], p.Values[j])
+	}
+	sa.mergeK, sa.mergeV = mk, mv
+	sa.keys = append(sa.keys[:sa.flushed], mk...)
+	sa.vals = append(sa.vals[:sa.flushed], mv...)
+}
+
+// appendFold appends (k, v), folding into the last entry when the key
+// repeats (duplicate keys within one packet).
+func appendFold(mk []uint32, mv []float32, k uint32, v float32) ([]uint32, []float32) {
+	if n := len(mk); n > 0 && mk[n-1] == k {
+		mv[n-1] += v
+		return mk, mv
+	}
+	return append(mk, k), append(mv, v)
+}
+
+func (m *AggregatorMachine) handleSparse(p *wire.SparsePacket, eb *EmitBuf) error {
 	// Sparse operations are keyed by tensor ID, so several may be in
 	// flight concurrently.
 	sa := m.sparse[p.TensorID]
 	if sa == nil {
-		sa = &sparseAgg{
-			tensorID: p.TensorID,
-			values:   make(map[uint32]float32),
-			nextKey:  make([]int64, m.cfg.Workers),
-			sent:     0,
-		}
-		for i := range sa.nextKey {
-			sa.nextKey[i] = -1
-		}
+		sa = m.newSparse(p.TensorID)
 		m.sparse[p.TensorID] = sa
 		if m.SlotOpened != nil {
 			m.SlotOpened(p.TensorID)
 		}
 	}
 	if sa.finished {
-		return nil, nil
+		return nil
 	}
 	wid := int(p.WID)
 	if wid >= m.cfg.Workers {
-		return nil, fmt.Errorf("protocol: sparse packet from unknown worker %d", p.WID)
+		return fmt.Errorf("protocol: sparse packet from unknown worker %d", p.WID)
 	}
 	// Merge pairs (Algorithm 3 line 25).
-	for i, k := range p.Keys {
-		if _, ok := sa.values[k]; !ok {
-			heap.Push(&sa.pending, k)
+	if sa.sorted && !sa.runSortedFor(p) {
+		sa.fallbackify()
+	}
+	if sa.sorted {
+		sa.mergeRun(p)
+	} else {
+		for i, k := range p.Keys {
+			if _, ok := sa.values[k]; !ok {
+				heap.Push(&sa.pending, k)
+			}
+			sa.values[k] += p.Values[i]
 		}
-		sa.values[k] += p.Values[i]
 	}
 	if p.NextKey == wire.InfKey {
 		sa.nextKey[wid] = nextDone
@@ -189,56 +346,83 @@ func (m *AggregatorMachine) handleSparse(p *wire.SparsePacket) ([]Emit, error) {
 	}
 	min := minOf(sa.nextKey)
 	if min == -1 {
-		return nil, nil // not all workers reported yet
+		return nil // not all workers reported yet
 	}
 	if min == nextDone {
 		// Final flush: everything pending, last chunk marked InfKey.
-		emits := m.flushSparse(sa, nextDone)
+		m.flushSparse(sa, nextDone, eb)
 		sa.finished = true
 		delete(m.sparse, p.TensorID)
 		if m.SlotFinished != nil {
 			m.SlotFinished(p.TensorID)
 		}
-		return emits, nil
+		m.freeSparse(sa)
+		return nil
 	}
 	if min > sa.sent {
-		emits := m.flushSparse(sa, min)
+		m.flushSparse(sa, min, eb)
 		sa.sent = min
-		return emits, nil
 	}
-	return nil, nil
+	return nil
 }
 
-// flushSparse multicasts aggregated pairs with key < upTo, chunked into
-// BlockSize-pair packets. upTo == nextDone flushes everything and marks
-// the final chunk with InfKey.
-func (m *AggregatorMachine) flushSparse(sa *sparseAgg, upTo int64) []Emit {
-	bs := m.cfg.BlockSize
-	var keys []uint32
-	for sa.pending.Len() > 0 && int64(sa.pending[0]) < upTo {
-		keys = append(keys, heap.Pop(&sa.pending).(uint32))
+// flushSparse multicasts aggregated pairs with key < upTo into eb,
+// chunked into BlockSize-pair packets. upTo == nextDone flushes
+// everything and marks the final chunk with InfKey.
+func (m *AggregatorMachine) flushSparse(sa *sparseAgg, upTo int64, eb *EmitBuf) {
+	var ks []uint32
+	var vs []float32
+	if sa.sorted {
+		end := sa.flushed
+		for end < len(sa.keys) && int64(sa.keys[end]) < upTo {
+			end++
+		}
+		// Zero-copy subslices of the runs: the flushed prefix is never
+		// compacted or overwritten, so these stay valid past the call.
+		ks = sa.keys[sa.flushed:end]
+		vs = sa.vals[sa.flushed:end]
+		sa.flushed = end
+	} else {
+		mk := sa.mergeK[:0]
+		mv := sa.mergeV[:0]
+		for sa.pending.Len() > 0 && int64(sa.pending[0]) < upTo {
+			k := heap.Pop(&sa.pending).(uint32)
+			mk = append(mk, k)
+			mv = append(mv, sa.values[k])
+		}
+		sa.mergeK, sa.mergeV = mk, mv
+		ks, vs = mk, mv
 	}
+	bs := m.cfg.BlockSize
 	final := upTo == nextDone
-	var emits []Emit
-	// Always send at least one packet: the flush is also the flow-control
-	// clock for the workers (it announces the new global next key).
-	for first := true; first || len(keys) > 0; first = false {
-		n := len(keys)
+	chunks := (len(ks) + bs - 1) / bs
+	if chunks == 0 {
+		// Always send at least one packet: the flush is also the
+		// flow-control clock for the workers (it announces the new global
+		// next key).
+		chunks = 1
+	}
+	// Reserve every chunk shell before emitting any, so earlier chunks'
+	// pointers stay stable while later ones are filled.
+	if cap(sa.shells) < chunks {
+		sa.shells = make([]wire.SparsePacket, chunks)
+	}
+	sa.shells = sa.shells[:chunks]
+	off := 0
+	for i := 0; i < chunks; i++ {
+		n := len(ks) - off
 		if n > bs {
 			n = bs
 		}
-		p := &wire.SparsePacket{
-			Type:     wire.TypeSparseResult,
-			WID:      uint16(m.localID & 0xFFFF),
-			TensorID: sa.tensorID,
-			Keys:     keys[:n],
-		}
-		for _, k := range p.Keys {
-			p.Values = append(p.Values, sa.values[k])
-		}
-		keys = keys[n:]
+		p := &sa.shells[i]
+		p.Type = wire.TypeSparseResult
+		p.WID = uint16(m.localID & 0xFFFF)
+		p.TensorID = sa.tensorID
+		p.Keys = ks[off : off+n]
+		p.Values = vs[off : off+n]
+		off += n
 		switch {
-		case len(keys) > 0:
+		case off < len(ks):
 			p.NextKey = MoreComing
 		case final:
 			p.NextKey = wire.InfKey
@@ -247,8 +431,7 @@ func (m *AggregatorMachine) flushSparse(sa *sparseAgg, upTo int64) []Emit {
 		}
 		size := wire.EncodedSparsePacketSize(p)
 		for w := 0; w < m.cfg.Workers; w++ {
-			emits = append(emits, Emit{Dst: w, Sparse: p, Size: size})
+			eb.Append(Emit{Dst: w, Sparse: p, Size: size})
 		}
 	}
-	return emits
 }

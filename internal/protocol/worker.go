@@ -24,7 +24,10 @@ type WorkerStats struct {
 	Backoffs      int64 // retransmissions sent at a backed-off (>base) timeout
 }
 
-// wStream is the per-stream worker state for one AllReduce.
+// wStream is the per-stream worker state for one AllReduce. The struct
+// (and its next-offset scratch and packet shells) is retained across
+// collectives by the owning machine, so the steady state re-sends through
+// warmed arrays instead of remaking them.
 type wStream struct {
 	idx      int
 	lo, hi   int // global block range (shard)
@@ -37,6 +40,28 @@ type wStream struct {
 	sentAt   time.Duration
 	retries  int           // retransmissions of the current packet
 	timeout  time.Duration // current loss-detection timer (backs off)
+
+	// shells are the stream's two reusable outbound packets, flipped each
+	// send: the shell emitted for round r is only rebuilt at round r+2, by
+	// which time the driver has long consumed it (the Emit contract says
+	// consume before the next machine call, and round r+2 is two calls
+	// later). `last` always points at the newest shell, so retransmission
+	// replays it untouched.
+	shells [2]wire.Packet
+	flip   int
+}
+
+// shell flips to the stream's other packet shell and returns it truncated,
+// with Nexts resized to the stream's column count.
+func (st *wStream) shell() *wire.Packet {
+	st.flip ^= 1
+	p := &st.shells[st.flip]
+	if cap(p.Nexts) < st.cols {
+		p.Nexts = make([]uint32, st.cols)
+	}
+	p.Nexts = p.Nexts[:st.cols]
+	p.Blocks = p.Blocks[:0]
+	return p
 }
 
 // WorkerMachine is the worker side of one collective operation: Algorithm
@@ -50,6 +75,10 @@ type wStream struct {
 // driver-supplied durations from an arbitrary fixed origin (the live
 // driver uses time.Since(opStart); the simulator uses virtual time).
 // Methods must not be called concurrently.
+//
+// Machines are reusable: GetWorkerMachine/Recycle cycle one machine (with
+// its stream tables and packet shells) through consecutive collectives,
+// and init re-arms it exactly like NewWorkerMachine.
 type WorkerMachine struct {
 	cfg     Config
 	id      int
@@ -67,12 +96,31 @@ type WorkerMachine struct {
 // per (worker, tensor) so reruns of a job schedule identical
 // retransmission patterns.
 func NewWorkerMachine(cfg Config, workerID int, tensorID uint32) *WorkerMachine {
-	cfg = cfg.WithDefaults()
-	m := &WorkerMachine{cfg: cfg, id: workerID, tid: tensorID}
-	if !cfg.Reliable {
-		m.rng = rand.New(rand.NewSource(int64(workerID)<<32 ^ int64(tensorID)))
-	}
+	m := &WorkerMachine{}
+	m.init(cfg, workerID, tensorID)
 	return m
+}
+
+// init re-arms the machine for a new collective, preserving warmed stream
+// state (shards are recomputed by Start). It is NewWorkerMachine's body
+// and the pool's reset hook.
+func (m *WorkerMachine) init(cfg Config, workerID int, tensorID uint32) {
+	cfg = cfg.WithDefaults()
+	m.cfg = cfg
+	m.id = workerID
+	m.tid = tensorID
+	m.view = nil
+	m.active = 0
+	m.started = false
+	m.stats = WorkerStats{}
+	if !cfg.Reliable {
+		seed := int64(workerID)<<32 ^ int64(tensorID)
+		if m.rng == nil {
+			m.rng = rand.New(rand.NewSource(seed))
+		} else {
+			m.rng.Seed(seed)
+		}
+	}
 }
 
 // Stats returns a copy of the machine's traffic counters.
@@ -96,19 +144,22 @@ func (m *WorkerMachine) nonZero(b int) bool {
 }
 
 // Start begins the collective over view, emitting one bootstrap packet per
-// stream: the first block of every column is sent unconditionally
+// stream into eb: the first block of every column is sent unconditionally
 // (Algorithm 1 line 5 generalized to fusion), with the per-column next
 // non-zero offsets piggybacked.
-func (m *WorkerMachine) Start(view TensorView, now time.Duration) []Emit {
+func (m *WorkerMachine) Start(view TensorView, now time.Duration, eb *EmitBuf) {
 	m.view = view
 	m.started = true
 	nb := view.NumBlocks()
 	if nb == 0 {
-		return nil
+		m.streams = m.streams[:0]
+		return
 	}
 	eff := EffectiveStreams(m.cfg.Streams, nb)
-	m.streams = make([]*wStream, eff)
-	var emits []Emit
+	for cap(m.streams) < eff {
+		m.streams = append(m.streams[:cap(m.streams)], nil)
+	}
+	m.streams = m.streams[:eff]
 	for s := 0; s < eff; s++ {
 		lo, hi := Shard(s, eff, nb)
 		cols := m.cfg.FusionWidth
@@ -116,25 +167,37 @@ func (m *WorkerMachine) Start(view TensorView, now time.Duration) []Emit {
 			cols = hi - lo
 		}
 		if cols == 0 {
+			m.streams[s] = nil
 			continue // empty shard (cannot happen after EffectiveStreams)
 		}
-		st := &wStream{idx: s, lo: lo, hi: hi, cols: cols, next: make([]int, cols)}
-		m.streams[s] = st
+		st := m.streams[s]
+		if st == nil {
+			st = &wStream{}
+			m.streams[s] = st
+		}
+		st.idx, st.lo, st.hi, st.cols = s, lo, hi, cols
+		st.next = st.next[:0]
+		st.ver = 0
+		st.done = false
+		st.last = nil
+		st.lastSize = 0
+		st.sentAt = 0
+		st.retries = 0
+		st.timeout = 0
 		m.active++
 
-		p := &wire.Packet{
-			Type:      wire.TypeData,
-			DType:     m.dtype(),
-			Slot:      uint16(s),
-			WID:       uint16(m.id),
-			TensorID:  m.tid,
-			BlockSize: uint32(m.cfg.BlockSize),
-			Nexts:     make([]uint32, cols),
-		}
+		p := st.shell()
+		p.Type = wire.TypeData
+		p.Version = 0
+		p.DType = m.dtype()
+		p.Slot = uint16(s)
+		p.WID = uint16(m.id)
+		p.TensorID = m.tid
+		p.BlockSize = uint32(m.cfg.BlockSize)
 		for c := 0; c < cols; c++ {
 			first := FirstInColumn(lo, hi, c, cols)
 			if first < 0 {
-				st.next[c] = -1
+				st.next = append(st.next, -1)
 				p.Nexts[c] = wire.Inf(c)
 				continue
 			}
@@ -142,44 +205,43 @@ func (m *WorkerMachine) Start(view TensorView, now time.Duration) []Emit {
 				Index: uint32(first),
 				Data:  view.Block(first),
 			})
-			st.next[c] = m.advanceNext(st, c, first)
+			st.next = append(st.next, m.advanceNext(st, c, first))
 			p.Nexts[c] = NextOffsetWire(st.next[c], c)
 		}
-		emits = append(emits, m.send(st, p, now))
+		m.send(st, p, now, eb)
 	}
-	return emits
 }
 
-// HandlePacket consumes one aggregator result. Stale or duplicate results
-// are filtered (counted in StaleResults) with no emits; protocol
-// violations return an error.
-func (m *WorkerMachine) HandlePacket(p *wire.Packet, now time.Duration) ([]Emit, error) {
+// HandlePacket consumes one aggregator result, appending the next round's
+// packets (if any) to eb. Stale or duplicate results are filtered (counted
+// in StaleResults) with no emits; protocol violations return an error.
+func (m *WorkerMachine) HandlePacket(p *wire.Packet, now time.Duration, eb *EmitBuf) error {
 	if p.Type != wire.TypeResult {
-		return nil, fmt.Errorf("protocol: worker %d: unexpected message type %d", m.id, p.Type)
+		return fmt.Errorf("protocol: worker %d: unexpected message type %d", m.id, p.Type)
 	}
 	if p.TensorID != m.tid {
 		m.stats.StaleResults++
-		return nil, nil // stale result from a previous tensor
+		return nil // stale result from a previous tensor
 	}
 	if int(p.Slot) >= len(m.streams) || m.streams[p.Slot] == nil {
-		return nil, fmt.Errorf("protocol: worker %d: result for unknown stream %d", m.id, p.Slot)
+		return fmt.Errorf("protocol: worker %d: result for unknown stream %d", m.id, p.Slot)
 	}
 	st := m.streams[p.Slot]
 	if st.done {
 		m.stats.StaleResults++
-		return nil, nil // duplicate final result
+		return nil // duplicate final result
 	}
 	if !m.cfg.Reliable && p.Version != st.ver {
 		m.stats.StaleResults++
-		return nil, nil // duplicate of an already-processed round
+		return nil // duplicate of an already-processed round
 	}
-	return m.processResult(st, p, now)
+	return m.processResult(st, p, now, eb)
 }
 
 // processResult applies a result to the local view and builds the next
 // round: contribute every column whose requested next block equals our
 // local next non-zero block.
-func (m *WorkerMachine) processResult(st *wStream, p *wire.Packet, now time.Duration) ([]Emit, error) {
+func (m *WorkerMachine) processResult(st *wStream, p *wire.Packet, now time.Duration, eb *EmitBuf) error {
 	m.stats.ResultsRecvd++
 	for _, b := range p.Blocks {
 		m.view.SetBlock(int(b.Index), b.Data)
@@ -188,19 +250,17 @@ func (m *WorkerMachine) processResult(st *wStream, p *wire.Packet, now time.Dura
 		st.done = true
 		st.last = nil
 		m.active--
-		return nil, nil
+		return nil
 	}
 
-	resp := &wire.Packet{
-		Type:      wire.TypeData,
-		Version:   st.ver + 1, // round counter, wraps mod 256
-		DType:     m.dtype(),
-		Slot:      p.Slot,
-		WID:       uint16(m.id),
-		TensorID:  m.tid,
-		BlockSize: uint32(m.cfg.BlockSize),
-		Nexts:     make([]uint32, st.cols),
-	}
+	resp := st.shell()
+	resp.Type = wire.TypeData
+	resp.Version = st.ver + 1 // round counter, wraps mod 256
+	resp.DType = m.dtype()
+	resp.Slot = p.Slot
+	resp.WID = uint16(m.id)
+	resp.TensorID = m.tid
+	resp.BlockSize = uint32(m.cfg.BlockSize)
 	st.ver = resp.Version
 	contributes := false
 	for c := 0; c < st.cols; c++ {
@@ -219,36 +279,38 @@ func (m *WorkerMachine) processResult(st *wStream, p *wire.Packet, now time.Dura
 			contributes = true
 			m.stats.BlocksSent++
 		} else if st.next[c] >= 0 && int(req) > st.next[c] {
-			return nil, fmt.Errorf("protocol: worker %d stream %d col %d: aggregator requested %d past local next %d",
+			return fmt.Errorf("protocol: worker %d stream %d col %d: aggregator requested %d past local next %d",
 				m.id, st.idx, c, req, st.next[c])
 		}
 		resp.Nexts[c] = NextOffsetWire(st.next[c], c)
 	}
 	if m.cfg.Reliable {
 		if contributes {
-			return []Emit{m.send(st, resp, now)}, nil
+			m.send(st, resp, now, eb)
+			return nil
 		}
 		// Silent round: the aggregator advances without us (Algorithm 1's
 		// "otherwise the worker awaits a further packet").
 		st.last = nil
-		return nil, nil
+		return nil
 	}
 	// Unreliable mode: always respond, with an empty ack if we have no
 	// block to contribute (Algorithm 2 lines 18-21).
 	if !contributes {
 		m.stats.AcksSent++
 	}
-	return []Emit{m.send(st, resp, now)}, nil
+	m.send(st, resp, now, eb)
+	return nil
 }
 
 // HandleTimeout retransmits every stream whose loss-detection timer has
-// expired at time now, backing the timer off exponentially with jitter. It
-// returns an error when a stream exhausts MaxRetries.
-func (m *WorkerMachine) HandleTimeout(now time.Duration) ([]Emit, error) {
+// expired at time now, backing the timer off exponentially with jitter.
+// Retransmissions are appended to eb; it returns an error when a stream
+// exhausts MaxRetries.
+func (m *WorkerMachine) HandleTimeout(now time.Duration, eb *EmitBuf) error {
 	if m.cfg.Reliable {
-		return nil, nil
+		return nil
 	}
-	var emits []Emit
 	for _, st := range m.streams {
 		if st == nil || st.done || st.last == nil {
 			continue
@@ -257,7 +319,7 @@ func (m *WorkerMachine) HandleTimeout(now time.Duration) ([]Emit, error) {
 			continue
 		}
 		if m.cfg.MaxRetries > 0 && st.retries >= m.cfg.MaxRetries {
-			return emits, fmt.Errorf("protocol: worker %d stream %d: no response after %d retransmissions",
+			return fmt.Errorf("protocol: worker %d stream %d: no response after %d retransmissions",
 				m.id, st.idx, st.retries)
 		}
 		st.retries++
@@ -266,10 +328,10 @@ func (m *WorkerMachine) HandleTimeout(now time.Duration) ([]Emit, error) {
 		m.stats.Retransmits++
 		m.stats.BytesSent += int64(st.lastSize)
 		obs.EmitSlot(obs.EvRetransmit, int32(m.id), m.tid, uint16(st.idx), st.last.Version, int64(st.lastSize))
-		emits = append(emits, Emit{Dst: m.cfg.AggregatorFor(st.idx), Packet: st.last, Size: st.lastSize, Retransmit: true})
+		eb.Append(Emit{Dst: m.cfg.AggregatorFor(st.idx), Packet: st.last, Size: st.lastSize, Retransmit: true})
 		m.backoff(st)
 	}
-	return emits, nil
+	return nil
 }
 
 // NextTimeout returns the earliest pending retransmission deadline, if
@@ -337,8 +399,9 @@ func (m *WorkerMachine) advanceNext(st *wStream, c, blk int) int {
 	return next
 }
 
-// send records p as the stream's outstanding packet and returns its emit.
-func (m *WorkerMachine) send(st *wStream, p *wire.Packet, now time.Duration) Emit {
+// send records p as the stream's outstanding packet and appends its emit
+// to eb.
+func (m *WorkerMachine) send(st *wStream, p *wire.Packet, now time.Duration, eb *EmitBuf) {
 	st.last = p
 	st.lastSize = wire.EncodedPacketSize(p)
 	st.sentAt = now
@@ -347,5 +410,5 @@ func (m *WorkerMachine) send(st *wStream, p *wire.Packet, now time.Duration) Emi
 	m.stats.PacketsSent++
 	m.stats.BytesSent += int64(st.lastSize)
 	obs.EmitSlot(obs.EvSlotIssue, int32(m.id), m.tid, uint16(st.idx), p.Version, int64(len(p.Blocks)))
-	return Emit{Dst: m.cfg.AggregatorFor(st.idx), Packet: p, Size: st.lastSize}
+	eb.Append(Emit{Dst: m.cfg.AggregatorFor(st.idx), Packet: p, Size: st.lastSize})
 }

@@ -441,6 +441,20 @@ func (r *Registry) WorkersOf(ns uint32) int {
 	return j.workers
 }
 
+// MaxInFlightOf reports the in-flight operation cap of the tenant owning
+// ns (0 when the namespace is not open or the tenant is uncapped).
+// Per-namespace machine instances use it to presize their slot tables for
+// the worst-case number of concurrently live tensors.
+func (r *Registry) MaxInFlightOf(ns uint32) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j := r.jobs[ns]
+	if j == nil {
+		return 0
+	}
+	return j.tenant.quota.MaxInFlightOps
+}
+
 // Weight reports the DRR weight of the tenant owning ns (1 when
 // unknown).
 func (r *Registry) Weight(ns uint32) int {

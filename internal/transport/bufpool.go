@@ -40,7 +40,15 @@ const (
 	numBufClasses   = maxBufClassBits - minBufClassBits + 1
 )
 
-var bufPools [numBufClasses]sync.Pool
+// The class pools store *[]byte rather than []byte: boxing a slice into
+// an interface{} copies its three-word header to the heap, which would
+// make every PutBuf allocate — the exact per-packet churn the pool
+// exists to remove. The header objects themselves recycle through
+// bufHdrPool, so a warmed Get/Put cycle allocates nothing.
+var (
+	bufPools   [numBufClasses]sync.Pool
+	bufHdrPool = sync.Pool{New: func() any { return new([]byte) }}
+)
 
 var (
 	bufPoolHits   atomic.Int64
@@ -79,7 +87,11 @@ func GetBuf(n int) []byte {
 	}
 	if v := bufPools[c].Get(); v != nil {
 		bufPoolHits.Add(1)
-		return v.([]byte)[:n]
+		h := v.(*[]byte)
+		b := *h
+		*h = nil
+		bufHdrPool.Put(h)
+		return b[:n]
 	}
 	bufPoolMisses.Add(1)
 	return make([]byte, n, 1<<(minBufClassBits+c))
@@ -104,7 +116,9 @@ func PutBuf(b []byte) {
 	if 1<<i != c || i < minBufClassBits || i > maxBufClassBits {
 		return // not one of ours
 	}
-	bufPools[i-minBufClassBits].Put(b[:c]) //nolint:staticcheck // slices are pointer-shaped
+	h := bufHdrPool.Get().(*[]byte)
+	*h = b[:c]
+	bufPools[i-minBufClassBits].Put(h)
 }
 
 // PoolBalance reports the cumulative GetBuf and PutBuf counts. In a
