@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race short-race fuzz chaos bench drift obs timeline tenants clean
+.PHONY: all tier1 vet race short-race fuzz chaos bench drift obs timeline tenants failover clean
 
 all: tier1
 
@@ -17,10 +17,22 @@ vet:
 	$(GO) vet ./...
 
 # Race tier: vet, the observability/leak-audit suite, the timeline
-# pipeline, the multi-tenant tier, then the full test suite under the
-# race detector.
-race: vet obs timeline tenants
+# pipeline, the multi-tenant tier, the elastic-membership failover tier,
+# then the full test suite under the race detector.
+race: vet obs timeline tenants failover
 	$(GO) test -race ./...
+
+# Failover tier: elastic membership and aggregator handoff. The protocol
+# view/epoch machine traces, the checkpoint snapshot round-trip, the
+# live chaos-kill end-to-end (an aggregator dies mid-collective, a
+# standby is activated, results stay bit-exact), the sparse
+# multi-aggregator routing regression, the drain/watchdog suppression
+# regression, and the sim-vs-live failover drift test — all under the
+# race detector.
+failover:
+	$(GO) test -race -run 'TestView|TestFailoverPumpHandoff|TestCheckpoint' ./internal/protocol/ ./internal/wire/
+	$(GO) test -race -run 'TestCheckpointGobRoundTrip|TestFailoverLiveChaosKill|TestSparseLiveMultiAggregator|TestDrainSuppressesPostmortem' -v ./internal/core/
+	$(GO) test -race -run 'TestFailoverDriftLiveVsSim' -v ./internal/netsim/simproto/
 
 # Multi-tenant tier: the job registry and DRR scheduler suites, the
 # fairness/isolation/drain end-to-end tests (multiplexed jobs must be
@@ -80,6 +92,7 @@ fuzz:
 bench:
 	( $(GO) test -run '^$$' -bench '^(BenchmarkAllReduceLive|BenchmarkAllReduceTCPLive|BenchmarkMultiJobLive)$$' -benchmem -benchtime 5x -count=3 . ; \
 	  $(GO) test -run '^$$' -bench '^BenchmarkAllReduceUDPLive$$' -benchmem -benchtime 10x . ; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkFailoverHandoff$$' -benchtime 5x . ; \
 	  for i in 1 2 3 4 5 6 7; do \
 	    $(GO) test -run '^$$' -bench '^BenchmarkTracerOverhead$$' -benchmem -benchtime 30x . ; \
 	  done ; \

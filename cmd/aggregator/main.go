@@ -39,6 +39,9 @@ func main() {
 	fusion := flag.Int("fusion", 8, "blocks fused per packet")
 	streams := flag.Int("streams", 4, "parallel aggregation streams")
 	quotaFile := flag.String("quota-file", "", "JSON per-tenant quota/weight policy (see internal/cli.QuotaFile)")
+	viewEpoch := flag.Uint("view-epoch", 0, "starting membership view epoch (> 0 enables dynamic membership and epoch enforcement)")
+	checkpointPeers := flag.String("checkpoint-peers", "", "comma-separated standby node ids to stream slot-state checkpoints to (requires tcp between primary and standby)")
+	standby := flag.Bool("standby", false, "start passive: store checkpoints and refuse data until activated into a view (requires -view-epoch)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight rounds on SIGTERM before closing anyway")
 	obsAddr := flag.String("obs", "", "serve /debug/obs, /debug/vars, and /debug/pprof on this address (empty = off)")
 	flag.Parse()
@@ -56,12 +59,22 @@ func main() {
 	if *id < *workers || *workers <= 0 {
 		log.Fatalf("aggregator: -id must be >= -workers (worker ids come first)")
 	}
+	ckPeers, err := cli.ParseIDList(*checkpointPeers)
+	if err != nil {
+		log.Fatalf("aggregator: -checkpoint-peers: %v", err)
+	}
 	opts := omnireduce.Options{
-		Workers:     *workers,
-		Aggregators: *aggregators,
-		BlockSize:   *blockSize,
-		FusionWidth: *fusion,
-		Streams:     *streams,
+		Workers:         *workers,
+		Aggregators:     *aggregators,
+		BlockSize:       *blockSize,
+		FusionWidth:     *fusion,
+		Streams:         *streams,
+		ViewEpoch:       uint32(*viewEpoch),
+		CheckpointPeers: ckPeers,
+		Standby:         *standby,
+	}
+	if *standby {
+		log.Printf("aggregator: standby mode — refusing data until activated into a view")
 	}
 	if *quotaFile != "" {
 		tcfg, err := cli.ParseQuotaFile(*quotaFile)

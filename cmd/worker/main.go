@@ -40,6 +40,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "tensor seed (same on all workers for overlap control)")
 	tenantName := flag.String("tenant", "", "tenant name for a multi-tenant aggregator (empty = legacy default job)")
 	jobName := flag.String("job", "", "job name within -tenant (required when -tenant is set)")
+	viewEpoch := flag.Uint("view-epoch", 0, "starting membership view epoch (> 0 binds connections to the epoch; must match the aggregators)")
 	obsAddr := flag.String("obs", "", "serve /debug/obs, /debug/vars, and /debug/pprof on this address (empty = off)")
 	flag.Parse()
 
@@ -62,6 +63,7 @@ func main() {
 		BlockSize:   *blockSize,
 		FusionWidth: *fusion,
 		Streams:     *streams,
+		ViewEpoch:   uint32(*viewEpoch),
 	}
 	var w *omnireduce.Worker
 	switch *transportName {

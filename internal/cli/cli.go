@@ -7,6 +7,27 @@ import (
 	"strings"
 )
 
+// ParseIDList parses a comma-separated list of node IDs ("5,6"); empty
+// input returns nil.
+func ParseIDList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad node id %q: %w", part, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 // ParseNodes parses a comma-separated "id=host:port" address book.
 func ParseNodes(s string) (map[int]string, error) {
 	if strings.TrimSpace(s) == "" {

@@ -68,6 +68,18 @@ type Aggregator struct {
 	// PumpSnapshot.
 	pump aggPumpCounters
 
+	// Elastic membership (see failover.go). viewMu guards view, standby
+	// and ckStore; enforce is the datapath's lock-free "is epoch
+	// enforcement on" check (flips on at most once, never off). The
+	// gate's epoch bindings live on the gate itself: they are touched
+	// only by the Recv-consumer thread.
+	viewMu      sync.Mutex
+	view        protocol.View
+	standby     bool
+	restoreFrom int // primary replaced at activation (-1 = none recorded)
+	ckStore     map[ckKey][]byte
+	enforce     atomic.Bool
+
 	// Stats accumulates traffic counters. They are written by the Run
 	// goroutine (folded from shard machines on sharded runs); read them
 	// only after Run returns (or accept racy reads for monitoring).
@@ -124,6 +136,7 @@ type AggStats struct {
 	DupsFiltered     int64 // same-round duplicates discarded
 	StaleRounds      int64 // packets arriving for an already-concluded round
 	StaleFinished    int64 // packets for finished tensors past the archive
+	FastForwards     int64 // rounds skipped resyncing after a checkpoint restore
 }
 
 // add folds another AggStats in field for field.
@@ -136,6 +149,7 @@ func (s *AggStats) add(o AggStats) {
 	s.DupsFiltered += o.DupsFiltered
 	s.StaleRounds += o.StaleRounds
 	s.StaleFinished += o.StaleFinished
+	s.FastForwards += o.FastForwards
 }
 
 // accumulate folds one machine's counters in field for field.
@@ -148,6 +162,7 @@ func (s *AggStats) accumulate(ms protocol.AggStats) {
 	s.DupsFiltered += ms.DupsFiltered
 	s.StaleRounds += ms.StaleRounds
 	s.StaleFinished += ms.StaleFinished
+	s.FastForwards += ms.FastForwards
 }
 
 // RecoveryCounters exports the loss-recovery subset of the counters as a
@@ -159,6 +174,7 @@ func (s *AggStats) RecoveryCounters() *metrics.Counters {
 	c.Add("dups_filtered", s.DupsFiltered)
 	c.Add("stale_rounds", s.StaleRounds)
 	c.Add("stale_finished_dropped", s.StaleFinished)
+	c.Add("fast_forwards", s.FastForwards)
 	return c
 }
 
@@ -179,8 +195,22 @@ func NewAggregator(conn transport.Conn, cfg Config) (*Aggregator, error) {
 		tx:   txBatch{observe: observeAggTx, flushFull: obsAggFlushFull, flushEnd: obsAggFlushEnd, dedup: true},
 	}
 	a.ms = newMachineSet(cfg.proto(), conn.LocalID(), a.reg)
+	a.ms.restore = a.restoreInto
 	a.tx.resolve = a.resolveDst
-	a.gate = admitGate{a: a, verdicts: make(map[admitKey]uint8), gens: make(map[uint32]uint32)}
+	a.gate = admitGate{a: a, verdicts: make(map[admitKey]uint8), gens: make(map[uint32]uint32), bound: make(map[int]uint32)}
+	if cfg.View != nil {
+		a.view = cfg.View.Clone()
+	}
+	a.standby = cfg.Standby
+	a.restoreFrom = -1
+	// Epoch enforcement arms when the node participates in dynamic
+	// membership: a standby refuses all data until activated, and a
+	// primary with a real (non-zero) epoch refuses connections that have
+	// not acknowledged it. View-less aggregators never enforce — the
+	// legacy datapath is untouched.
+	if cfg.Standby || (cfg.View != nil && cfg.View.Epoch > 0) {
+		a.enforce.Store(true)
+	}
 	return a, nil
 }
 
@@ -214,6 +244,13 @@ type machineSet struct {
 	ms      map[uint32]*protocol.AggregatorMachine
 	gens    map[uint32]uint32 // registration generation each machine was built under
 	retired AggStats          // counters folded out of retired machines
+
+	// shard is this set's shard index (0 on the serial path); restore,
+	// when non-nil, is consulted once per freshly built machine so an
+	// activated standby resumes from the dead primary's streamed
+	// checkpoint instead of a blank slate (see Aggregator.restoreInto).
+	shard   int
+	restore func(m *protocol.AggregatorMachine, shard int, ns uint32)
 }
 
 func newMachineSet(base protocol.Config, localID int, reg *tenant.Registry) machineSet {
@@ -266,6 +303,11 @@ func (s *machineSet) machineFor(tid uint32, gen uint32) *protocol.AggregatorMach
 	m.Presize(cfg.WithDefaults().Streams, inFlight)
 	m.SlotOpened = s.reg.SlotOpened
 	m.SlotFinished = s.reg.SlotFinished
+	// Restore after the hooks are set: restoring open slots must replay
+	// SlotOpened into the registry's in-flight accounting.
+	if s.restore != nil {
+		s.restore(m, s.shard, ns)
+	}
 	s.ms[ns] = m
 	s.gens[ns] = gen
 	return m
@@ -338,9 +380,10 @@ func (a *Aggregator) Run() error {
 // machine, and transmits the machine's emits. The message buffer is
 // recycled to the transport pool as soon as decoding has copied it out.
 func (a *Aggregator) handle(m transport.Message) error {
-	var gen uint32
-	if tid, ok := peekTensorID(m.Data); ok {
-		gen = a.gate.genOf(tid)
+	var gen, tid uint32
+	if t, ok := peekTensorID(m.Data); ok {
+		tid = t
+		gen = a.gate.genOf(t)
 	}
 	a.eb.Reset()
 	err := handleMsg(&a.ms, &a.dec, &a.eb, m, gen)
@@ -348,6 +391,12 @@ func (a *Aggregator) handle(m transport.Message) error {
 	a.ms.fold(&a.Stats)
 	if err != nil {
 		return err
+	}
+	// Output-commit: the checkpoint covering this machine step streams to
+	// the standbys BEFORE the step's emits reach any worker, so a standby
+	// can never know less than a worker holding one of these results.
+	if len(a.cfg.CheckpointPeers) > 0 && len(a.eb.Emits()) > 0 {
+		a.sendCheckpoint(&a.ms, a.ms.shard, protocol.TidNamespace(tid))
 	}
 	return a.tx.sendEmits(a.conn, a.eb.Emits())
 }
@@ -424,6 +473,7 @@ type admitGate struct {
 	a        *Aggregator
 	verdicts map[admitKey]uint8 // wire reason; 0 = admitted
 	gens     map[uint32]uint32  // namespace registration generations (bumped on job deregistration)
+	bound    map[int]uint32     // per-connection acked view epoch (TypeViewAck), gate-thread only
 	ctrlBuf  []byte             // reusable control-reply encode buffer
 }
 
@@ -442,6 +492,11 @@ type admitKey struct {
 // wind down.
 func (g *admitGate) filter(m transport.Message) (bool, error) {
 	t := wire.PeekType(m.Data)
+	if wire.IsViewType(t) {
+		// Membership traffic: epoch acks, view announcements, checkpoint
+		// frames. Consumed here, on the thread that owns the bindings.
+		return false, g.viewMsg(t, m)
+	}
 	if !wire.IsControlType(t) {
 		if t != wire.TypeData && t != wire.TypeSparseData {
 			// Results and unknown types fall through to the merge path,
@@ -451,6 +506,15 @@ func (g *admitGate) filter(m transport.Message) (bool, error) {
 		tid, ok := peekTensorID(m.Data)
 		if !ok {
 			return true, nil // undecodable; the merge path raises the error
+		}
+		if g.a.enforce.Load() && g.bound[m.From] != g.a.curEpoch() {
+			// The connection has not acknowledged the current view (it is
+			// bound to an older epoch, or this node is an unactivated
+			// standby). Typed refusal carrying the current view — never a
+			// silent drop — so the sender can rebind and replay.
+			from := m.From
+			transport.PutBuf(m.Data)
+			return false, g.refuseStaleEpoch(from, tid)
 		}
 		wid, _ := wire.PeekWID(m.Data)
 		key := admitKey{tid: tid, wid: wid, from: m.From}
@@ -558,6 +622,11 @@ type aggShard struct {
 	eb   protocol.EmitBuf
 	tx   txBatch
 	err  error
+
+	// ck, when non-nil, streams the handled namespace's checkpoint to the
+	// standbys after each machine step that produced emits, before those
+	// emits transmit (Aggregator.sendCheckpoint).
+	ck func(ms *machineSet, shard int, ns uint32)
 }
 
 // shardItem is one scheduled unit of shard work: the encoded message
@@ -587,8 +656,17 @@ func (s *aggShard) run(fail func()) {
 			transport.PutBuf(it.m.Data)
 			continue
 		}
+		var ns uint32
+		if s.ck != nil {
+			if tid, ok := peekTensorID(it.m.Data); ok {
+				ns = protocol.TidNamespace(tid)
+			}
+		}
 		err := handleMsg(&s.ms, &s.dec, &s.eb, it.m, it.gen)
 		if err == nil {
+			if s.ck != nil && len(s.eb.Emits()) > 0 {
+				s.ck(&s.ms, s.ms.shard, ns)
+			}
 			err = s.tx.sendEmits(s.conn, s.eb.Emits())
 		}
 		if err != nil {
@@ -636,6 +714,11 @@ func (a *Aggregator) runSharded(n int) error {
 			conn: a.conn,
 			ms:   newMachineSet(proto, a.conn.LocalID(), a.reg),
 			in:   tenant.NewDRR[shardItem](0, schedFlowCap, a.reg.Weight),
+		}
+		shards[i].ms.shard = i
+		shards[i].ms.restore = a.restoreInto
+		if len(a.cfg.CheckpointPeers) > 0 {
+			shards[i].ck = a.sendCheckpoint
 		}
 		shards[i].tx = txBatch{observe: observeAggTx, flushFull: obsAggFlushFull, flushEnd: obsAggFlushEnd, dedup: true, resolve: a.resolveDst}
 	}

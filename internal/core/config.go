@@ -140,6 +140,27 @@ type Config struct {
 	// RetransmitTimeout until accepted, rejected, or this deadline).
 	// Default 5s.
 	OpenTimeout time.Duration
+	// View, when non-nil (and Epoch > 0), enables epoch-numbered group
+	// membership: workers bind their connections to the view's epoch via
+	// TypeViewAck, aggregators refuse traffic from connections bound to a
+	// stale epoch with a typed TypeStaleEpoch refusal carrying the current
+	// view, and both sides adopt newer views announced with TypeView. Nil
+	// keeps the legacy static-membership behavior, bit for bit.
+	View *protocol.View
+	// CheckpointPeers lists standby aggregator node IDs this aggregator
+	// streams slot-state checkpoints to, one frame per tensor-ID
+	// namespace after every batch of result emits (the checkpoint is
+	// enqueued BEFORE the results it covers, so a standby always knows at
+	// least as much as any worker — the output-commit rule failover
+	// correctness rests on). Empty disables checkpointing; workers ignore
+	// it. Checkpoint frames can exceed a UDP datagram, so primaries and
+	// standbys must be linked by a framed reliable transport.
+	CheckpointPeers []int
+	// Standby starts an aggregator passive: it stores inbound checkpoints
+	// and refuses data traffic with stale-epoch refusals until Activate
+	// installs a view that lists it (or a TypeView announcement arrives).
+	// Workers ignore it.
+	Standby bool
 }
 
 // proto converts to the protocol-machine configuration, field for field.
@@ -202,6 +223,14 @@ func (c Config) Validate() error {
 	}
 	if c.OpenTimeout < 0 {
 		return fmt.Errorf("core: OpenTimeout must be >= 0, got %v", c.OpenTimeout)
+	}
+	if c.View != nil {
+		if err := c.View.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Standby && c.View == nil {
+		return fmt.Errorf("core: Standby requires a View (the refusals it answers data with must carry one)")
 	}
 	return c.proto().Validate()
 }

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"omnireduce/internal/obs"
+	"omnireduce/internal/protocol"
+	"omnireduce/internal/transport"
+	"omnireduce/internal/wire"
+)
+
+// Aggregator-side elastic membership: epoch enforcement on the admission
+// gate, slot-state checkpoint streaming to standbys, and standby
+// activation (failover takeover).
+//
+// The correctness backbone is the output-commit rule: a primary enqueues
+// the checkpoint covering a round BEFORE the round's result emits. Any
+// worker holding result r therefore implies checkpoint r is already in
+// the standby's receive queue (per-pair FIFO), so an activated standby
+// always knows at least as much as the most-advanced worker. If a
+// checkpoint is nevertheless lost (UDP-linked standby, crash between
+// frames), the machines' fast-forward resync recovers the one-round gap
+// from the workers' own packets — see protocol.AggregatorMachine.
+
+// ckKey identifies one stored checkpoint: the primary that produced it
+// (a standby may receive streams from every primary), the shard within
+// it, and the tensor-ID namespace it covers. Keying on the source is
+// load-bearing — two primaries both legitimately checkpoint (shard 0,
+// ns 0), and an activated standby must resume from the state of the
+// node it replaces, not whichever primary wrote last.
+type ckKey struct {
+	from  int
+	shard uint16
+	ns    uint32
+}
+
+// encodeAggCheckpoint serializes a machine snapshot with gob (the DTOs
+// are gob-friendly by construction: exported fields, no cycles).
+func encodeAggCheckpoint(ck *protocol.AggCheckpoint) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeAggCheckpoint is encodeAggCheckpoint's inverse.
+func decodeAggCheckpoint(p []byte) (*protocol.AggCheckpoint, error) {
+	ck := &protocol.AggCheckpoint{}
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(ck); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+// View returns the aggregator's current membership view (Epoch 0 =
+// static legacy membership).
+func (a *Aggregator) View() protocol.View {
+	a.viewMu.Lock()
+	defer a.viewMu.Unlock()
+	return a.view.Clone()
+}
+
+func (a *Aggregator) curEpoch() uint32 {
+	a.viewMu.Lock()
+	defer a.viewMu.Unlock()
+	return a.view.Epoch
+}
+
+// Standby reports whether the aggregator is still passive (not yet
+// activated into a view that lists it).
+func (a *Aggregator) Standby() bool {
+	a.viewMu.Lock()
+	defer a.viewMu.Unlock()
+	return a.standby
+}
+
+// Activate installs a newer view on this aggregator and announces it to
+// every member: the failover takeover step. On a standby it flips the
+// node active — its stored checkpoints restore lazily as each
+// namespace's first data packet arrives (every checkpoint from the dead
+// primary is FIFO-ahead of any post-rebind worker data, so the store is
+// complete by then). On an already-active aggregator it just adopts the
+// new membership. Views not newer than the current one are refused.
+//
+// The announcement fans out to the view's workers and its other
+// aggregators (survivors must adopt the epoch too, or they would refuse
+// the workers' re-bound connections forever). Send errors are reported
+// but non-fatal: any member that missed the announcement learns the view
+// from the first stale-epoch refusal instead.
+func (a *Aggregator) Activate(v protocol.View) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	a.viewMu.Lock()
+	if v.Epoch <= a.view.Epoch {
+		cur := a.view.Epoch
+		a.viewMu.Unlock()
+		return fmt.Errorf("core: activate: view epoch %d not newer than current %d", v.Epoch, cur)
+	}
+	// Record which primary this node replaces: the node the outgoing view
+	// listed at the position the new view gives us. Its checkpoints are
+	// the ones our machines must restore from.
+	if a.standby {
+		self := a.conn.LocalID()
+		for i, agg := range v.Aggregators {
+			if agg == self && i < len(a.view.Aggregators) {
+				a.restoreFrom = a.view.Aggregators[i]
+			}
+		}
+	}
+	a.view = v.Clone()
+	a.standby = false
+	a.viewMu.Unlock()
+	a.enforce.Store(true)
+	obsAggViewChanges.Inc()
+	obs.Emit(obs.EvViewChange, 0, int64(v.Epoch))
+
+	vp := packetFromView(wire.TypeView, v)
+	buf := wire.AppendView(transport.GetBuf(wire.EncodedViewSize(vp))[:0], vp)
+	var err error
+	self := a.conn.LocalID()
+	for _, wk := range v.Workers {
+		if e := a.conn.Send(wk, buf); e != nil && err == nil {
+			err = e
+		}
+	}
+	for _, agg := range v.Aggregators {
+		if agg == self {
+			continue
+		}
+		if e := a.conn.Send(agg, buf); e != nil && err == nil {
+			err = e
+		}
+	}
+	transport.PutBuf(buf)
+	return err
+}
+
+// storeCheckpoint retains the latest checkpoint per (source, shard,
+// namespace). Only the newest per key matters: each frame is a complete
+// snapshot, and per-pair FIFO delivery makes arrival order match
+// production order.
+func (a *Aggregator) storeCheckpoint(from int, f *wire.CheckpointFrame) {
+	a.viewMu.Lock()
+	if a.ckStore == nil {
+		a.ckStore = make(map[ckKey][]byte)
+	}
+	a.ckStore[ckKey{from: from, shard: f.Shard, ns: f.NS}] = f.Payload
+	a.viewMu.Unlock()
+	obsAggCkStored.Inc()
+}
+
+// CheckpointsFrom reports how many checkpoint frames from primary node
+// `from` this aggregator currently holds. Chaos harnesses use it to kill
+// a primary only once its standby provably has state to take over from;
+// orchestrators can use it to gate activation the same way.
+func (a *Aggregator) CheckpointsFrom(from int) int {
+	a.viewMu.Lock()
+	defer a.viewMu.Unlock()
+	n := 0
+	for k := range a.ckStore {
+		if k.from == from {
+			n++
+		}
+	}
+	return n
+}
+
+// takeCheckpoint consumes the stored checkpoint for (shard, ns) from the
+// primary this node replaced at activation (restoreFrom). Consume-once:
+// after the machine restores, later lookups must build fresh state, not
+// resurrect the dead node's past. With no recorded predecessor (manual
+// activation against an unknown prior view) any single matching source
+// is accepted.
+func (a *Aggregator) takeCheckpoint(shard int, ns uint32) []byte {
+	a.viewMu.Lock()
+	defer a.viewMu.Unlock()
+	k := ckKey{from: a.restoreFrom, shard: uint16(shard), ns: ns}
+	if p, ok := a.ckStore[k]; ok {
+		delete(a.ckStore, k)
+		return p
+	}
+	if a.restoreFrom < 0 {
+		for kk, p := range a.ckStore {
+			if kk.shard == uint16(shard) && kk.ns == ns {
+				delete(a.ckStore, kk)
+				return p
+			}
+		}
+	}
+	return nil
+}
+
+// sendCheckpoint snapshots ns's machine in ms and streams it to every
+// checkpoint peer. Called after a machine call that produced emits and
+// BEFORE those emits are transmitted (the output-commit rule). Best
+// effort per peer: a dead standby must not take down the primary, and a
+// lost frame is recovered by fast-forward resync.
+func (a *Aggregator) sendCheckpoint(ms *machineSet, shard int, ns uint32) {
+	m := ms.ms[ns]
+	if m == nil {
+		return
+	}
+	payload, err := encodeAggCheckpoint(m.Checkpoint())
+	if err != nil {
+		return
+	}
+	f := &wire.CheckpointFrame{Shard: uint16(shard), NS: ns, Epoch: a.curEpoch(), Payload: payload}
+	buf := wire.AppendCheckpoint(transport.GetBuf(wire.EncodedCheckpointSize(f))[:0], f)
+	for _, peer := range a.cfg.CheckpointPeers {
+		_ = a.conn.Send(peer, buf)
+	}
+	transport.PutBuf(buf)
+	obsAggCkSent.Inc()
+	obs.Emit(obs.EvCheckpoint, ns, int64(len(payload)))
+}
+
+// restoreInto loads a stored checkpoint into a freshly built machine at
+// first contact with its namespace (see machineSet.machineFor). A
+// checkpoint that fails to decode or mismatches the namespace's worker
+// count is discarded — the fresh machine then resyncs via fast-forward,
+// which is the same path as a lost frame.
+func (a *Aggregator) restoreInto(m *protocol.AggregatorMachine, shard int, ns uint32) {
+	payload := a.takeCheckpoint(shard, ns)
+	if payload == nil {
+		return
+	}
+	ck, err := decodeAggCheckpoint(payload)
+	if err != nil {
+		return
+	}
+	if err := m.Restore(ck); err != nil {
+		return
+	}
+	obsAggCkRestored.Inc()
+}
+
+// viewMsg consumes one view-plane message on the gate (the single Recv-
+// consumer thread, which owns the epoch bindings). Always takes
+// ownership of m.Data. Malformed view traffic is dropped — it is off the
+// datapath and carries no buffer-pool obligations beyond the recycle.
+func (g *admitGate) viewMsg(t uint8, m transport.Message) error {
+	from := m.From
+	switch t {
+	case wire.TypeViewAck:
+		vp, err := wire.DecodeView(m.Data)
+		transport.PutBuf(m.Data)
+		if err == nil {
+			g.bound[from] = vp.Epoch
+		}
+		return nil
+	case wire.TypeView:
+		vp, err := wire.DecodeView(m.Data)
+		transport.PutBuf(m.Data)
+		if err != nil {
+			return nil
+		}
+		v := viewFromPacket(vp)
+		if v.Validate() != nil || v.Epoch <= g.a.curEpoch() {
+			return nil
+		}
+		// Adopting a newer view re-announces it (Activate): harmless
+		// fan-out amplification bounded by the aggregator count, and it
+		// doubles as gossip for members the activator could not reach.
+		err = g.a.Activate(v)
+		if err != nil {
+			return nil // lost announcements self-heal via refusals
+		}
+		return nil
+	case wire.TypeCheckpoint:
+		f, err := wire.DecodeCheckpoint(m.Data)
+		transport.PutBuf(m.Data)
+		if err == nil {
+			g.a.storeCheckpoint(from, f)
+		}
+		return nil
+	default:
+		// TypeStaleEpoch at an aggregator is a stray reflection.
+		transport.PutBuf(m.Data)
+		return nil
+	}
+}
+
+// refuseStaleEpoch answers a data packet from a connection bound to the
+// wrong epoch with a typed TypeStaleEpoch refusal carrying the current
+// view (never a silent drop: the refusal is also how the sender learns
+// the view it missed).
+func (g *admitGate) refuseStaleEpoch(to int, tid uint32) error {
+	obsAggStaleRefusals.Inc()
+	vp := packetFromView(wire.TypeStaleEpoch, g.a.View())
+	vp.Reason = wire.ReasonStaleEpoch
+	vp.TensorID = tid
+	g.ctrlBuf = wire.AppendView(g.ctrlBuf[:0], vp)
+	return g.a.conn.Send(to, g.ctrlBuf)
+}

@@ -1,0 +1,419 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"omnireduce/internal/protocol"
+	"omnireduce/internal/tensor"
+	"omnireduce/internal/transport"
+	"omnireduce/internal/wire"
+)
+
+// liveCluster is a hand-assembled deployment for failover tests: unlike
+// startCluster it allows per-aggregator configs (checkpoint peers,
+// standbys), mid-test kills, and an explicit shutdown so aggregator
+// stats can be asserted inside the test body.
+type liveCluster struct {
+	nw      *transport.Network
+	conns   map[int]transport.Conn
+	aggs    map[int]*Aggregator
+	workers []*Worker
+	wg      sync.WaitGroup
+	errc    chan error
+	downed  map[int]bool
+}
+
+func newLiveCluster(workers int) *liveCluster {
+	return &liveCluster{
+		nw:     transport.NewNetwork(workers, 4096),
+		conns:  make(map[int]transport.Conn),
+		aggs:   make(map[int]*Aggregator),
+		errc:   make(chan error, 8),
+		downed: make(map[int]bool),
+	}
+}
+
+func (c *liveCluster) addAgg(t *testing.T, id int, cfg Config) *Aggregator {
+	t.Helper()
+	conn := c.nw.AddNode(id)
+	agg, err := NewAggregator(conn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.conns[id] = conn
+	c.aggs[id] = agg
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		if err := agg.Run(); err != nil {
+			c.errc <- err
+		}
+	}()
+	return agg
+}
+
+func (c *liveCluster) addWorkers(t *testing.T, cfg Config) {
+	t.Helper()
+	for i := 0; i < cfg.Workers; i++ {
+		w, err := NewWorker(c.nw.Conn(i), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.workers = append(c.workers, w)
+	}
+}
+
+// kill closes an aggregator's connection: its Run loop exits and every
+// datagram sent to it from now on is silently dropped, exactly like a
+// crashed node on a lossy network.
+func (c *liveCluster) kill(id int) {
+	c.downed[id] = true
+	c.conns[id].Close()
+}
+
+func (c *liveCluster) shutdown(t *testing.T) {
+	t.Helper()
+	for _, w := range c.workers {
+		w.Close()
+	}
+	for id, conn := range c.conns {
+		if !c.downed[id] {
+			conn.Close()
+		}
+	}
+	c.wg.Wait()
+	select {
+	case err := <-c.errc:
+		t.Fatalf("aggregator error: %v", err)
+	default:
+	}
+}
+
+// TestCheckpointGobRoundTrip: the gob framing the live service streams
+// between primary and standby must reproduce a representative machine
+// snapshot exactly — including nil-ness of LastRes and of absent-worker
+// Per entries, which Restore uses to distinguish "worker absent this
+// round" from "worker contributed".
+func TestCheckpointGobRoundTrip(t *testing.T) {
+	ck := &protocol.AggCheckpoint{
+		Workers: 3,
+		Slots: []protocol.SlotCheckpoint{
+			{
+				Slot: 0, TensorID: 1, BlockSize: 32, Cols: 2, DType: wire.DTypeF32,
+				Cur:     []int64{1, 2},
+				Nexts:   [][]int64{{3, 4}, {5, 6}, {7, 8}},
+				MinNext: []int64{3, 4},
+				Seen:    []bool{true, false, true},
+				Count:   2, Round: 9,
+				Acc: []protocol.AccumCheckpoint{
+					{F: []float32{1.5, -2.25}},
+					{Per: [][]float32{{1, 2}, nil, {3, 4}}},
+				},
+				LastRes: &wire.Packet{
+					Type: wire.TypeResult, Version: 8, DType: wire.DTypeF32,
+					Slot: 0, TensorID: 1, BlockSize: 32,
+					Nexts:  []uint32{3, 4},
+					Blocks: []wire.Block{{Index: 7, Data: []float32{0.5, -0.5}}},
+				},
+				LastResSize: 64,
+			},
+			// A slot mid-bootstrap: no result yet, LastRes nil.
+			{Slot: 1, TensorID: 2, BlockSize: 32, Cols: 1, DType: wire.DTypeF32,
+				Cur: []int64{11}, Nexts: [][]int64{{12}}, MinNext: []int64{12},
+				Seen: []bool{true, true, true}, Count: 3, Round: 1},
+		},
+		Sparse: []protocol.SparseCheckpoint{
+			{TensorID: 5, Sorted: true, Keys: []uint32{1, 9}, Vals: []float32{2, 3},
+				Flushed: 1, Values: map[uint32]float32{4: 2.5},
+				Pending: []uint32{4}, NextKey: []int64{4, math.MaxInt64}, Sent: 7},
+		},
+		Archive: []protocol.ArchiveCheckpoint{
+			{Slot: 1, TensorID: 1, Size: 48, Packet: wire.Packet{
+				Type: wire.TypeResult, Version: 3, Slot: 1, TensorID: 1,
+				BlockSize: 32, Nexts: []uint32{wire.Inf(0)},
+			}},
+		},
+		Finished: []protocol.FinishedCheckpoint{
+			{Slot: 0, NS: 0, UpTo: 3, Except: []uint32{2}},
+		},
+		Stats: protocol.AggStats{PacketsRecvd: 10, RoundsCompleted: 4},
+	}
+
+	payload, err := encodeAggCheckpoint(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeAggCheckpoint(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ck) {
+		t.Fatalf("gob round trip mutated the snapshot:\n got %+v\nwant %+v", got, ck)
+	}
+	if got.Slots[0].Acc[1].Per[1] != nil {
+		t.Fatal("absent-worker Per entry came back non-nil: Restore would mark the worker present")
+	}
+	if got.Slots[1].LastRes != nil {
+		t.Fatal("nil LastRes came back non-nil")
+	}
+	if _, err := decodeAggCheckpoint(payload[:len(payload)/2]); err == nil {
+		t.Fatal("truncated checkpoint decoded")
+	}
+}
+
+// TestDrainSuppressesPostmortem is the regression test for the stall
+// watchdog firing spurious postmortems during a planned drain: while the
+// worker is quiesced, stalled periods are expected and must produce
+// neither a StallError nor an on-disk bundle. The watchdog re-arms on
+// EndQuiesce and then reports the (still wedged) operation normally.
+func TestDrainSuppressesPostmortem(t *testing.T) {
+	dir := t.TempDir()
+	conn := transport.NewWedgedConn(0)
+	defer conn.Close()
+	const stall = 50 * time.Millisecond
+	w, err := NewWorker(conn, Config{
+		Workers:       1,
+		Aggregators:   []int{1},
+		Reliable:      true,
+		StallTimeout:  stall,
+		PostmortemDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	suppressedBefore := obsWatchdogSuppressed.Load()
+	w.BeginQuiesce()
+	data := make([]float32, 4096)
+	for i := range data {
+		data[i] = float32(i%5) + 1
+	}
+	p, err := w.AllReduceAsync(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sit through many watchdog periods while quiesced: the op must stay
+	// pending and the postmortem directory must stay empty.
+	time.Sleep(8 * stall)
+	select {
+	case <-p.done:
+		t.Fatalf("drained op completed with err=%v while transport is wedged", p.err)
+	default:
+	}
+	if ents, err := os.ReadDir(dir); err != nil || len(ents) != 0 {
+		t.Fatalf("postmortem bundle written during drain: %v entries (err %v)", len(ents), err)
+	}
+	if obsWatchdogSuppressed.Load() == suppressedBefore {
+		t.Fatal("watchdog never ticked while quiesced: the suppression path was not exercised")
+	}
+
+	// Re-armed, the wedge is a real stall again: typed error + bundle.
+	w.EndQuiesce()
+	done := make(chan error, 1)
+	go func() { done <- p.Wait() }()
+	select {
+	case err = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("watchdog never fired after EndQuiesce")
+	}
+	if !errors.Is(err, ErrOpStalled) {
+		t.Fatalf("post-drain error %v is not ErrOpStalled", err)
+	}
+	var se *StallError
+	if !errors.As(err, &se) || se.BundlePath == "" {
+		t.Fatalf("post-drain stall carries no bundle path: %v", err)
+	}
+	if _, err := os.Stat(se.BundlePath); err != nil {
+		t.Fatalf("bundle path not on disk: %v", err)
+	}
+}
+
+// TestFailoverLiveChaosKill is the tentpole end-to-end: an aggregator
+// serving live collectives is killed mid-flight, a standby that has been
+// receiving its checkpoint stream is activated into the next view, the
+// workers adopt the view in-band, rebind, replay, and every collective
+// completes with the exact deterministic dense sum.
+func TestFailoverLiveChaosKill(t *testing.T) {
+	const (
+		W       = 3
+		aggA    = 3
+		aggB    = 4
+		standby = 5
+		rounds  = 3
+	)
+	view1 := protocol.View{Epoch: 1, Workers: []int{0, 1, 2}, Aggregators: []int{aggA, aggB}}
+	base := Config{
+		Workers:            W,
+		Aggregators:        []int{aggA, aggB},
+		Reliable:           false,
+		DeterministicOrder: true,
+		BlockSize:          32,
+		FusionWidth:        4,
+		Streams:            2,
+		RetransmitTimeout:  3 * time.Millisecond,
+		View:               &view1,
+	}
+
+	c := newLiveCluster(W)
+	primCfg := base
+	primCfg.CheckpointPeers = []int{standby}
+	c.addAgg(t, aggA, primCfg)
+	c.addAgg(t, aggB, primCfg)
+	sbCfg := base
+	sbCfg.Standby = true
+	sb := c.addAgg(t, standby, sbCfg)
+	c.addWorkers(t, base)
+
+	restoredBefore := obsAggCkRestored.Load()
+	viewsBefore := obsWorkerViewChanges.Load()
+
+	inputs := make([][][]float32, rounds)
+	wants := make([][]float32, rounds)
+	for r := range inputs {
+		inputs[r] = randomInputs(32*256, W, 0, int64(1000+r))
+		wants[r] = expectedSum(inputs[r])
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, W)
+	for i, w := range c.workers {
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if errs[i] = w.AllReduce(inputs[r][i]); errs[i] != nil {
+					return
+				}
+			}
+		}(i, w)
+	}
+
+	// Kill aggB only once the standby provably holds one of its
+	// checkpoints — that is the state the takeover will restore from.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if sb.CheckpointsFrom(aggB) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("standby never received a checkpoint from the doomed primary")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.kill(aggB)
+	if err := sb.Activate(protocol.View{Epoch: 2, Workers: []int{0, 1, 2}, Aggregators: []int{aggA, standby}}); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("collectives never completed after failover")
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	// DeterministicOrder makes the result the exact worker-ordered sum on
+	// every worker, failover or not.
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < W; i++ {
+			for j, v := range inputs[r][i] {
+				if v != wants[r][j] {
+					t.Fatalf("round %d worker %d elem %d: %g != %g (result drifted across failover)", r, i, j, v, wants[r][j])
+				}
+			}
+		}
+	}
+
+	if got := obsWorkerViewChanges.Load() - viewsBefore; got < W {
+		t.Fatalf("only %d worker view adoptions, want >= %d", got, W)
+	}
+	if obsAggCkRestored.Load() == restoredBefore {
+		t.Fatal("standby never restored a checkpoint")
+	}
+	if sb.Standby() {
+		t.Fatal("standby still passive after Activate")
+	}
+	if got := sb.View().Epoch; got != 2 {
+		t.Fatalf("standby epoch %d after activation", got)
+	}
+
+	c.shutdown(t)
+	if sb.Stats.RoundsCompleted == 0 {
+		t.Fatal("promoted standby completed no rounds: traffic never failed over")
+	}
+	if surv := c.aggs[aggA].Stats.RoundsCompleted; surv == 0 {
+		t.Fatal("surviving primary completed no rounds")
+	}
+}
+
+// TestSparseLiveMultiAggregator is the live half of the sparse routing
+// regression (the machine-level emit destinations are asserted in
+// internal/protocol): with two aggregators, consecutive sparse tensors
+// must spread across the set — under the old hardcoded Aggregators[0]
+// routing the second node never saw a packet.
+func TestSparseLiveMultiAggregator(t *testing.T) {
+	const (
+		W    = 2
+		aggA = 2
+		aggB = 3
+	)
+	cfg := Config{Workers: W, Aggregators: []int{aggA, aggB}, Reliable: true, BlockSize: 8}
+	c := newLiveCluster(W)
+	c.addAgg(t, aggA, cfg)
+	c.addAgg(t, aggB, cfg)
+	c.addWorkers(t, cfg)
+
+	// Two sequential collectives: tensor IDs 1 then 2, which AggregatorFor
+	// round-robins to aggB then aggA.
+	for op := 0; op < 2; op++ {
+		ins := make([]*tensor.COO, W)
+		for i := range ins {
+			s := tensor.NewCOO(200)
+			for k := i * 60; k < i*60+40; k += 2 {
+				s.Append(int32(k), float32(k+op)+0.5)
+			}
+			ins[i] = s
+		}
+		want := expectedSparseSum(ins)
+		outs := make([]*tensor.COO, W)
+		errs := make([]error, W)
+		var wg sync.WaitGroup
+		for i, w := range c.workers {
+			wg.Add(1)
+			go func(i int, w *Worker) {
+				defer wg.Done()
+				outs[i], errs[i] = w.AllReduceSparse(ins[i])
+			}(i, w)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("op %d worker %d: %v", op, i, err)
+			}
+		}
+		for i, out := range outs {
+			if !out.ToDense().ApproxEqual(want, 1e-5) {
+				t.Fatalf("op %d worker %d: wrong sparse sum", op, i)
+			}
+		}
+	}
+
+	c.shutdown(t)
+	for _, id := range []int{aggA, aggB} {
+		if c.aggs[id].Stats.PacketsRecvd == 0 {
+			t.Fatalf("aggregator %d saw no sparse traffic: routing is not spreading by tensor ID", id)
+		}
+	}
+}

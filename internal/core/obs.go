@@ -53,6 +53,21 @@ var (
 	obsAggLateDrops   = obs.Default.Counter("agg_late_drops")
 	obsAggDraining    = obs.Default.Gauge("agg_draining")
 	obsAggDrains      = obs.Default.Counter("agg_drains_completed")
+
+	// Elastic membership & failover. view_changes counts adopted views
+	// (epoch bumps) per side; stale_epoch counters count typed refusals
+	// issued (aggregator) and received (worker); ck_* count checkpoint
+	// frames streamed to standbys and restored from them;
+	// watchdog_suppressed counts stall-watchdog periods swallowed because
+	// a drain or failover handoff was in progress.
+	obsWorkerViewChanges  = obs.Default.Counter("worker_view_changes")
+	obsWorkerStaleEpochs  = obs.Default.Counter("worker_stale_epoch_refusals")
+	obsWatchdogSuppressed = obs.Default.Counter("worker_watchdog_suppressed")
+	obsAggViewChanges     = obs.Default.Counter("agg_view_changes")
+	obsAggStaleRefusals   = obs.Default.Counter("agg_stale_epoch_refusals")
+	obsAggCkSent          = obs.Default.Counter("agg_ck_frames_sent")
+	obsAggCkStored        = obs.Default.Counter("agg_ck_frames_stored")
+	obsAggCkRestored      = obs.Default.Counter("agg_ck_restores")
 )
 
 // observeWorkerTx records one transmitted packet of n encoded bytes on

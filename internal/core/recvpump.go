@@ -7,6 +7,7 @@ import (
 
 	"omnireduce/internal/metrics"
 	"omnireduce/internal/obs"
+	"omnireduce/internal/protocol"
 	"omnireduce/internal/transport"
 )
 
@@ -48,6 +49,9 @@ var ErrOpBackpressure = errors.New("core: operation receive queue overflow")
 type opQueue struct {
 	ch   chan transport.Message
 	fail chan struct{} // closed on reliable-mode overflow
+	// viewCh notifies the driver of membership view changes (capacity 1,
+	// coalescing: only the newest view matters — see notifyView).
+	viewCh chan protocol.View
 
 	mu     sync.Mutex
 	tid    uint32 // tensor this queue currently serves
@@ -57,9 +61,28 @@ type opQueue struct {
 
 func newOpQueue(capacity int, tid uint32) *opQueue {
 	return &opQueue{
-		ch:   make(chan transport.Message, capacity),
-		fail: make(chan struct{}),
-		tid:  tid,
+		ch:     make(chan transport.Message, capacity),
+		fail:   make(chan struct{}),
+		viewCh: make(chan protocol.View, 1),
+		tid:    tid,
+	}
+}
+
+// notifyView hands a newly adopted view to the operation's driver without
+// blocking: an unconsumed older notification is replaced (epochs are
+// monotonic, so the newest view subsumes it). Safe to call from the
+// receive pump.
+func (q *opQueue) notifyView(v protocol.View) {
+	for {
+		select {
+		case q.viewCh <- v:
+			return
+		default:
+		}
+		select {
+		case <-q.viewCh:
+		default:
+		}
 	}
 }
 

@@ -38,6 +38,13 @@ type Worker struct {
 	recvErr   error
 	shutdown  bool // Close ran; released states are freed, not recycled
 
+	// view is the current membership view (Epoch 0 = static legacy
+	// membership, no epoch enforcement); guarded by mu. quiesce, when
+	// positive, suppresses the stall watchdog (graceful drain / failover
+	// handoff in progress — see BeginQuiesce).
+	view    protocol.View
+	quiesce atomic.Int32
+
 	// free parks finished opStates for reuse; stateNew/stateReused tally
 	// how often beginOp allocated fresh state vs recycled (see
 	// OpStateStats). Steady state on a long-lived connection is one state
@@ -130,7 +137,17 @@ func NewWorker(conn transport.Conn, cfg Config) (*Worker, error) {
 		ops:    make(map[uint32]*opQueue),
 		closed: make(chan struct{}),
 	}
+	if cfg.View != nil {
+		w.view = cfg.View.Clone()
+		// cfg.Aggregators is the authoritative routing table; keep it in
+		// lockstep with the view from the start.
+		w.cfg.Aggregators = append([]int(nil), w.view.Aggregators...)
+	}
 	go w.recvPump()
+	if cfg.View != nil {
+		// Bind the connection to the initial epoch on every aggregator.
+		w.sendViewAck(w.view)
+	}
 	return w, nil
 }
 
@@ -151,6 +168,13 @@ func (w *Worker) recvPump() {
 			close(w.closed)
 			w.mu.Unlock()
 			return
+		}
+		if t := wire.PeekType(m.Data); wire.IsViewType(t) {
+			// View-plane traffic (announcements, stale-epoch refusals) is
+			// connection-scoped, not operation-scoped: handle it on the
+			// pump and notify in-flight operations through their queues.
+			w.handleViewMsg(t, m)
+			continue
 		}
 		tid, ok := peekTensorID(m.Data)
 		if !ok {
@@ -422,9 +446,13 @@ func (w *Worker) runAllReduce(data []float32, tid uint32, st *opState, pcfg prot
 
 	// Stall watchdog: progress means aggregator results arriving. The
 	// timer fires once per StallTimeout; a period with no new results
-	// wedges the operation into a postmortem instead of a silent hang.
+	// wedges the operation into a postmortem instead of a silent hang —
+	// unless the worker is quiesced (graceful drain) or a view change
+	// just rebound the operation (failover handoff), both of which make
+	// a silent period expected rather than pathological.
 	var watchdogCh <-chan time.Time
 	var lastResults int64
+	graceArmed := false // one watchdog period of grace after a rebind
 	if w.cfg.StallTimeout > 0 {
 		watchdog := time.NewTicker(w.cfg.StallTimeout)
 		defer watchdog.Stop()
@@ -433,6 +461,17 @@ func (w *Worker) runAllReduce(data []float32, tid uint32, st *opState, pcfg prot
 
 	for !m.Done() {
 		select {
+		case v := <-q.viewCh:
+			// Membership changed mid-collective: re-resolve every
+			// stream's aggregator and (unreliable mode) replay the
+			// outstanding packets to the new owners.
+			st.eb.Reset()
+			m.Rebind(v.Aggregators, time.Since(start), &st.eb)
+			sync()
+			if err := dispatch(); err != nil {
+				return err
+			}
+			graceArmed = true
 		case msg := <-q.ch:
 			if wire.PeekType(msg.Data) != wire.TypeResult {
 				rerr := rejectError(msg.Data)
@@ -480,6 +519,11 @@ func (w *Worker) runAllReduce(data []float32, tid uint32, st *opState, pcfg prot
 		case <-watchdogCh:
 			if got := m.Stats().ResultsRecvd; got > lastResults {
 				lastResults = got
+				continue
+			}
+			if w.quiesced() || graceArmed {
+				graceArmed = false
+				obsWatchdogSuppressed.Inc()
 				continue
 			}
 			return w.capturePostmortem(tid, m, w.cfg.StallTimeout)

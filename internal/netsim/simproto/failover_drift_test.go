@@ -1,0 +1,208 @@
+package simproto_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"omnireduce/internal/core"
+	"omnireduce/internal/netsim/simproto"
+	"omnireduce/internal/protocol"
+	"omnireduce/internal/transport"
+)
+
+// Failover drift tier: killing an aggregator mid-collective and failing
+// the position over to a standby must not move a single result bit, on
+// either substrate. The simulator performs the handoff with the exact
+// Checkpoint/Restore snapshot the live driver streams to standbys, the
+// live cluster performs it with real checkpoint frames, a real kill, and
+// in-band view adoption — and both must land on the same bit-exact
+// deterministic dense sum as an undisturbed run.
+
+// refDenseSum is the worker-ordered reference sum DeterministicOrder
+// contracts to reproduce exactly.
+func refDenseSum(inputs [][]float32) []float32 {
+	out := make([]float32, len(inputs[0]))
+	for _, in := range inputs {
+		for i, v := range in {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+func assertBitIdentical(t *testing.T, name string, results [][]float32, want []float32) {
+	t.Helper()
+	for w, res := range results {
+		if len(res) != len(want) {
+			t.Fatalf("%s: worker %d result length %d != %d", name, w, len(res), len(want))
+		}
+		for i, v := range res {
+			if v != want[i] {
+				t.Fatalf("%s: worker %d elem %d: %g != %g (failover moved a bit)", name, w, i, v, want[i])
+			}
+		}
+	}
+}
+
+// liveFailoverRun executes the live chaos-kill scenario: three workers,
+// two checkpointing primaries, one standby; the stream-1 primary is
+// killed once the standby holds one of its checkpoints, the standby is
+// activated into epoch 2, and the workers adopt the view in-band.
+func liveFailoverRun(t *testing.T, inputs [][]float32, bs int) [][]float32 {
+	t.Helper()
+	const (
+		aggA    = 3
+		aggB    = 4
+		standby = 5
+	)
+	W := len(inputs)
+	view1 := protocol.View{Epoch: 1, Workers: []int{0, 1, 2}, Aggregators: []int{aggA, aggB}}
+	cfg := core.Config{
+		Workers:            W,
+		Aggregators:        []int{aggA, aggB},
+		Reliable:           false,
+		DeterministicOrder: true,
+		BlockSize:          bs,
+		FusionWidth:        4,
+		Streams:            2,
+		RetransmitTimeout:  3 * time.Millisecond,
+		View:               &view1,
+	}
+
+	nw := transport.NewNetwork(W, 4096)
+	var aggWG sync.WaitGroup
+	conns := map[int]transport.Conn{}
+	startAgg := func(id int, c core.Config) *core.Aggregator {
+		conn := nw.AddNode(id)
+		conns[id] = conn
+		a, err := core.NewAggregator(conn, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggWG.Add(1)
+		go func() {
+			defer aggWG.Done()
+			if err := a.Run(); err != nil {
+				t.Errorf("aggregator %d: %v", id, err)
+			}
+		}()
+		return a
+	}
+	primCfg := cfg
+	primCfg.CheckpointPeers = []int{standby}
+	aggFirst := startAgg(aggA, primCfg)
+	startAgg(aggB, primCfg)
+	sbCfg := cfg
+	sbCfg.Standby = true
+	sb := startAgg(standby, sbCfg)
+	_ = aggFirst
+
+	work := make([][]float32, W)
+	workers := make([]*core.Worker, W)
+	for w := range inputs {
+		work[w] = append([]float32(nil), inputs[w]...)
+		wk, err := core.NewWorker(nw.Conn(w), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[w] = wk
+	}
+	var wg sync.WaitGroup
+	for w := range workers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := workers[w].AllReduce(work[w]); err != nil {
+				t.Errorf("worker %d: %v", w, err)
+			}
+		}(w)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for sb.CheckpointsFrom(aggB) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("standby never received a checkpoint from the doomed primary")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	conns[aggB].Close() // kill: datagrams to the dead node silently vanish
+	if err := sb.Activate(protocol.View{Epoch: 2, Workers: []int{0, 1, 2}, Aggregators: []int{aggA, standby}}); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("live collectives never completed after failover")
+	}
+	for _, wk := range workers {
+		wk.Close()
+	}
+	for id, c := range conns {
+		if id != aggB {
+			c.Close()
+		}
+	}
+	aggWG.Wait()
+	if sb.Stats.RoundsCompleted == 0 {
+		t.Fatal("live standby completed no rounds: the kill happened after the collective finished")
+	}
+	return work
+}
+
+func TestFailoverDriftLiveVsSim(t *testing.T) {
+	const W, blocks, bs = 3, 64, 16
+	inputs := blockSparseInputs(W, blocks, bs, 0.3, 4242)
+	want := refDenseSum(inputs)
+
+	pcfg := protocol.Config{
+		BlockSize:          bs,
+		FusionWidth:        4,
+		Streams:            2,
+		DeterministicOrder: true,
+		// Mirror the simulator's pinned fixed-cadence retransmission (see
+		// OmniOpts.protoConfig): virtual-time RTTs are microseconds.
+		RetransmitTimeout: time.Millisecond,
+		RetransmitBackoff: 1,
+		RetransmitJitter:  -1,
+	}
+	opts := simproto.OmniOpts{FusionWidth: 4, Streams: 2, Lossy: true}
+	cl := simproto.Testbed10G(W, 2)
+
+	// Baseline: undisturbed lossy-mode run.
+	base := simproto.SimOmniReduceTensors(cl, inputs, pcfg, opts)
+	if base.Time <= 0 {
+		t.Fatalf("baseline sim did not complete: time %g", base.Time)
+	}
+	assertBitIdentical(t, "sim-baseline", base.Results, want)
+
+	// Failover at several points of the collective: early (bootstrap
+	// rounds in flight) and late (most rounds already archived).
+	for _, frac := range []float64{0.2, 0.5} {
+		fopts := opts
+		fopts.FailoverAt = base.Time * frac
+		fopts.FailAggIndex = 1
+		run := simproto.SimOmniReduceTensors(cl, inputs, pcfg, fopts)
+		if run.Time <= 0 {
+			t.Fatalf("failover sim (frac %.1f) did not complete: time %g", frac, run.Time)
+		}
+		if run.Time <= fopts.FailoverAt {
+			t.Fatalf("failover sim (frac %.1f) finished at %g before the kill at %g: not a mid-collective kill",
+				frac, run.Time, fopts.FailoverAt)
+		}
+		assertBitIdentical(t, "sim-failover", run.Results, want)
+		// The failed position's stats come from the machine that finished
+		// serving it: the promoted standby.
+		if run.AggStats[1].RoundsCompleted == 0 {
+			t.Fatalf("failover sim (frac %.1f): standby completed no rounds", frac)
+		}
+	}
+
+	// The live cluster under a real mid-collective kill must land on the
+	// same bits.
+	live := liveFailoverRun(t, inputs, bs)
+	assertBitIdentical(t, "live-failover", live, want)
+}

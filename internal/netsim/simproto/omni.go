@@ -53,6 +53,19 @@ type OmniOpts struct {
 	SwitchAgg bool
 	// NoCopy skips the staging-copy model regardless of cluster CopyBW.
 	NoCopy bool
+	// FailoverAt, when > 0, kills the aggregator serving position
+	// FailAggIndex (in aggregatorIDs order) at that simulated time and
+	// fails the position over to a standby node: the dead machine's state
+	// moves via Checkpoint/Restore — the same snapshot the live driver
+	// streams to standbys — and every worker machine rebinds (Rebind),
+	// replaying its unacknowledged rounds at the new aggregator. Requires
+	// Lossy (reliable mode has no replay machinery) and dedicated
+	// aggregator nodes (a colocated aggregator cannot die alone).
+	FailoverAt   float64
+	FailAggIndex int
+	// StandbyID is the simulated node ID hosting the standby; 0 picks the
+	// next free ID after the dedicated aggregators.
+	StandbyID int
 }
 
 // simPkt is one in-flight simulated packet: a deep copy of an emitted
@@ -141,7 +154,9 @@ func (v *specView) SetBlock(int, []float32) {}
 type OmniRun struct {
 	Time        float64
 	WorkerStats []protocol.WorkerStats
-	// AggStats is indexed in aggregatorIDs order.
+	// AggStats is indexed in aggregatorIDs order; on failover runs a
+	// position reports the machine that finished serving it (the standby,
+	// for the failed position — the dead machine's counters die with it).
 	AggStats []protocol.AggStats
 	// Results holds each worker's reduced tensor for tensor-backed runs
 	// (SimOmniReduceTensors); nil for spec-driven runs.
@@ -325,8 +340,12 @@ func runOmni(c Cluster, views []protocol.TensorView, cfg protocol.Config, opts O
 	}
 
 	runAgg := func(nodeID int, p *wire.Packet) {
+		m := am[nodeID]
+		if m == nil {
+			return // dead (failed-over) or not-yet-activated node: drop
+		}
 		eb.Reset()
-		if err := am[nodeID].HandlePacket(protocol.Msg{Dense: p}, eb); err != nil {
+		if err := m.HandlePacket(protocol.Msg{Dense: p}, eb); err != nil {
 			panic(fmt.Sprintf("simproto: aggregator %d: %v", nodeID, err))
 		}
 		route(nodeID, eb.Emits())
@@ -363,6 +382,59 @@ func runOmni(c Cluster, views []protocol.TensorView, cfg protocol.Config, opts O
 		}
 	}
 
+	// servedBy maps aggregator positions to the node currently serving
+	// them; failover swaps the failed position to the standby.
+	servedBy := append([]int(nil), aggIDs...)
+	if opts.FailoverAt > 0 {
+		if c.Colocated {
+			panic("simproto: failover requires dedicated aggregator nodes")
+		}
+		if !opts.Lossy {
+			panic("simproto: failover requires Lossy mode (reliable mode has no replay machinery)")
+		}
+		if opts.FailAggIndex < 0 || opts.FailAggIndex >= len(aggIDs) {
+			panic(fmt.Sprintf("simproto: FailAggIndex %d out of range (%d aggregators)", opts.FailAggIndex, len(aggIDs)))
+		}
+		standby := opts.StandbyID
+		if standby == 0 {
+			standby = N + len(aggIDs)
+		}
+		nd := n.AddNode(standby, c.AggBW, c.AggBW)
+		nd.CPUPerMsg = c.CPUPerMsg
+		if opts.SwitchAgg {
+			nd.CPUPerMsg = 50e-9
+		}
+		nd.Handler = func(m netsim.Message) {
+			sp := m.Payload.(*simPkt)
+			runAgg(standby, &sp.p)
+			recycle(sp)
+		}
+		n.Sim.At(opts.FailoverAt, func() {
+			// Kill: the dead node drops everything still in flight to it,
+			// exactly like the live chaos harness cutting the process.
+			dead := servedBy[opts.FailAggIndex]
+			n.Node(dead).Handler = func(m netsim.Message) { recycle(m.Payload.(*simPkt)) }
+			// Handoff: the standby machine restores the snapshot the live
+			// driver would have streamed it (output-commit makes the live
+			// standby at least this current; fast-forward covers the rest).
+			sm := protocol.NewAggregatorMachine(cfg, standby)
+			if err := sm.Restore(am[dead].Checkpoint()); err != nil {
+				panic(fmt.Sprintf("simproto: failover restore: %v", err))
+			}
+			am[standby] = sm
+			delete(am, dead)
+			servedBy[opts.FailAggIndex] = standby
+			// Rebind: every worker re-resolves AggregatorFor against the
+			// new list and replays its unacknowledged rounds.
+			for w := 0; w < N; w++ {
+				eb.Reset()
+				wm[w].Rebind(servedBy, now(), eb)
+				route(w, eb.Emits())
+				arm(w)
+			}
+		})
+	}
+
 	// Launch: staging copy plus bootstrap packets for every stream.
 	copyFinished := 0.0
 	for w := 0; w < N; w++ {
@@ -387,7 +459,7 @@ func runOmni(c Cluster, views []protocol.TensorView, cfg protocol.Config, opts O
 	for w := 0; w < N; w++ {
 		run.WorkerStats[w] = wm[w].Stats()
 	}
-	for _, id := range aggIDs {
+	for _, id := range servedBy {
 		run.AggStats = append(run.AggStats, am[id].Stats())
 	}
 	return run

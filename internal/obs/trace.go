@@ -83,6 +83,13 @@ const (
 	EvMachinePoolGet
 	EvMachinePoolPut
 
+	// EvViewChange fires when a node adopts a new membership view (arg:
+	// the new epoch); EvCheckpoint when an aggregator streams a slot-state
+	// checkpoint to a standby (arg: encoded bytes). Driver-side events, so
+	// failover shows up in flight-recorder dumps and timelines.
+	EvViewChange
+	EvCheckpoint
+
 	// NumEvents is the number of event kinds (array sizing).
 	NumEvents
 )
@@ -108,6 +115,8 @@ var eventNames = [NumEvents]string{
 	EvRxBatch:        "rx_batch",
 	EvMachinePoolGet: "machine_pool_get",
 	EvMachinePoolPut: "machine_pool_put",
+	EvViewChange:     "view_change",
+	EvCheckpoint:     "checkpoint",
 }
 
 // MachineEvents lists the event kinds emitted by the protocol machines

@@ -24,6 +24,7 @@ type AggStats struct {
 	DupsFiltered     int64 // same-round duplicates discarded
 	StaleRounds      int64 // packets arriving for an already-concluded round
 	StaleFinished    int64 // packets for finished tensors past the archive
+	FastForwards     int64 // rounds skipped resyncing after a checkpoint restore
 }
 
 // slotEnt is one live tensor's aggregation state within a slot bucket.
@@ -467,6 +468,32 @@ func (m *AggregatorMachine) processReliable(p *wire.Packet, sl *aggSlot, eb *Emi
 // unicast (the paper's lines 47-49 generalized).
 func (m *AggregatorMachine) processVersioned(p *wire.Packet, sl *aggSlot, eb *EmitBuf) error {
 	wid := int(p.WID)
+	if p.Version == sl.round+1 {
+		// The whole worker set is one round ahead of us: this aggregator
+		// was restored from a checkpoint taken before the last result
+		// went out (a failover that lost the final checkpoint delta).
+		// Round sl.round's result already lives in the workers' output
+		// views — a worker only advances to round r+1 after applying
+		// result r — so the round is globally concluded and we fast-
+		// forward: rearm the slot for the new round and take the cursor
+		// positions from the incoming packets (all workers agree on them,
+		// having applied the same result). Only ever one round: workers
+		// cannot reach r+2 without a result for r+1, which only we issue.
+		m.stats.FastForwards++
+		for c := 0; c < sl.cols; c++ {
+			sl.cur[c] = nextUnknown
+			sl.minNext[c] = nextDone
+			for w := range sl.nexts[c] {
+				sl.nexts[c][w] = nextUnknown
+			}
+			sl.acc[c].reset()
+		}
+		for i := range sl.seen {
+			sl.seen[i] = false
+		}
+		sl.count = 0
+		sl.round = p.Version
+	}
 	if p.Version != sl.round {
 		// An old-round packet (retransmission or reordered duplicate):
 		// the sender is at most one result behind a live round, and that

@@ -108,7 +108,12 @@ func (m *SparseWorkerMachine) sendNext(eb *EmitBuf) {
 	size := wire.EncodedSparsePacketSize(p)
 	m.stats.PacketsSent++
 	m.stats.BytesSent += int64(size)
-	eb.Append(Emit{Dst: m.cfg.Aggregators[0], Sparse: p, Size: size})
+	// Sparse tensors are routed by tensor ID (not per-stream like dense):
+	// Algorithm 3's streaming merge needs every worker's chunks for one
+	// tensor at a single aggregator, and keying by tid keeps all workers
+	// in agreement while still spreading distinct tensors across the
+	// multi-aggregator round-robin.
+	eb.Append(Emit{Dst: m.cfg.AggregatorFor(int(m.tid)), Sparse: p, Size: size})
 }
 
 // HandlePacket consumes one sparse result chunk: appends the flushed

@@ -1,0 +1,472 @@
+package protocol
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"omnireduce/internal/tensor"
+	"omnireduce/internal/wire"
+)
+
+// View-epoch edge cases and failover handoff, exercised entirely at the
+// machine layer: no transport, no goroutines. The Membership machine is
+// pure state, so stale epochs, deferred joins, and standby-chain
+// exhaustion are plain table tests; the handoff itself runs on a small
+// multi-aggregator pump that kills a machine mid-collective and resumes
+// its successor from a Checkpoint/Restore snapshot.
+
+func TestMembershipEdgeCases(t *testing.T) {
+	base := View{Epoch: 1, Workers: []int{0, 1, 2}, Aggregators: []int{100, 200}}
+	cases := []struct {
+		name string
+		run  func(t *testing.T, g *Membership)
+	}{
+		{
+			// A packet bound to a concluded epoch draws a typed refusal
+			// carrying both epochs and the refused tensor — never a silent
+			// drop, and identifiable with errors.Is/As.
+			name: "stale-epoch-typed-refusal",
+			run: func(t *testing.T, g *Membership) {
+				g.Advance() // epoch 1 -> 2
+				if v := g.Check(1); v != VerdictStale {
+					t.Fatalf("Check(1) = %v, want stale", v)
+				}
+				err := g.Refuse(1, 0xABC)
+				if !errors.Is(err, ErrStaleEpoch) {
+					t.Fatalf("refusal does not wrap ErrStaleEpoch: %v", err)
+				}
+				var se *StaleEpochError
+				if !errors.As(err, &se) {
+					t.Fatalf("refusal is not a *StaleEpochError: %v", err)
+				}
+				if se.Got != 1 || se.Current != 2 || se.TensorID != 0xABC {
+					t.Fatalf("refusal fields = %+v", se)
+				}
+				if s := g.Stats(); s.StaleRefusals != 1 {
+					t.Fatalf("StaleRefusals = %d, want 1", s.StaleRefusals)
+				}
+			},
+		},
+		{
+			// An epoch we have not reached is OUR problem, not the
+			// sender's: defer, don't refuse.
+			name: "future-epoch-deferred",
+			run: func(t *testing.T, g *Membership) {
+				if v := g.Check(5); v != VerdictFuture {
+					t.Fatalf("Check(5) = %v, want future", v)
+				}
+				if v := g.Check(1); v != VerdictCurrent {
+					t.Fatalf("Check(1) = %v, want current", v)
+				}
+			},
+		},
+		{
+			// A worker joining mid-collective is admitted at the NEXT
+			// epoch: the live epoch's contributor set must not change under
+			// in-flight rounds.
+			name: "join-mid-collective-admitted-next-epoch",
+			run: func(t *testing.T, g *Membership) {
+				if e := g.Join(7); e != 2 {
+					t.Fatalf("Join(7) admission epoch = %d, want 2", e)
+				}
+				if e := g.Join(7); e != 2 { // idempotent re-join
+					t.Fatalf("second Join(7) = %d, want 2", e)
+				}
+				if g.View().HasWorker(7) {
+					t.Fatal("joiner visible in the live epoch")
+				}
+				if e := g.Join(0); e != 1 { // existing member: admitted now
+					t.Fatalf("Join(0) = %d, want 1", e)
+				}
+				v := g.Advance()
+				if v.Epoch != 2 || !v.HasWorker(7) {
+					t.Fatalf("post-advance view %+v does not admit the joiner", v)
+				}
+				if s := g.Stats(); s.DeferredJoins != 1 {
+					t.Fatalf("DeferredJoins = %d, want 1", s.DeferredJoins)
+				}
+			},
+		},
+		{
+			// Two failovers consume the standby chain front to back, each
+			// promoted node taking the dead one's exact round-robin
+			// position; a third failover has nothing left and must error.
+			name: "double-failover-consumes-standby-chain",
+			run: func(t *testing.T, g *Membership) {
+				g.AddStandby(300)
+				g.AddStandby(400)
+				v, err := g.Failover(200)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v.Epoch != 2 || v.Aggregators[0] != 100 || v.Aggregators[1] != 300 {
+					t.Fatalf("first failover view %+v", v)
+				}
+				v, err = g.Failover(100)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v.Epoch != 3 || v.Aggregators[0] != 400 || v.Aggregators[1] != 300 {
+					t.Fatalf("second failover view %+v", v)
+				}
+				if _, err = g.Failover(300); err == nil {
+					t.Fatal("third failover succeeded with an empty standby chain")
+				}
+				if s := g.Stats(); s.Failovers != 2 || s.ViewChanges != 2 {
+					t.Fatalf("stats = %+v", s)
+				}
+			},
+		},
+		{
+			name: "failover-of-non-aggregator-refused",
+			run: func(t *testing.T, g *Membership) {
+				g.AddStandby(300)
+				if _, err := g.Failover(7); err == nil {
+					t.Fatal("failover of a non-aggregator succeeded")
+				}
+				if g.Epoch() != 1 {
+					t.Fatalf("failed failover advanced the epoch to %d", g.Epoch())
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := NewMembership(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.run(t, g)
+		})
+	}
+}
+
+func TestViewValidate(t *testing.T) {
+	if err := (View{Epoch: 0, Aggregators: []int{1}}).Validate(); err == nil {
+		t.Fatal("epoch 0 validated")
+	}
+	if err := (View{Epoch: 1}).Validate(); err == nil {
+		t.Fatal("aggregator-less view validated")
+	}
+	if _, err := NewMembership(View{}); err == nil {
+		t.Fatal("NewMembership accepted an invalid view")
+	}
+}
+
+// multiPump is the trace pump generalized to several aggregator nodes,
+// with a kill switch: killing a node checkpoints its machine into a
+// fresh standby, drops everything queued toward the corpse, and rebinds
+// every worker. Delivery stays synchronous and deterministic.
+type multiPump struct {
+	t    *testing.T
+	cfg  Config
+	wms  []*WorkerMachine
+	ams  map[int]*AggregatorMachine
+	q    []tmsg
+	now  time.Duration
+	eb   EmitBuf
+	aggs []int // current serving list, round-robin order
+}
+
+func newMultiPump(t *testing.T, cfg Config, inputs [][]float32) (*multiPump, [][]float32) {
+	t.Helper()
+	cfg.Workers = len(inputs)
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := &multiPump{t: t, cfg: cfg, ams: make(map[int]*AggregatorMachine),
+		aggs: append([]int(nil), cfg.Aggregators...)}
+	for _, id := range cfg.Aggregators {
+		p.ams[id] = NewAggregatorMachine(cfg, id)
+	}
+	work := make([][]float32, len(inputs))
+	for w := range inputs {
+		work[w] = append([]float32(nil), inputs[w]...)
+		p.wms = append(p.wms, NewWorkerMachine(cfg, w, 1))
+	}
+	for w, m := range p.wms {
+		view := NewDenseView(work[w], cfg.BlockSize, cfg.ForceDense)
+		p.eb.Reset()
+		m.Start(view, 0, &p.eb)
+		p.push(w, p.eb.Emits())
+	}
+	return p, work
+}
+
+func (p *multiPump) push(src int, emits []Emit) {
+	for i := range emits {
+		p.q = append(p.q, tmsg{src: src, dst: emits[i].Dst, pkt: testClone(emits[i].Packet)})
+	}
+}
+
+func (p *multiPump) step(budget int) {
+	for n := 0; len(p.q) > 0 && n < budget; n++ {
+		m := p.q[0]
+		p.q = p.q[1:]
+		if am := p.ams[m.dst]; am != nil {
+			p.eb.Reset()
+			if err := am.HandlePacket(Msg{Dense: m.pkt}, &p.eb); err != nil {
+				p.t.Fatalf("aggregator %d: %v", m.dst, err)
+			}
+			p.push(m.dst, p.eb.Emits())
+			continue
+		}
+		if m.dst >= len(p.wms) {
+			continue // destined to a dead aggregator: the fabric eats it
+		}
+		p.eb.Reset()
+		if err := p.wms[m.dst].HandlePacket(m.pkt, p.now, &p.eb); err != nil {
+			p.t.Fatalf("worker %d: %v", m.dst, err)
+		}
+		p.push(m.dst, p.eb.Emits())
+	}
+}
+
+func (p *multiPump) tick() {
+	var latest time.Duration
+	for _, m := range p.wms {
+		if d, ok := m.NextTimeout(); ok && d > latest {
+			latest = d
+		}
+	}
+	p.now = latest + time.Nanosecond
+	for w, m := range p.wms {
+		p.eb.Reset()
+		if err := m.HandleTimeout(p.now, &p.eb); err != nil {
+			p.t.Fatalf("worker %d timeout: %v", w, err)
+		}
+		p.push(w, p.eb.Emits())
+	}
+}
+
+func (p *multiPump) allDone() bool {
+	for _, m := range p.wms {
+		if !m.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// kill checkpoints dead's machine into a fresh standby at node standbyID,
+// removes the corpse (in-flight traffic toward it is lost), and rebinds
+// every worker to the updated serving list.
+func (p *multiPump) kill(dead, standbyID int) {
+	ck := p.ams[dead].Checkpoint()
+	sm := NewAggregatorMachine(p.cfg, standbyID)
+	if err := sm.Restore(ck); err != nil {
+		p.t.Fatalf("restore: %v", err)
+	}
+	delete(p.ams, dead)
+	p.ams[standbyID] = sm
+	kept := p.q[:0]
+	for _, m := range p.q {
+		if m.dst != dead {
+			kept = append(kept, m)
+		}
+	}
+	p.q = kept
+	for i, id := range p.aggs {
+		if id == dead {
+			p.aggs[i] = standbyID
+		}
+	}
+	for w, m := range p.wms {
+		p.eb.Reset()
+		m.Rebind(p.aggs, p.now, &p.eb)
+		p.push(w, p.eb.Emits())
+	}
+}
+
+// TestFailoverPumpHandoff kills one of two aggregators mid-collective and
+// resumes its successor from the checkpoint. The surviving run must
+// converge to results bit-identical to an undisturbed run, the standby
+// must complete rounds of its own, and replays landing at the survivor
+// must be version-filtered rather than double-merged.
+func TestFailoverPumpHandoff(t *testing.T) {
+	cfg := Config{
+		BlockSize:          4,
+		FusionWidth:        4,
+		Streams:            2,
+		Aggregators:        []int{100, 200},
+		DeterministicOrder: true,
+		RetransmitTimeout:  time.Millisecond,
+	}
+	inputs := traceInputs()
+
+	// Reference: same config, no failover.
+	ref, refWork := newMultiPump(t, cfg, inputs)
+	ref.step(1 << 20)
+	if !ref.allDone() {
+		t.Fatal("reference run did not converge")
+	}
+
+	for _, killAfter := range []int{1, 7, 25} {
+		p, work := newMultiPump(t, cfg, inputs)
+		p.step(killAfter)
+		p.kill(200, 300)
+		p.step(1 << 20)
+		for i := 0; i < 64 && !p.allDone(); i++ {
+			p.tick()
+			p.step(1 << 20)
+		}
+		if !p.allDone() {
+			t.Fatalf("killAfter=%d: machines did not converge", killAfter)
+		}
+		for w := range work {
+			for i, v := range work[w] {
+				if v != refWork[w][i] {
+					t.Fatalf("killAfter=%d: worker %d elem %d: %v != reference %v",
+						killAfter, w, i, v, refWork[w][i])
+				}
+			}
+		}
+		if s := p.ams[300].Stats(); s.RoundsCompleted == 0 {
+			t.Fatalf("killAfter=%d: standby completed no rounds: %+v", killAfter, s)
+		}
+	}
+}
+
+// TestCheckpointRoundTrip snapshots a mid-collective aggregator and
+// restores it into a fresh machine; both must answer the remaining trace
+// identically (the restored machine replaces the original outright).
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := Config{
+		BlockSize:          4,
+		FusionWidth:        4,
+		Streams:            2,
+		Aggregators:        []int{100},
+		DeterministicOrder: true,
+		RetransmitTimeout:  time.Millisecond,
+	}
+	inputs := traceInputs()
+	p, work := newMultiPump(t, cfg, inputs)
+	p.step(9)
+	// Swap the live machine for its own checkpoint restored into a clone:
+	// pure state transfer, no network involved.
+	ck := p.ams[100].Checkpoint()
+	clone := NewAggregatorMachine(p.cfg, 100)
+	if err := clone.Restore(ck); err != nil {
+		t.Fatal(err)
+	}
+	orig := p.ams[100]
+	p.ams[100] = clone
+	p.step(1 << 20)
+	for i := 0; i < 64 && !p.allDone(); i++ {
+		p.tick()
+		p.step(1 << 20)
+	}
+	if !p.allDone() {
+		t.Fatal("machines did not converge after restore swap")
+	}
+	ref := refSum(inputs)
+	for w := range work {
+		for i, v := range work[w] {
+			if v != ref[i] {
+				t.Fatalf("worker %d elem %d: %v != %v", w, i, v, ref[i])
+			}
+		}
+	}
+	// A restore into a machine with live slots must be refused.
+	if err := orig.Restore(ck); err == nil {
+		t.Fatal("restore into a live machine succeeded")
+	}
+}
+
+// TestSparseMultiAggregatorRouting is the regression test for the sparse
+// path hardcoding Aggregators[0]: key-value traffic must route by tensor
+// ID through AggregatorFor, so distinct sparse tensors spread across the
+// aggregator set and every worker picks the same aggregator per tensor.
+func TestSparseMultiAggregatorRouting(t *testing.T) {
+	cfg := Config{Workers: 2, Aggregators: []int{100, 200}, Reliable: true, BlockSize: 2}.WithDefaults()
+	mk := func(pairs map[int32]float32) *tensor.COO {
+		c := tensor.NewCOO(100)
+		for k := int32(0); k < 100; k++ {
+			if v, ok := pairs[k]; ok {
+				c.Append(k, v)
+			}
+		}
+		return c
+	}
+	for _, tc := range []struct {
+		tid     uint32
+		wantDst int
+	}{
+		{tid: 1, wantDst: 200}, // 1 % 2 == 1 -> second aggregator
+		{tid: 2, wantDst: 100}, // 2 % 2 == 0 -> first aggregator
+	} {
+		ins := []*tensor.COO{
+			mk(map[int32]float32{3: 1, 7: 2, 51: 4, 99: 5}),
+			mk(map[int32]float32{7: 10, 8: 11, 51: 12}),
+		}
+		ams := map[int]*AggregatorMachine{
+			100: NewAggregatorMachine(cfg, 100),
+			200: NewAggregatorMachine(cfg, 200),
+		}
+		var wms []*SparseWorkerMachine
+		type smsg struct {
+			dst int
+			pkt *wire.SparsePacket
+		}
+		var q []smsg
+		var eb EmitBuf
+		push := func(src int, emits []Emit) {
+			for i := range emits {
+				if src < len(ins) && emits[i].Dst != tc.wantDst {
+					t.Fatalf("tid %d: worker %d sent sparse packet to node %d, want %d",
+						tc.tid, src, emits[i].Dst, tc.wantDst)
+				}
+				q = append(q, smsg{dst: emits[i].Dst, pkt: testCloneSparse(emits[i].Sparse)})
+			}
+		}
+		for w := range ins {
+			m, err := NewSparseWorkerMachine(cfg, w, tc.tid, ins[w])
+			if err != nil {
+				t.Fatal(err)
+			}
+			wms = append(wms, m)
+			eb.Reset()
+			m.Start(&eb)
+			push(w, eb.Emits())
+		}
+		for len(q) > 0 {
+			m := q[0]
+			q = q[1:]
+			if am := ams[m.dst]; am != nil {
+				eb.Reset()
+				if err := am.HandlePacket(Msg{Sparse: m.pkt}, &eb); err != nil {
+					t.Fatal(err)
+				}
+				push(m.dst, eb.Emits())
+				continue
+			}
+			eb.Reset()
+			if err := wms[m.dst].HandlePacket(m.pkt, &eb); err != nil {
+				t.Fatal(err)
+			}
+			push(m.dst, eb.Emits())
+		}
+		want := map[int32]float32{3: 1, 7: 12, 8: 11, 51: 16, 99: 5}
+		for w, m := range wms {
+			if !m.Done() {
+				t.Fatalf("tid %d: worker %d not done", tc.tid, w)
+			}
+			res := m.Result()
+			if res.Len() != len(want) {
+				t.Fatalf("tid %d: worker %d: %d keys, want %d", tc.tid, w, res.Len(), len(want))
+			}
+			for i, k := range res.Keys {
+				if res.Values[i] != want[k] {
+					t.Fatalf("tid %d worker %d key %d: %v != %v", tc.tid, w, k, res.Values[i], want[k])
+				}
+			}
+		}
+		// The other aggregator must have seen nothing.
+		other := 300 - tc.wantDst
+		if s := ams[other].Stats(); s.PacketsRecvd != 0 {
+			t.Fatalf("tid %d: idle aggregator %d received %d packets", tc.tid, other, s.PacketsRecvd)
+		}
+	}
+}

@@ -113,6 +113,10 @@ var (
 	// ErrUnknownJob reports a data packet for a namespace never opened on
 	// this aggregator.
 	ErrUnknownJob = errors.New("tenant: operation for a job not opened here")
+	// ErrStaleView reports the sender's bound membership epoch is stale:
+	// the group moved to a newer view (an aggregator failed over, or
+	// membership changed) and the sender must rebind before retrying.
+	ErrStaleView = errors.New("tenant: stale membership view, rebind required")
 )
 
 // ErrorForReason maps a wire rejection reason code to its typed error.
@@ -128,6 +132,8 @@ func ErrorForReason(reason uint8) error {
 		return ErrUnknownJob
 	case wire.ReasonRejected:
 		return ErrAdmissionRejected
+	case wire.ReasonStaleEpoch:
+		return ErrStaleView
 	default:
 		return nil
 	}
@@ -144,6 +150,8 @@ func ReasonForError(err error) uint8 {
 		return wire.ReasonCollision
 	case errors.Is(err, ErrUnknownJob):
 		return wire.ReasonUnknown
+	case errors.Is(err, ErrStaleView):
+		return wire.ReasonStaleEpoch
 	case err != nil:
 		return wire.ReasonRejected
 	default:

@@ -1,0 +1,54 @@
+package transport
+
+import "net"
+
+// Address canonicalization shared by every peer-registration path (UDP
+// book entries, TCP dial addresses, and the re-dial a worker performs
+// after a membership view change). A wildcard or empty host in a peer's
+// address (":7410", "0.0.0.0:7410", "[::]:7410") can only mean "this
+// machine"; canonicalizing it to the matching loopback in ONE place
+// keeps sender attribution consistent — the address a peer is registered
+// under matches the source address its traffic actually arrives with,
+// whether the registration happened at construction or on a rebind.
+
+// PeerRegistrar is the optional transport capability of updating a
+// peer's address after construction (":0" setups, and worker re-dial
+// after failover promotes a standby). UDP and TCP implement it; the
+// in-process channel network routes by node ID and needs no re-dial.
+type PeerRegistrar interface {
+	RegisterPeer(id int, addr string) error
+}
+
+// canonicalUDPAddr returns ra with a wildcard or empty host rewritten to
+// the matching loopback (preserving port and zone); other addresses pass
+// through unchanged.
+func canonicalUDPAddr(ra *net.UDPAddr) *net.UDPAddr {
+	if len(ra.IP) == 0 || ra.IP.IsUnspecified() {
+		if len(ra.IP) == 0 || ra.IP.To4() != nil {
+			return &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: ra.Port}
+		}
+		return &net.UDPAddr{IP: net.IPv6loopback, Port: ra.Port, Zone: ra.Zone}
+	}
+	return ra
+}
+
+// CanonicalAddr rewrites a wildcard or empty host to the matching
+// loopback, preserving the port. Malformed addresses are returned
+// unchanged (the subsequent dial/resolve reports the real error).
+func CanonicalAddr(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
+	}
+	if host == "" {
+		return net.JoinHostPort("127.0.0.1", port)
+	}
+	ip := net.ParseIP(host)
+	if ip == nil || !ip.IsUnspecified() {
+		return addr
+	}
+	if ip.To4() != nil {
+		return net.JoinHostPort("127.0.0.1", port)
+	}
+	return net.JoinHostPort("::1", port)
+}

@@ -1,0 +1,134 @@
+package transport
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCanonicalAddr(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"0.0.0.0:9000", "127.0.0.1:9000"},
+		{":9000", "127.0.0.1:9000"},
+		{"[::]:9000", "[::1]:9000"},
+		{"127.0.0.1:9000", "127.0.0.1:9000"},
+		{"10.1.2.3:7410", "10.1.2.3:7410"},
+		{"example.com:80", "example.com:80"},
+		{"not-an-addr", "not-an-addr"}, // malformed: returned unchanged
+	}
+	for _, tc := range cases {
+		if got := CanonicalAddr(tc.in); got != tc.want {
+			t.Errorf("CanonicalAddr(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestUDPWildcardRegistrationParity is the regression test for wildcard
+// canonicalization applying on only one registration path: a peer
+// registered post-construction (the worker re-dial path after a view
+// change) with a wildcard host must behave exactly like one listed in the
+// constructor's address book — datagrams route AND the sender attributes
+// correctly on the return path.
+func TestUDPWildcardRegistrationParity(t *testing.T) {
+	a, err := NewUDP(0, map[int]string{0: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewUDP(1, map[int]string{1: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	_, aPort, _ := net.SplitHostPort(a.Addr())
+	_, bPort, _ := net.SplitHostPort(b.Addr())
+	// a's book entry for b: constructor-style canonical address. b's book
+	// entry for a: wildcard host via the RegisterPeer re-dial path.
+	if err := a.RegisterPeer(1, "127.0.0.1:"+bPort); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RegisterPeer(0, "0.0.0.0:"+aPort); err != nil {
+		t.Fatal(err)
+	}
+
+	// b -> a through the wildcard-registered binding.
+	if err := b.Send(0, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, a)
+	if m.From != 1 || string(m.Data) != "ping" {
+		t.Fatalf("a got from=%d data=%q", m.From, m.Data)
+	}
+	PutBuf(m.Data)
+	// a -> b: b must attribute a's source address to id 0, which only
+	// works if the wildcard entry canonicalized to the loopback address
+	// the datagram actually arrives from.
+	if err := a.Send(1, []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	m = recvOne(t, b)
+	if m.From != 0 || string(m.Data) != "pong" {
+		t.Fatalf("b got from=%d data=%q (wildcard registration attributed differently)", m.From, m.Data)
+	}
+	PutBuf(m.Data)
+}
+
+// TestTCPWildcardRegistrationParity: same property on the TCP re-dial
+// path. Before RegisterPeer canonicalized, a wildcard-host address
+// registered after a rebind dialed the unspecified address — unlike the
+// same string passed at construction.
+func TestTCPWildcardRegistrationParity(t *testing.T) {
+	a, err := NewTCP(0, map[int]string{0: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	_, aPort, _ := net.SplitHostPort(a.Addr())
+	b, err := NewTCP(1, map[int]string{1: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := b.RegisterPeer(0, ":"+aPort); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.addrs[0], "127.0.0.1:") {
+		t.Fatalf("RegisterPeer stored %q, want canonicalized loopback", b.addrs[0])
+	}
+	if err := b.Send(0, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, a)
+	if m.From != 1 || string(m.Data) != "hello" {
+		t.Fatalf("a got from=%d data=%q", m.From, m.Data)
+	}
+	PutBuf(m.Data)
+}
+
+// recvOne receives with a deadline so a routing bug fails the test
+// instead of hanging it.
+func recvOne(t *testing.T, c Conn) Message {
+	t.Helper()
+	type res struct {
+		m   Message
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		m, err := c.Recv()
+		ch <- res{m, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		return r.m
+	case <-time.After(5 * time.Second):
+		t.Fatal("recv timed out")
+	}
+	return Message{}
+}

@@ -325,11 +325,14 @@ func (t *TCP) dial(addr string) (net.Conn, error) {
 }
 
 // RegisterPeer adds or updates a peer's dial address (used with ":0"
-// setups where addresses are exchanged after binding).
+// setups where addresses are exchanged after binding, and on the re-dial
+// path after a view change). The address is canonicalized like UDP book
+// entries — a wildcard host registered after a rebind must not dial (and
+// attribute) differently than one registered at construction.
 func (t *TCP) RegisterPeer(id int, addr string) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.addrs[id] = addr
+	t.addrs[id] = CanonicalAddr(addr)
 	return nil
 }
 

@@ -96,16 +96,11 @@ func NewUDP(id int, addrs map[int]string) (*UDP, error) {
 func (u *UDP) registerResolved(id int, ra *net.UDPAddr) {
 	// A wildcard or empty host in a peer's book entry (":7410") can only
 	// mean "this machine" — the kernel delivers datagrams sent to the
-	// unspecified address locally. Canonicalize to the matching loopback
-	// so the batch path has a marshalable sockaddr and sender attribution
-	// matches the source address datagrams actually arrive with.
-	if len(ra.IP) == 0 || ra.IP.IsUnspecified() {
-		if len(ra.IP) == 0 || ra.IP.To4() != nil {
-			ra = &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: ra.Port}
-		} else {
-			ra = &net.UDPAddr{IP: net.IPv6loopback, Port: ra.Port, Zone: ra.Zone}
-		}
-	}
+	// unspecified address locally. Canonicalize (shared helper, see
+	// addr.go) so the batch path has a marshalable sockaddr and sender
+	// attribution matches the source address datagrams actually arrive
+	// with.
+	ra = canonicalUDPAddr(ra)
 	u.peers[id] = ra
 	u.byAddr[ra.String()] = id
 	if ap := ra.AddrPort(); ap.IsValid() {

@@ -138,7 +138,7 @@ func PeekWID(buf []byte) (uint16, bool) {
 			return 0, false
 		}
 		return binary.LittleEndian.Uint16(buf[6:]), true
-	case t == TypeSparseData || t == TypeSparseResult || IsControlType(t):
+	case t == TypeSparseData || t == TypeSparseResult || IsControlType(t) || IsViewType(t):
 		if len(buf) < 4 {
 			return 0, false
 		}

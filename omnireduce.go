@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"omnireduce/internal/core"
+	"omnireduce/internal/protocol"
 	"omnireduce/internal/tenant"
 	"omnireduce/internal/tensor"
 	"omnireduce/internal/transport"
@@ -76,6 +77,21 @@ type Options struct {
 	Tenants map[string]TenantQuota
 	// DefaultQuota applies to tenants not listed in Tenants.
 	DefaultQuota TenantQuota
+	// ViewEpoch > 0 enables dynamic membership: the node starts under an
+	// epoch-numbered group view (workers 0..Workers-1, aggregators in
+	// shard order), workers bind their connections to the epoch, and
+	// aggregators refuse stale-epoch traffic with typed refusals. Zero
+	// keeps the legacy static membership.
+	ViewEpoch uint32
+	// CheckpointPeers lists standby aggregator node IDs this aggregator
+	// streams slot-state checkpoints to (aggregator-only; requires a
+	// framed reliable transport between primary and standby — frames can
+	// exceed a UDP datagram).
+	CheckpointPeers []int
+	// Standby starts an aggregator passive: it stores checkpoints and
+	// refuses data until Aggregator.Activate (or an in-band view
+	// announcement) promotes it. Aggregator-only; requires ViewEpoch > 0.
+	Standby bool
 }
 
 func (o Options) coreConfig(reliable bool, aggIDs []int) core.Config {
@@ -89,6 +105,14 @@ func (o Options) coreConfig(reliable bool, aggIDs []int) core.Config {
 			tc.Tenants[name] = tenant.Quota(q)
 		}
 		tcfg = &tc
+	}
+	var view *protocol.View
+	if o.ViewEpoch > 0 {
+		v := protocol.View{Epoch: o.ViewEpoch, Aggregators: append([]int(nil), aggIDs...)}
+		for w := 0; w < o.Workers; w++ {
+			v.Workers = append(v.Workers, w)
+		}
+		view = &v
 	}
 	return core.Config{
 		Tenancy: tcfg,
@@ -105,6 +129,9 @@ func (o Options) coreConfig(reliable bool, aggIDs []int) core.Config {
 		MaxRetries:         o.MaxRetries,
 		StallTimeout:       o.StallTimeout,
 		PostmortemDir:      o.PostmortemDir,
+		View:               view,
+		CheckpointPeers:    append([]int(nil), o.CheckpointPeers...),
+		Standby:            o.Standby,
 	}
 }
 
@@ -402,6 +429,28 @@ func (a *Aggregator) Addr() string {
 // Close shuts the aggregator's endpoint; a concurrent Run returns nil.
 func (a *Aggregator) Close() error { return a.conn.Close() }
 
+// Activate installs view epoch with the given membership on this
+// aggregator and announces it to every member: the failover takeover
+// step, promoting a standby (which restores the dead primary's streamed
+// checkpoints lazily) or re-shaping an active aggregator's view. The
+// epoch must be newer than the node's current one.
+func (a *Aggregator) Activate(epoch uint32, workers, aggregators []int) error {
+	return a.agg.Activate(protocol.View{
+		Epoch:       epoch,
+		Workers:     append([]int(nil), workers...),
+		Aggregators: append([]int(nil), aggregators...),
+	})
+}
+
+// Standby reports whether the aggregator is still a passive standby (not
+// yet activated into a view that lists it).
+func (a *Aggregator) Standby() bool { return a.agg.Standby() }
+
+// CheckpointsFrom reports how many checkpoint frames from primary node
+// `from` this aggregator holds — orchestrators gate failover on the
+// standby provably having state to take over from.
+func (a *Aggregator) CheckpointsFrom(from int) int { return a.agg.CheckpointsFrom(from) }
+
 func aggIDsFrom(o Options) []int {
 	aggs := o.Aggregators
 	if aggs <= 0 {
@@ -416,6 +465,13 @@ func aggIDsFrom(o Options) []int {
 
 // Close releases the worker's transport endpoint.
 func (w *Worker) Close() error { return w.w.Close() }
+
+// RegisterPeer adds (or replaces) a peer's transport address — the
+// re-dial path when a view change introduces a standby aggregator the
+// original address book never listed. Wildcard hosts are canonicalized
+// exactly as constructor addresses are. No-op on transports that route
+// by node ID.
+func (w *Worker) RegisterPeer(id int, addr string) error { return w.w.RegisterPeer(id, addr) }
 
 // Addr returns the worker's bound transport address (useful with ":0",
 // where the real port is only known after binding). Empty for transports
